@@ -1,0 +1,115 @@
+// Workload characterization (the IISWC angle): roofline classification
+// and energy for the attention kernels of each processing method on the
+// Fig. 9 L+S+G pattern, plus an end-to-end energy comparison. The
+// expected structure: Multigrain's coarse kernels sit near the tensor
+// roofline, its compound softmax near the DRAM roofline, the Sputnik
+// baseline's kernels near the CUDA/L2 rooflines, and the Triton baseline
+// burns the most energy (all that stored-block traffic is charged per
+// byte).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/attention.h"
+#include "gpusim/device.h"
+#include "gpusim/report.h"
+#include "patterns/presets.h"
+#include "transformer/config.h"
+#include "transformer/runner.h"
+#include "transformer/workload.h"
+
+namespace {
+
+using namespace multigrain;
+
+AttentionConfig
+config()
+{
+    AttentionConfig c;
+    c.head_dim = 64;
+    c.num_heads = 4;
+    return c;
+}
+
+void
+characterize_attention()
+{
+    const CompoundPattern p =
+        preset_local_selected_global(4096, 0.05, 2022);
+    for (const SliceMode mode :
+         {SliceMode::kMultigrain, SliceMode::kCoarseOnly,
+          SliceMode::kFineOnly}) {
+        bench::print_title(std::string("Attention kernels, ") +
+                           to_string(mode) + " (A100, L+S+G)");
+        const AttentionEngine engine(p, config(), mode);
+        const sim::WorkloadReport report = sim::characterize(
+            engine.simulate(sim::DeviceSpec::a100()),
+            sim::DeviceSpec::a100());
+        sim::print_report(report, std::cout, 12);
+    }
+}
+
+void
+end_to_end_energy()
+{
+    bench::print_title(
+        "End-to-end energy per inference (A100, batch 1)");
+    std::printf("%-22s | %12s %12s %12s\n", "model", "Triton J",
+                "Sputnik J", "Multigrain J");
+    bench::print_rule(70);
+    for (const ModelConfig &model :
+         {ModelConfig::longformer_large(), ModelConfig::qds_base()}) {
+        Rng rng(2022);
+        const WorkloadSample sample = sample_for_model(rng, model);
+        double joules[3] = {0, 0, 0};
+        for (const SliceMode mode :
+             {SliceMode::kCoarseOnly, SliceMode::kFineOnly,
+              SliceMode::kMultigrain}) {
+            const TransformerRunner runner(model, mode, sample, 1);
+            const EndToEndResult r =
+                runner.simulate(sim::DeviceSpec::a100());
+            joules[static_cast<int>(mode) == 1   ? 0
+                   : static_cast<int>(mode) == 2 ? 1
+                                                 : 2] =
+                sim::characterize(r.sim, sim::DeviceSpec::a100()).total_j();
+        }
+        std::printf("%-22s | %12.3f %12.3f %12.3f\n", model.name.c_str(),
+                    joules[0], joules[1], joules[2]);
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    characterize_attention();
+    end_to_end_energy();
+
+    benchmark::RegisterBenchmark(
+        "characterization/LSG_multigrain", [](benchmark::State &state) {
+            const CompoundPattern p =
+                preset_local_selected_global(4096, 0.05, 2022);
+            const AttentionEngine engine(p, config(),
+                                         SliceMode::kMultigrain);
+            for (auto _ : state) {
+                const sim::SimResult r =
+                    engine.simulate(sim::DeviceSpec::a100());
+                const sim::WorkloadReport report =
+                    sim::characterize(r, sim::DeviceSpec::a100());
+                state.SetIterationTime(r.total_us * 1e-6);
+                state.counters["dynamic_j"] = report.dynamic_j;
+                state.counters["avg_watts"] = report.average_watts();
+            }
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Extension — training steps (forward + backward). The paper evaluates
+// inference only; its §1 motivation (training long sequences is memory-
+// and compute-bound) is the natural next workload. Every sparse op of the
+// forward reappears in the backward — the dP SDDMM, the fused softmax
+// backward, and the dQ/dK/dV SpMMs (two of them over transposed
+// metadata) — so the slice-and-dice advantage compounds.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "gpusim/device.h"
+#include "transformer/config.h"
+#include "transformer/runner.h"
+#include "transformer/workload.h"
+
+namespace {
+
+using namespace multigrain;
+
+void
+run_model(const ModelConfig &model, index_t batch)
+{
+    Rng rng(2022);
+    const WorkloadSample sample = sample_for_model(rng, model);
+    std::printf("%-22s batch %lld\n", model.name.c_str(),
+                static_cast<long long>(batch));
+    double mg_step = 0, t_step = 0, s_step = 0;
+    for (const SliceMode mode :
+         {SliceMode::kCoarseOnly, SliceMode::kFineOnly,
+          SliceMode::kMultigrain}) {
+        const TransformerRunner runner(model, mode, sample, batch);
+        const double fwd =
+            runner.simulate(sim::DeviceSpec::a100()).total_us;
+        const EndToEndResult step =
+            runner.simulate_training(sim::DeviceSpec::a100());
+        std::printf("  %-12s fwd %9s ms   step %9s ms   attn %8s ms\n",
+                    to_string(mode), bench::fmt_ms(fwd).c_str(),
+                    bench::fmt_ms(step.total_us).c_str(),
+                    bench::fmt_ms(step.attention_us).c_str());
+        (mode == SliceMode::kMultigrain
+             ? mg_step
+             : mode == SliceMode::kCoarseOnly ? t_step : s_step) =
+            step.total_us;
+    }
+    std::printf("  multigrain step speedup: %s vs Triton, %s vs Sputnik\n",
+                bench::fmt_speedup(t_step / mg_step).c_str(),
+                bench::fmt_speedup(s_step / mg_step).c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::print_title(
+        "Extension — training step (forward + backward) on A100");
+    run_model(ModelConfig::qds_base(), 4);
+    run_model(ModelConfig::longformer_large(), 1);
+
+    for (const bool longformer : {false, true}) {
+        const ModelConfig model = longformer
+                                      ? ModelConfig::longformer_large()
+                                      : ModelConfig::qds_base();
+        benchmark::RegisterBenchmark(
+            ("training/" + model.name).c_str(),
+            [model, longformer](benchmark::State &state) {
+                Rng rng(2022);
+                const WorkloadSample sample = sample_for_model(rng, model);
+                const TransformerRunner runner(
+                    model, SliceMode::kMultigrain, sample,
+                    longformer ? 1 : 4);
+                for (auto _ : state) {
+                    const double us =
+                        runner.simulate_training(sim::DeviceSpec::a100())
+                            .total_us;
+                    state.SetIterationTime(us * 1e-6);
+                }
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

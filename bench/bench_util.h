@@ -1,0 +1,58 @@
+#ifndef MULTIGRAIN_BENCH_BENCH_UTIL_H_
+#define MULTIGRAIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+/// Shared console-table helpers for the benchmark harness. Every bench
+/// binary prints the rows/series its paper table or figure reports, then
+/// registers the same runs with google-benchmark (simulated time reported
+/// as manual time).
+namespace multigrain::bench {
+
+inline void
+print_rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i) {
+        std::putchar('-');
+    }
+    std::putchar('\n');
+}
+
+inline void
+print_title(const std::string &title)
+{
+    std::printf("\n");
+    print_rule();
+    std::printf("%s\n", title.c_str());
+    print_rule();
+}
+
+/// "1.83x" style formatting for speedup cells.
+inline std::string
+fmt_speedup(double ratio)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fx", ratio);
+    return buf;
+}
+
+inline std::string
+fmt_ms(double us)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", us / 1000.0);
+    return buf;
+}
+
+inline std::string
+fmt_gb(double bytes)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", bytes / 1e9);
+    return buf;
+}
+
+}  // namespace multigrain::bench
+
+#endif  // MULTIGRAIN_BENCH_BENCH_UTIL_H_

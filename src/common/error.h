@@ -1,0 +1,80 @@
+#ifndef MULTIGRAIN_COMMON_ERROR_H_
+#define MULTIGRAIN_COMMON_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Error handling helpers.
+///
+/// The library reports contract violations by throwing multigrain::Error
+/// (derived from std::runtime_error). MG_CHECK is used at public API
+/// boundaries and for internal invariants that, if broken, would silently
+/// corrupt results; it is kept on in release builds because all checks are
+/// O(1) or amortized into existing walks.
+namespace multigrain {
+
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Builds the final message for a failed check and throws.
+[[noreturn]] inline void
+throw_check_failure(const char *expr, const char *file, int line,
+                    const std::string &message)
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": check failed: " << expr;
+    if (!message.empty()) {
+        os << " — " << message;
+    }
+    throw Error(os.str());
+}
+
+/// Stream-capture helper so MG_CHECK can accept `<<`-style messages.
+class MessageStream {
+  public:
+    template <typename T>
+    MessageStream &operator<<(const T &value)
+    {
+        os_ << value;
+        return *this;
+    }
+    std::string str() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace multigrain
+
+/// Checks a condition and throws multigrain::Error when it does not hold.
+/// Usage: MG_CHECK(rows > 0) << "rows=" << rows;
+#define MG_CHECK(cond)                                                        \
+    if (cond) {                                                               \
+    } else                                                                    \
+        ::multigrain::detail::CheckFailer{#cond, __FILE__, __LINE__} =        \
+            ::multigrain::detail::MessageStream{}
+
+namespace multigrain::detail {
+
+/// Receives the streamed message and throws from its operator=. The odd
+/// shape keeps MG_CHECK usable as a single statement with a trailing `<<`.
+struct CheckFailer {
+    const char *expr;
+    const char *file;
+    int line;
+
+    [[noreturn]] void operator=(const MessageStream &ms)
+    {
+        throw_check_failure(expr, file, line, ms.str());
+    }
+};
+
+}  // namespace multigrain::detail
+
+#endif  // MULTIGRAIN_COMMON_ERROR_H_

@@ -1,0 +1,131 @@
+#include "common/half.h"
+
+#include <bit>
+#include <cstring>
+#include <ostream>
+
+namespace multigrain {
+
+namespace {
+
+std::uint32_t
+float_bits(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+float
+bits_float(std::uint32_t bits)
+{
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+}  // namespace
+
+std::uint16_t
+float_to_half_bits(float value)
+{
+    const std::uint32_t f = float_bits(value);
+    const std::uint32_t sign = (f >> 16) & 0x8000u;
+    const std::uint32_t abs = f & 0x7fffffffu;
+
+    if (abs >= 0x7f800000u) {
+        // Inf stays Inf; NaN keeps a payload bit so it stays NaN.
+        const std::uint32_t mantissa = abs > 0x7f800000u ? 0x0200u : 0;
+        return static_cast<std::uint16_t>(sign | 0x7c00u | mantissa);
+    }
+    if (abs >= 0x477ff000u) {
+        // Values that round to >= 2^16 overflow to infinity.
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    if (abs < 0x38800000u) {
+        // Subnormal half (or zero): shift the implicit leading one into the
+        // mantissa and round to nearest even.
+        if (abs < 0x33000001u) {
+            return static_cast<std::uint16_t>(sign);  // Rounds to +-0.
+        }
+        const int exp = static_cast<int>(abs >> 23);
+        const std::uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+        // The float value is mant * 2^(exp-150); a subnormal-half ULP is
+        // 2^-24, so the result is mant * 2^(exp-126) rounded to nearest even.
+        // exp lies in [102, 112] here, so the shift stays within [14, 24].
+        const int drop = 126 - exp;
+        const std::uint32_t kept = mant >> drop;
+        const std::uint32_t rem = mant & ((1u << drop) - 1);
+        const std::uint32_t halfway = 1u << (drop - 1);
+        std::uint32_t result = kept;
+        if (rem > halfway || (rem == halfway && (kept & 1u))) {
+            ++result;
+        }
+        return static_cast<std::uint16_t>(sign | result);
+    }
+
+    // Normal range: rebias exponent from 127 to 15, round mantissa 23 -> 10.
+    const std::uint32_t rebased = abs - 0x38000000u;  // Subtract (127-15)<<23.
+    const std::uint32_t kept = rebased >> 13;
+    const std::uint32_t rem = rebased & 0x1fffu;
+    std::uint32_t result = kept;
+    if (rem > 0x1000u || (rem == 0x1000u && (kept & 1u))) {
+        ++result;  // May carry into the exponent; that is correct rounding.
+    }
+    return static_cast<std::uint16_t>(sign | result);
+}
+
+float
+half_bits_to_float(std::uint16_t bits)
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+    const std::uint32_t exp = (bits >> 10) & 0x1fu;
+    const std::uint32_t mant = bits & 0x03ffu;
+
+    if (exp == 0) {
+        if (mant == 0) {
+            return bits_float(sign);  // Signed zero.
+        }
+        // Subnormal: normalize by shifting the mantissa up.
+        int e = -1;
+        std::uint32_t m = mant;
+        do {
+            ++e;
+            m <<= 1;
+        } while ((m & 0x0400u) == 0);
+        const std::uint32_t fexp = static_cast<std::uint32_t>(127 - 15 - e);
+        const std::uint32_t fmant = (m & 0x03ffu) << 13;
+        return bits_float(sign | (fexp << 23) | fmant);
+    }
+    if (exp == 0x1fu) {
+        return bits_float(sign | 0x7f800000u | (mant << 13));  // Inf / NaN.
+    }
+    const std::uint32_t fexp = exp + (127 - 15);
+    return bits_float(sign | (fexp << 23) | (mant << 13));
+}
+
+std::ostream &
+operator<<(std::ostream &os, half h)
+{
+    return os << float(h);
+}
+
+half
+half_max()
+{
+    return half::from_bits(0x7bffu);
+}
+
+half
+half_lowest()
+{
+    return half::from_bits(0xfbffu);
+}
+
+half
+half_neg_inf()
+{
+    return half::from_bits(0xfc00u);
+}
+
+}  // namespace multigrain

@@ -1,0 +1,80 @@
+#ifndef MULTIGRAIN_COMMON_HALF_H_
+#define MULTIGRAIN_COMMON_HALF_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+/// IEEE-754 binary16 ("half") implemented in software.
+///
+/// The paper's kernels store operands in FP16 and accumulate in FP32 (the
+/// tensor-core m16n8k16 MMA contract). Every functional kernel in this
+/// repository follows the same precision discipline: matrix storage is
+/// multigrain::half, accumulation happens in float, and the final result is
+/// rounded back to half. Conversion uses round-to-nearest-even, matching
+/// the CUDA __float2half behaviour.
+namespace multigrain {
+
+/// Converts a float to binary16 bits with round-to-nearest-even.
+std::uint16_t float_to_half_bits(float value);
+
+/// Converts binary16 bits to a float (exact; every half is a float).
+float half_bits_to_float(std::uint16_t bits);
+
+/// A 16-bit floating point value. Trivially copyable, 2 bytes, no padding.
+class half {
+  public:
+    half() = default;
+    explicit half(float value) : bits_(float_to_half_bits(value)) {}
+
+    /// Implicit widening to float mirrors the hardware's free up-conversion.
+    operator float() const { return half_bits_to_float(bits_); }
+
+    static half from_bits(std::uint16_t bits)
+    {
+        half h;
+        h.bits_ = bits;
+        return h;
+    }
+    std::uint16_t bits() const { return bits_; }
+
+    half &operator+=(half other)
+    {
+        *this = half(float(*this) + float(other));
+        return *this;
+    }
+    half &operator-=(half other)
+    {
+        *this = half(float(*this) - float(other));
+        return *this;
+    }
+    half &operator*=(half other)
+    {
+        *this = half(float(*this) * float(other));
+        return *this;
+    }
+
+    friend bool operator==(half a, half b) { return float(a) == float(b); }
+    friend bool operator!=(half a, half b) { return float(a) != float(b); }
+    friend bool operator<(half a, half b) { return float(a) < float(b); }
+    friend bool operator<=(half a, half b) { return float(a) <= float(b); }
+    friend bool operator>(half a, half b) { return float(a) > float(b); }
+    friend bool operator>=(half a, half b) { return float(a) >= float(b); }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(half) == 2, "half must be exactly 16 bits");
+
+std::ostream &operator<<(std::ostream &os, half h);
+
+/// Largest finite half value (65504).
+half half_max();
+/// Most negative finite half value (-65504).
+half half_lowest();
+/// Negative infinity in half precision; used for masked-out logits.
+half half_neg_inf();
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_COMMON_HALF_H_

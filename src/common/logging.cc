@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace multigrain {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char *
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kError:
+        return "ERROR";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kDebug:
+        return "DEBUG";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+log_message(LogLevel level, const std::string &message)
+{
+    if (static_cast<int>(level) <= static_cast<int>(g_level)) {
+        std::cerr << "[multigrain " << level_tag(level) << "] " << message
+                  << "\n";
+    }
+}
+
+}  // namespace multigrain

@@ -1,0 +1,23 @@
+#ifndef MULTIGRAIN_COMMON_LOGGING_H_
+#define MULTIGRAIN_COMMON_LOGGING_H_
+
+#include <string>
+
+/// Minimal leveled logging to stderr.
+///
+/// The library itself stays silent at the default level; benches and
+/// examples raise the level to narrate what the simulator is doing.
+namespace multigrain {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the process-wide log threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` is at or below the threshold.
+void log_message(LogLevel level, const std::string &message);
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_COMMON_LOGGING_H_

@@ -1,0 +1,32 @@
+#ifndef MULTIGRAIN_COMMON_UTIL_H_
+#define MULTIGRAIN_COMMON_UTIL_H_
+
+#include <cstdint>
+
+/// Small arithmetic helpers shared across modules.
+namespace multigrain {
+
+/// Integer ceiling division; requires b > 0 and a >= 0.
+template <typename T>
+constexpr T
+ceil_div(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b`; requires b > 0 and a >= 0.
+template <typename T>
+constexpr T
+round_up(T a, T b)
+{
+    return ceil_div(a, b) * b;
+}
+
+/// Index type used for all matrix dimensions and nonzero counts. Sequence
+/// lengths are small (<= 64K), but nnz counts and flat element indices can
+/// exceed 2^31 for batched long-sequence attention, so 64-bit throughout.
+using index_t = std::int64_t;
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_COMMON_UTIL_H_

@@ -1,0 +1,701 @@
+#include "core/attention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+#include <utility>
+
+#include "common/error.h"
+#include "formats/convert.h"
+#include "kernels/backward.h"
+#include "kernels/blocked_baseline.h"
+#include "kernels/coarse.h"
+#include "kernels/compound_softmax.h"
+#include "kernels/dense.h"
+#include "kernels/fine.h"
+
+namespace multigrain {
+
+double
+AttentionConfig::effective_scale() const
+{
+    if (scale != 0.0) {
+        return scale;
+    }
+    return 1.0 / std::sqrt(static_cast<double>(head_dim));
+}
+
+AttentionEngine::AttentionEngine(const CompoundPattern &pattern,
+                                 const AttentionConfig &config,
+                                 SliceMode mode)
+    : config_(config)
+{
+    MG_CHECK(config.head_dim > 0 && config.num_heads > 0 &&
+             config.batch > 0)
+        << "attention config needs positive dims";
+    SliceOptions options;
+    options.block = config.block;
+    options.mode = mode;
+    options.route_global_to_dense = config.route_global_to_dense;
+    plan_ = slice_and_dice(pattern, options);
+}
+
+HalfMatrix
+AttentionEngine::run(const HalfMatrix &q, const HalfMatrix &k,
+                     const HalfMatrix &v) const
+{
+    const index_t seq = plan_.seq_len;
+    const index_t dh = config_.head_dim;
+    MG_CHECK(q.rows() == seq && k.rows() == seq && v.rows() == seq)
+        << "q/k/v must have seq_len rows";
+    MG_CHECK(q.cols() == dh && k.cols() == dh && v.cols() == dh)
+        << "q/k/v must have head_dim columns";
+    const double scale = config_.effective_scale();
+
+    if (plan_.mode == SliceMode::kDense) {
+        // Naive baseline: dense QK^T, additive -inf mask from the pattern,
+        // dense softmax, dense PV. O(L^2) regardless of sparsity.
+        HalfMatrix s(seq, seq);
+        kernels::dense_gemm_nt(q, k, s);
+        const CsrLayout &full = *plan_.full;
+        HalfMatrix p(seq, seq, half(0.0f));
+        for (index_t r = 0; r < seq; ++r) {
+            const index_t begin =
+                full.row_offsets[static_cast<std::size_t>(r)];
+            const index_t end =
+                full.row_offsets[static_cast<std::size_t>(r + 1)];
+            if (begin == end) {
+                continue;
+            }
+            float max_v = -std::numeric_limits<float>::infinity();
+            for (index_t i = begin; i < end; ++i) {
+                const index_t c =
+                    full.col_indices[static_cast<std::size_t>(i)];
+                max_v = std::max(max_v, static_cast<float>(scale) *
+                                            float(s.at(r, c)));
+            }
+            float sum = 0.0f;
+            for (index_t i = begin; i < end; ++i) {
+                const index_t c =
+                    full.col_indices[static_cast<std::size_t>(i)];
+                sum += std::exp(static_cast<float>(scale) *
+                                    float(s.at(r, c)) -
+                                max_v);
+            }
+            for (index_t i = begin; i < end; ++i) {
+                const index_t c =
+                    full.col_indices[static_cast<std::size_t>(i)];
+                p.at(r, c) = half(std::exp(static_cast<float>(scale) *
+                                               float(s.at(r, c)) -
+                                           max_v) /
+                                  sum);
+            }
+        }
+        HalfMatrix out(seq, dh);
+        kernels::dense_gemm_nn(p, v, out);
+        return out;
+    }
+
+    FloatMatrix acc(seq, dh, 0.0f);
+
+    // ---- Coarse + fine parts: SDDMM -> one compound softmax -> SpMM.
+    BsrMatrix s_coarse;
+    CsrMatrix s_fine;
+    if (plan_.has_coarse()) {
+        s_coarse = BsrMatrix(plan_.coarse);
+        kernels::coarse_sddmm(q, k, s_coarse);
+    }
+    if (plan_.has_fine()) {
+        s_fine = CsrMatrix(plan_.fine);
+        kernels::fine_sddmm(q, k, s_fine);
+    }
+    if (plan_.has_coarse() || plan_.has_fine()) {
+        kernels::compound_softmax(plan_.has_coarse() ? &s_coarse : nullptr,
+                                  plan_.has_fine() ? &s_fine : nullptr,
+                                  scale);
+    }
+    if (plan_.has_coarse()) {
+        kernels::coarse_spmm(s_coarse, v, acc);
+    }
+    if (plan_.has_fine()) {
+        kernels::fine_spmm(s_fine, v, acc);
+    }
+
+    // ---- Special part: global rows as dense GEMM + dense softmax (§3.1).
+    if (plan_.has_special()) {
+        const index_t g = static_cast<index_t>(plan_.global_rows.size());
+        HalfMatrix qg(g, dh);
+        for (index_t i = 0; i < g; ++i) {
+            const index_t row = plan_.global_rows[static_cast<std::size_t>(i)];
+            for (index_t d = 0; d < dh; ++d) {
+                qg.at(i, d) = q.at(row, d);
+            }
+        }
+        HalfMatrix sg(g, seq);
+        kernels::dense_gemm_nt(qg, k, sg);
+        kernels::dense_softmax_rows(sg, scale, plan_.valid_len);
+        HalfMatrix cg(g, dh);
+        kernels::dense_gemm_nn(sg, v, cg);
+        for (index_t i = 0; i < g; ++i) {
+            const index_t row = plan_.global_rows[static_cast<std::size_t>(i)];
+            for (index_t d = 0; d < dh; ++d) {
+                // Global rows were carved out of the other parts, so the
+                // accumulator is zero here; plain add keeps it uniform.
+                acc.at(row, d) += float(cg.at(i, d));
+            }
+        }
+    }
+
+    HalfMatrix out(seq, dh);
+    for (index_t r = 0; r < seq; ++r) {
+        for (index_t d = 0; d < dh; ++d) {
+            out.at(r, d) = half(acc.at(r, d));
+        }
+    }
+    return out;
+}
+
+void
+AttentionEngine::plan_into(sim::GpuSim &sim,
+                           const std::string &name_prefix) const
+{
+    plan_sddmm_phase(sim, name_prefix);
+    sim.join_streams();
+    plan_softmax_phase(sim, name_prefix);
+    sim.join_streams();
+    plan_spmm_phase(sim, name_prefix);
+    sim.join_streams();
+}
+
+void
+AttentionEngine::bind_streams(sim::GpuSim &sim) const
+{
+    if (bound_sim_id_ == sim.id()) {
+        return;
+    }
+    bound_sim_id_ = sim.id();
+    // Each engine gets its own streams so several engines' phases can
+    // co-schedule (heterogeneous batches). Baselines and the single-stream
+    // ablation use one stream; Multigrain uses three (§3.1).
+    stream_coarse_ = sim.create_stream();
+    const bool multi = plan_.mode == SliceMode::kMultigrain &&
+                       config_.multi_stream;
+    stream_fine_ = multi ? sim.create_stream() : stream_coarse_;
+    stream_special_ = multi ? sim.create_stream() : stream_coarse_;
+}
+
+void
+AttentionEngine::plan_sddmm_phase(sim::GpuSim &sim,
+                                  const std::string &name_prefix) const
+{
+    bind_streams(sim);
+    const sim::DeviceSpec &dev = sim.device();
+    const index_t dh = config_.head_dim;
+    const index_t replicas = config_.batch * config_.num_heads;
+    const index_t g = static_cast<index_t>(plan_.global_rows.size());
+    const auto named = [&name_prefix](const char *base) {
+        return name_prefix + base;
+    };
+
+    switch (plan_.mode) {
+      case SliceMode::kCoarseOnly: {
+        // SDDMM uses BCOO while SpMM uses BSR (§2.4's format duplication).
+        const BcooLayout bcoo = bcoo_from_bsr(*plan_.coarse);
+        sim.launch(stream_coarse_,
+                   kernels::plan_triton_sddmm(dev, bcoo, dh, replicas,
+                                              named("sddmm.triton")));
+        return;
+      }
+      case SliceMode::kFineOnly:
+        sim.launch(stream_coarse_,
+                   kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
+                                            config_.fine_scheme,
+                                            named("sddmm.sputnik")));
+        return;
+      case SliceMode::kDense:
+        sim.launch(stream_coarse_,
+                   kernels::plan_dense_gemm(dev, plan_.seq_len,
+                                            plan_.seq_len, dh, replicas,
+                                            named("sddmm.dense")));
+        return;
+      case SliceMode::kMultigrain:
+        break;
+    }
+
+    if (plan_.has_coarse()) {
+        sim.launch(stream_coarse_,
+                   kernels::plan_coarse_sddmm(dev, *plan_.coarse, dh,
+                                              replicas,
+                                              named("sddmm.coarse")));
+    }
+    if (plan_.has_fine()) {
+        sim.launch(stream_fine_,
+                   kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
+                                            config_.fine_scheme,
+                                            named("sddmm.fine")));
+    }
+    if (plan_.has_special()) {
+        sim.launch(stream_special_,
+                   kernels::plan_dense_gemm(dev, g, plan_.valid_len, dh,
+                                            replicas,
+                                            named("sddmm.global")));
+    }
+}
+
+void
+AttentionEngine::plan_softmax_phase(sim::GpuSim &sim,
+                                    const std::string &name_prefix) const
+{
+    bind_streams(sim);
+    const sim::DeviceSpec &dev = sim.device();
+    const index_t replicas = config_.batch * config_.num_heads;
+    const index_t g = static_cast<index_t>(plan_.global_rows.size());
+    const auto named = [&name_prefix](const char *base) {
+        return name_prefix + base;
+    };
+
+    switch (plan_.mode) {
+      case SliceMode::kCoarseOnly:
+        sim.launch(stream_coarse_,
+                   kernels::plan_triton_softmax(dev, *plan_.coarse, replicas,
+                                                named("softmax.triton")));
+        return;
+      case SliceMode::kFineOnly:
+        sim.launch(stream_coarse_,
+                   kernels::plan_fine_softmax(dev, *plan_.fine, replicas,
+                                              named("softmax.sputnik")));
+        return;
+      case SliceMode::kDense:
+        // Additive-mask pass (read S + mask, write S), then dense softmax.
+        sim.launch(stream_coarse_,
+                   kernels::plan_elementwise(
+                       dev, plan_.seq_len * plan_.seq_len * replicas, 2,
+                       2.0, named("softmax.dense.mask")));
+        sim.launch(stream_coarse_,
+                   kernels::plan_dense_softmax(dev, plan_.seq_len,
+                                               plan_.seq_len, replicas,
+                                               named("softmax.dense")));
+        return;
+      case SliceMode::kMultigrain:
+        break;
+    }
+
+    // One compound softmax across coarse+fine (the denominator couples
+    // them, §3.3) ∥ dense softmax for the independent global rows.
+    if (plan_.has_coarse() || plan_.has_fine()) {
+        sim.launch(stream_coarse_,
+                   kernels::plan_compound_softmax(
+                       dev, plan_.has_coarse() ? plan_.coarse.get() : nullptr,
+                       plan_.has_fine() ? plan_.fine.get() : nullptr,
+                       replicas, named("softmax.compound")));
+    }
+    if (plan_.has_special()) {
+        sim.launch(stream_special_,
+                   kernels::plan_dense_softmax(dev, g, plan_.valid_len,
+                                               replicas,
+                                               named("softmax.global")));
+    }
+}
+
+void
+AttentionEngine::plan_spmm_phase(sim::GpuSim &sim,
+                                 const std::string &name_prefix) const
+{
+    bind_streams(sim);
+    const sim::DeviceSpec &dev = sim.device();
+    const index_t dh = config_.head_dim;
+    const index_t replicas = config_.batch * config_.num_heads;
+    const index_t g = static_cast<index_t>(plan_.global_rows.size());
+    const auto named = [&name_prefix](const char *base) {
+        return name_prefix + base;
+    };
+
+    switch (plan_.mode) {
+      case SliceMode::kCoarseOnly:
+        sim.launch(stream_coarse_,
+                   kernels::plan_triton_spmm(dev, *plan_.coarse, dh,
+                                             replicas,
+                                             named("spmm.triton")));
+        return;
+      case SliceMode::kFineOnly:
+        sim.launch(stream_coarse_,
+                   kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
+                                           named("spmm.sputnik")));
+        return;
+      case SliceMode::kDense:
+        sim.launch(stream_coarse_,
+                   kernels::plan_dense_gemm(dev, plan_.seq_len, dh,
+                                            plan_.seq_len, replicas,
+                                            named("spmm.dense")));
+        return;
+      case SliceMode::kMultigrain:
+        break;
+    }
+
+    if (plan_.has_coarse()) {
+        sim.launch(stream_coarse_,
+                   kernels::plan_coarse_spmm(dev, *plan_.coarse, dh,
+                                             replicas,
+                                             named("spmm.coarse")));
+    }
+    if (plan_.has_fine()) {
+        sim.launch(stream_fine_,
+                   kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
+                                           named("spmm.fine")));
+    }
+    if (plan_.has_special()) {
+        sim.launch(stream_special_,
+                   kernels::plan_dense_gemm(dev, g, dh, plan_.valid_len,
+                                            replicas,
+                                            named("spmm.global")));
+    }
+}
+
+double
+AttentionEngine::attention_memory_bytes() const
+{
+    const double replicas =
+        static_cast<double>(config_.batch * config_.num_heads);
+    const double value_bytes = 2.0;  // FP16.
+    const double idx_bytes = 4.0;
+
+    if (plan_.mode == SliceMode::kDense) {
+        // S and P, each L x L per replica (plus the additive mask, shared).
+        return 2.0 * static_cast<double>(plan_.seq_len) * plan_.seq_len *
+                   value_bytes * replicas +
+               static_cast<double>(plan_.seq_len) * plan_.seq_len *
+                   value_bytes;
+    }
+
+    double values = 0;    // Per replica (S and P share the layout; both
+                          // live simultaneously between phases).
+    double metadata = 0;  // Shared across replicas.
+    if (plan_.has_coarse()) {
+        values += 2.0 * static_cast<double>(plan_.coarse->total_stored()) *
+                  value_bytes;
+        metadata +=
+            static_cast<double>(plan_.coarse->row_offsets.size() +
+                                plan_.coarse->col_indices.size()) *
+                idx_bytes +
+            static_cast<double>(plan_.coarse->valid_bits.size()) * 8.0;
+    }
+    if (plan_.has_fine()) {
+        values += 2.0 * static_cast<double>(plan_.fine->nnz()) * value_bytes;
+        metadata += static_cast<double>(plan_.fine->row_offsets.size() +
+                                        plan_.fine->col_indices.size()) *
+                    idx_bytes;
+    }
+    if (plan_.has_special()) {
+        values += 2.0 * static_cast<double>(plan_.special_elements()) *
+                  value_bytes;
+        metadata +=
+            static_cast<double>(plan_.global_rows.size()) * idx_bytes;
+    }
+    return values * replicas + metadata;
+}
+
+const CsrLayout &
+AttentionEngine::fine_transposed() const
+{
+    MG_CHECK(plan_.has_fine()) << "no fine part to transpose";
+    if (!fine_t_) {
+        fine_t_ = std::make_shared<const CsrLayout>(
+            transpose_layout(*plan_.fine));
+    }
+    return *fine_t_;
+}
+
+const BsrLayout &
+AttentionEngine::coarse_transposed() const
+{
+    MG_CHECK(plan_.has_coarse()) << "no coarse part to transpose";
+    if (!coarse_t_) {
+        coarse_t_ = std::make_shared<const BsrLayout>(
+            transpose_layout(*plan_.coarse));
+    }
+    return *coarse_t_;
+}
+
+AttentionEngine::Grads
+AttentionEngine::run_backward(const HalfMatrix &q, const HalfMatrix &k,
+                              const HalfMatrix &v,
+                              const HalfMatrix &d_out) const
+{
+    const index_t seq = plan_.seq_len;
+    const index_t dh = config_.head_dim;
+    MG_CHECK(d_out.rows() == seq && d_out.cols() == dh)
+        << "d_out must be seq_len x head_dim";
+    MG_CHECK(q.rows() == seq && q.cols() == dh && k.rows() == seq &&
+             k.cols() == dh && v.rows() == seq && v.cols() == dh)
+        << "q/k/v must be seq_len x head_dim";
+    const double scale = config_.effective_scale();
+
+    FloatMatrix dq(seq, dh, 0.0f), dk(seq, dh, 0.0f), dv(seq, dh, 0.0f);
+
+    // The dense baseline's masked gradients coincide with the element-wise
+    // path over the full pattern, so route it through the fine kernels.
+    const bool has_coarse = plan_.has_coarse();
+    const std::shared_ptr<const CsrLayout> fine_layout =
+        plan_.mode == SliceMode::kDense ? plan_.full : plan_.fine;
+    const bool has_fine =
+        fine_layout != nullptr && fine_layout->nnz() > 0;
+
+    // ---- Recompute the forward probabilities (flash-style).
+    BsrMatrix p_coarse;
+    CsrMatrix p_fine;
+    if (has_coarse) {
+        p_coarse = BsrMatrix(plan_.coarse);
+        kernels::coarse_sddmm(q, k, p_coarse);
+    }
+    if (has_fine) {
+        p_fine = CsrMatrix(fine_layout);
+        kernels::fine_sddmm(q, k, p_fine);
+    }
+    if (has_coarse || has_fine) {
+        kernels::compound_softmax(has_coarse ? &p_coarse : nullptr,
+                                  has_fine ? &p_fine : nullptr, scale);
+    }
+
+    // ---- dP = (dC . V^T)|pattern via the forward SDDMM kernels.
+    BsrMatrix dp_coarse;
+    CsrMatrix dp_fine;
+    if (has_coarse) {
+        dp_coarse = BsrMatrix(plan_.coarse);
+        kernels::coarse_sddmm(d_out, v, dp_coarse);
+    }
+    if (has_fine) {
+        dp_fine = CsrMatrix(fine_layout);
+        kernels::fine_sddmm(d_out, v, dp_fine);
+    }
+
+    // ---- dS = P (dP - rowsum(P dP)) scale, fused across both parts.
+    if (has_coarse || has_fine) {
+        kernels::compound_softmax_backward(
+            has_coarse ? &p_coarse : nullptr,
+            has_coarse ? &dp_coarse : nullptr,
+            has_fine ? &p_fine : nullptr,
+            has_fine ? &dp_fine : nullptr, scale);
+    }
+
+    // ---- dQ = dS . K; dK = dS^T . Q; dV = P^T . dC.
+    if (has_coarse) {
+        kernels::coarse_spmm(dp_coarse, k, dq);
+        kernels::coarse_spmm_transposed(dp_coarse, q, dk);
+        kernels::coarse_spmm_transposed(p_coarse, d_out, dv);
+    }
+    if (has_fine) {
+        kernels::fine_spmm(dp_fine, k, dq);
+        kernels::fine_spmm_transposed(dp_fine, q, dk);
+        kernels::fine_spmm_transposed(p_fine, d_out, dv);
+    }
+
+    // ---- Special part: dense backward over the global rows.
+    if (plan_.has_special()) {
+        const index_t g = static_cast<index_t>(plan_.global_rows.size());
+        const index_t valid = plan_.valid_len;
+        // Recompute P_g.
+        HalfMatrix qg(g, dh);
+        HalfMatrix dcg(g, dh);
+        for (index_t i = 0; i < g; ++i) {
+            const index_t row = plan_.global_rows[static_cast<std::size_t>(i)];
+            for (index_t d = 0; d < dh; ++d) {
+                qg.at(i, d) = q.at(row, d);
+                dcg.at(i, d) = d_out.at(row, d);
+            }
+        }
+        HalfMatrix pg(g, seq);
+        kernels::dense_gemm_nt(qg, k, pg);
+        kernels::dense_softmax_rows(pg, scale, valid);
+
+        for (index_t i = 0; i < g; ++i) {
+            const index_t row = plan_.global_rows[static_cast<std::size_t>(i)];
+            // dp_j = dC_row . V_j ; t = sum_j p_j dp_j.
+            std::vector<float> dp(static_cast<std::size_t>(valid));
+            float t = 0.0f;
+            for (index_t j = 0; j < valid; ++j) {
+                float acc = 0.0f;
+                for (index_t d = 0; d < dh; ++d) {
+                    acc += float(dcg.at(i, d)) * float(v.at(j, d));
+                }
+                dp[static_cast<std::size_t>(j)] = float(half(acc));
+                t += float(pg.at(i, j)) * dp[static_cast<std::size_t>(j)];
+            }
+            for (index_t j = 0; j < valid; ++j) {
+                const float pv = float(pg.at(i, j));
+                const float ds = pv * (dp[static_cast<std::size_t>(j)] - t) *
+                                 static_cast<float>(scale);
+                for (index_t d = 0; d < dh; ++d) {
+                    dq.at(row, d) += ds * float(k.at(j, d));
+                    dk.at(j, d) += ds * float(qg.at(i, d));
+                    dv.at(j, d) += pv * float(dcg.at(i, d));
+                }
+            }
+        }
+    }
+
+    Grads grads{HalfMatrix(seq, dh), HalfMatrix(seq, dh),
+                HalfMatrix(seq, dh)};
+    for (index_t r = 0; r < seq; ++r) {
+        for (index_t d = 0; d < dh; ++d) {
+            grads.dq.at(r, d) = half(dq.at(r, d));
+            grads.dk.at(r, d) = half(dk.at(r, d));
+            grads.dv.at(r, d) = half(dv.at(r, d));
+        }
+    }
+    return grads;
+}
+
+void
+AttentionEngine::plan_backward_into(sim::GpuSim &sim,
+                                    const std::string &name_prefix) const
+{
+    bind_streams(sim);
+    const sim::DeviceSpec &dev = sim.device();
+    const index_t dh = config_.head_dim;
+    const index_t replicas = config_.batch * config_.num_heads;
+    const index_t g = static_cast<index_t>(plan_.global_rows.size());
+    const auto named = [&name_prefix](const char *base) {
+        return name_prefix + base;
+    };
+
+    if (plan_.mode == SliceMode::kDense) {
+        const index_t L = plan_.seq_len;
+        sim.launch(stream_coarse_,
+                   kernels::plan_dense_gemm(dev, L, L, dh, replicas,
+                                            named("bwd.sddmm.dp.dense")));
+        sim.launch(stream_coarse_,
+                   kernels::plan_dense_gemm(dev, L, dh, L, replicas,
+                                            named("bwd.spmm_t.dv.dense")));
+        sim.join_streams();
+        sim.launch(stream_coarse_,
+                   kernels::plan_elementwise(dev, L * L * replicas, 2, 6.0,
+                                             named("bwd.softmax.dense")));
+        sim.join_streams();
+        sim.launch(stream_coarse_,
+                   kernels::plan_dense_gemm(dev, L, dh, L, replicas,
+                                            named("bwd.spmm.dq.dense")));
+        sim.launch(stream_coarse_,
+                   kernels::plan_dense_gemm(dev, L, dh, L, replicas,
+                                            named("bwd.spmm_t.dk.dense")));
+        sim.join_streams();
+        return;
+    }
+
+    const bool coarse_only = plan_.mode == SliceMode::kCoarseOnly;
+    const bool has_coarse = plan_.has_coarse();
+    const bool has_fine = plan_.has_fine();
+
+    // ---- Phase B1: dP SDDMMs and the dV transposed SpMMs.
+    if (has_coarse) {
+        if (coarse_only) {
+            const BcooLayout bcoo = bcoo_from_bsr(*plan_.coarse);
+            sim.launch(stream_coarse_,
+                       kernels::plan_triton_sddmm(dev, bcoo, dh, replicas,
+                                                  named("bwd.sddmm.dp")));
+            sim.launch(stream_coarse_,
+                       kernels::plan_triton_spmm(dev, coarse_transposed(),
+                                                 dh, replicas,
+                                                 named("bwd.spmm_t.dv")));
+        } else {
+            sim.launch(stream_coarse_,
+                       kernels::plan_coarse_sddmm(dev, *plan_.coarse, dh,
+                                                  replicas,
+                                                  named("bwd.sddmm.dp")));
+            sim.launch(stream_coarse_,
+                       kernels::plan_coarse_spmm(dev, coarse_transposed(),
+                                                 dh, replicas,
+                                                 named("bwd.spmm_t.dv")));
+        }
+    }
+    if (has_fine) {
+        sim.launch(stream_fine_,
+                   kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
+                                            config_.fine_scheme,
+                                            named("bwd.sddmm.dp.fine")));
+        sim.launch(stream_fine_,
+                   kernels::plan_fine_spmm(dev, fine_transposed(), dh,
+                                           replicas,
+                                           named("bwd.spmm_t.dv.fine")));
+    }
+    if (plan_.has_special()) {
+        sim.launch(stream_special_,
+                   kernels::plan_dense_gemm(dev, g, plan_.valid_len, dh,
+                                            replicas,
+                                            named("bwd.sddmm.dp.global")));
+        sim.launch(stream_special_,
+                   kernels::plan_dense_gemm(dev, plan_.valid_len, dh, g,
+                                            replicas,
+                                            named("bwd.spmm_t.dv.global")));
+    }
+    sim.join_streams();
+
+    // ---- Phase B2: fused softmax backward (plus the dense global rows).
+    if (has_coarse || has_fine) {
+        sim.launch(stream_coarse_,
+                   kernels::plan_compound_softmax_backward(
+                       dev, has_coarse ? plan_.coarse.get() : nullptr,
+                       has_fine ? plan_.fine.get() : nullptr, replicas,
+                       named("bwd.softmax.compound")));
+    }
+    if (plan_.has_special()) {
+        sim.launch(stream_special_,
+                   kernels::plan_dense_softmax(dev, g, plan_.valid_len,
+                                               replicas,
+                                               named("bwd.softmax.global")));
+    }
+    sim.join_streams();
+
+    // ---- Phase B3: dQ SpMMs and the dK transposed SpMMs.
+    if (has_coarse) {
+        if (coarse_only) {
+            sim.launch(stream_coarse_,
+                       kernels::plan_triton_spmm(dev, *plan_.coarse, dh,
+                                                 replicas,
+                                                 named("bwd.spmm.dq")));
+            sim.launch(stream_coarse_,
+                       kernels::plan_triton_spmm(dev, coarse_transposed(),
+                                                 dh, replicas,
+                                                 named("bwd.spmm_t.dk")));
+        } else {
+            sim.launch(stream_coarse_,
+                       kernels::plan_coarse_spmm(dev, *plan_.coarse, dh,
+                                                 replicas,
+                                                 named("bwd.spmm.dq")));
+            sim.launch(stream_coarse_,
+                       kernels::plan_coarse_spmm(dev, coarse_transposed(),
+                                                 dh, replicas,
+                                                 named("bwd.spmm_t.dk")));
+        }
+    }
+    if (has_fine) {
+        sim.launch(stream_fine_,
+                   kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
+                                           named("bwd.spmm.dq.fine")));
+        sim.launch(stream_fine_,
+                   kernels::plan_fine_spmm(dev, fine_transposed(), dh,
+                                           replicas,
+                                           named("bwd.spmm_t.dk.fine")));
+    }
+    if (plan_.has_special()) {
+        sim.launch(stream_special_,
+                   kernels::plan_dense_gemm(dev, g, dh, plan_.valid_len,
+                                            replicas,
+                                            named("bwd.spmm.dq.global")));
+        sim.launch(stream_special_,
+                   kernels::plan_dense_gemm(dev, plan_.valid_len, dh, g,
+                                            replicas,
+                                            named("bwd.spmm_t.dk.global")));
+    }
+    sim.join_streams();
+}
+
+sim::SimResult
+AttentionEngine::simulate(const sim::DeviceSpec &device) const
+{
+    sim::GpuSim sim(device);
+    plan_into(sim);
+    return sim.run();
+}
+
+}  // namespace multigrain

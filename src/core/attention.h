@@ -1,0 +1,147 @@
+#ifndef MULTIGRAIN_CORE_ATTENTION_H_
+#define MULTIGRAIN_CORE_ATTENTION_H_
+
+#include <memory>
+#include <string>
+
+#include "formats/matrix.h"
+#include "gpusim/engine.h"
+#include "kernels/fine.h"
+#include "patterns/slice.h"
+
+/// The paper's primary contribution: the Multigrain compound sparse
+/// attention engine (§3).
+///
+/// An AttentionEngine binds a compound sparse pattern to a processing
+/// method — Multigrain (slice & dice + multi-stream), the Triton-style
+/// coarse-only baseline, or the Sputnik-style fine-only baseline — and
+/// offers the two faces every kernel in this library has:
+///
+///  * run(): the functional single-head attention softmax(scale·QKᵀ|pattern)·V
+///    computed on the CPU with the same FP16/FP32 precision contract the
+///    CUDA kernels honor. All three methods produce the same result (up to
+///    FP16 accumulation-order noise); tests pin this against an FP64 dense
+///    reference.
+///  * plan_into(): records the method's exact kernel sequence — including
+///    the multi-stream coarse ∥ fine ∥ special overlap — into a GpuSim for
+///    timing and DRAM-traffic measurement.
+namespace multigrain {
+
+struct AttentionConfig {
+    index_t head_dim = 64;
+    index_t num_heads = 1;
+    index_t batch = 1;
+    index_t block = 64;
+    /// 0 means the usual 1/sqrt(head_dim) scaling factor (§2.2).
+    double scale = 0.0;
+    /// Which fine SDDMM grid mapping to use (§4; kRowSplit is the paper's
+    /// optimized Sputnik, k1dTiling the official library's).
+    kernels::FineSddmmScheme fine_scheme =
+        kernels::FineSddmmScheme::kRowSplit;
+    /// Ablation: run coarse/fine/special parts on one stream when false.
+    bool multi_stream = true;
+    /// Ablation: keep global rows in the fine part when false.
+    bool route_global_to_dense = true;
+
+    double effective_scale() const;
+};
+
+/// Kernel-name prefixes used in plans, so benches can carve phases out of
+/// a SimResult: "sddmm.", "softmax.", "spmm." plus part suffixes.
+namespace phase {
+inline constexpr const char *kSddmm = "sddmm.";
+inline constexpr const char *kSoftmax = "softmax.";
+inline constexpr const char *kSpmm = "spmm.";
+}  // namespace phase
+
+class AttentionEngine {
+  public:
+    /// Slices `pattern` for `mode` under `config`. Throws on malformed
+    /// patterns (see slice_and_dice).
+    AttentionEngine(const CompoundPattern &pattern,
+                    const AttentionConfig &config, SliceMode mode);
+
+    const SlicePlan &plan() const { return plan_; }
+    const AttentionConfig &config() const { return config_; }
+    SliceMode mode() const { return plan_.mode; }
+
+    /// Functional single-head attention; q/k/v are seq_len x head_dim.
+    /// Rows with no attended positions (zero padding) come out all-zero.
+    HalfMatrix run(const HalfMatrix &q, const HalfMatrix &k,
+                   const HalfMatrix &v) const;
+
+    /// Gradients of run() with respect to q, k, v for an upstream
+    /// gradient d_out (training support; the forward activations are
+    /// recomputed internally, flash-attention style). Same FP16/FP32
+    /// precision contract as the forward.
+    struct Grads {
+        HalfMatrix dq, dk, dv;
+    };
+    Grads run_backward(const HalfMatrix &q, const HalfMatrix &k,
+                       const HalfMatrix &v, const HalfMatrix &d_out) const;
+
+    /// Records one backward attention into `sim`: dP SDDMMs and the dV
+    /// transposed SpMMs, then the fused softmax backward, then the dQ/dK
+    /// SpMMs — each phase with the method's coarse ∥ fine ∥ special
+    /// streams, over metadata (including the transposed layouts) built
+    /// offline. Leaves all streams joined.
+    void plan_backward_into(sim::GpuSim &sim,
+                            const std::string &name_prefix = "") const;
+
+    /// Records one forward attention (batch x num_heads replicas) into
+    /// `sim`. Uses up to three streams for Multigrain; baselines use one.
+    /// The caller owns stream-join points before/after if it appends more
+    /// work (this method leaves all streams joined). `name_prefix` is
+    /// prepended to every kernel name (e.g. "L07." for layer 7) so
+    /// SimResult phases can be carved per call site.
+    void plan_into(sim::GpuSim &sim,
+                   const std::string &name_prefix = "") const;
+
+    /// Per-phase planning, for callers that co-schedule several engines
+    /// (e.g. a heterogeneous batch where every sample has its own
+    /// metadata): launch one phase of every engine, then join once.
+    /// plan_into() is exactly sddmm; join; softmax; join; spmm; join.
+    /// Streams are allocated lazily per engine on first use and reused by
+    /// later phases.
+    void plan_sddmm_phase(sim::GpuSim &sim,
+                          const std::string &name_prefix = "") const;
+    void plan_softmax_phase(sim::GpuSim &sim,
+                            const std::string &name_prefix = "") const;
+    void plan_spmm_phase(sim::GpuSim &sim,
+                         const std::string &name_prefix = "") const;
+
+    /// Convenience: fresh simulator, one attention, run it.
+    sim::SimResult simulate(const sim::DeviceSpec &device) const;
+
+    /// Device-memory footprint of the attention intermediates under this
+    /// plan — the S and P value storage plus sparse metadata, summed over
+    /// batch x heads (metadata is shared across replicas). This is the §1
+    /// argument in numbers: the dense baseline stores 2·L² FP16 values per
+    /// head; sparse plans store only their parts.
+    double attention_memory_bytes() const;
+
+  private:
+    /// Allocates (or reuses) this engine's streams on `sim`.
+    void bind_streams(sim::GpuSim &sim) const;
+
+    /// Transposed metadata for the backward SpMMs, built on first use
+    /// (offline in the §3.1 sense: once per input shape).
+    const CsrLayout &fine_transposed() const;
+    const BsrLayout &coarse_transposed() const;
+
+    AttentionConfig config_;
+    SlicePlan plan_;
+    mutable std::shared_ptr<const CsrLayout> fine_t_;
+    mutable std::shared_ptr<const BsrLayout> coarse_t_;
+    // Stream binding is per-simulator planning state, not logical engine
+    // state; engines are logically const while planning. Keyed by the
+    // simulator's unique id (0 = unbound).
+    mutable std::uint64_t bound_sim_id_ = 0;
+    mutable int stream_coarse_ = 0;
+    mutable int stream_fine_ = 0;
+    mutable int stream_special_ = 0;
+};
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_CORE_ATTENTION_H_

@@ -1,0 +1,64 @@
+#include "core/multihead.h"
+
+#include "common/error.h"
+
+namespace multigrain {
+
+std::vector<HalfMatrix>
+split_heads(const HalfMatrix &hidden, index_t num_heads)
+{
+    MG_CHECK(num_heads > 0 && hidden.cols() % num_heads == 0)
+        << "hidden width " << hidden.cols() << " is not divisible by "
+        << num_heads << " heads";
+    const index_t head_dim = hidden.cols() / num_heads;
+    std::vector<HalfMatrix> heads;
+    heads.reserve(static_cast<std::size_t>(num_heads));
+    for (index_t h = 0; h < num_heads; ++h) {
+        HalfMatrix m(hidden.rows(), head_dim);
+        for (index_t r = 0; r < hidden.rows(); ++r) {
+            for (index_t d = 0; d < head_dim; ++d) {
+                m.at(r, d) = hidden.at(r, h * head_dim + d);
+            }
+        }
+        heads.push_back(std::move(m));
+    }
+    return heads;
+}
+
+HalfMatrix
+merge_heads(const std::vector<HalfMatrix> &heads)
+{
+    MG_CHECK(!heads.empty()) << "merge_heads needs at least one head";
+    const index_t rows = heads.front().rows();
+    const index_t head_dim = heads.front().cols();
+    HalfMatrix out(rows, head_dim * static_cast<index_t>(heads.size()));
+    for (std::size_t h = 0; h < heads.size(); ++h) {
+        MG_CHECK(heads[h].rows() == rows && heads[h].cols() == head_dim)
+            << "heads must share shapes";
+        for (index_t r = 0; r < rows; ++r) {
+            for (index_t d = 0; d < head_dim; ++d) {
+                out.at(r, static_cast<index_t>(h) * head_dim + d) =
+                    heads[h].at(r, d);
+            }
+        }
+    }
+    return out;
+}
+
+HalfMatrix
+run_multihead(const AttentionEngine &engine, const HalfMatrix &q,
+              const HalfMatrix &k, const HalfMatrix &v)
+{
+    const index_t num_heads = engine.config().num_heads;
+    const auto qs = split_heads(q, num_heads);
+    const auto ks = split_heads(k, num_heads);
+    const auto vs = split_heads(v, num_heads);
+    std::vector<HalfMatrix> contexts;
+    contexts.reserve(qs.size());
+    for (std::size_t h = 0; h < qs.size(); ++h) {
+        contexts.push_back(engine.run(qs[h], ks[h], vs[h]));
+    }
+    return merge_heads(contexts);
+}
+
+}  // namespace multigrain

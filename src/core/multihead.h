@@ -1,0 +1,32 @@
+#ifndef MULTIGRAIN_CORE_MULTIHEAD_H_
+#define MULTIGRAIN_CORE_MULTIHEAD_H_
+
+#include <vector>
+
+#include "core/attention.h"
+#include "formats/matrix.h"
+
+/// Multi-head helpers (paper §2.2): sparse attention runs per head on
+/// seq_len x head_dim slices of the hidden states; every head shares the
+/// compound pattern metadata, which is why the engine's plans carry a
+/// `replicas = batch x heads` multiplier rather than separate layouts.
+namespace multigrain {
+
+/// Splits an L x (H * head_dim) hidden-state matrix into H per-head
+/// L x head_dim matrices (contiguous column slices, as multi-head
+/// attention defines them).
+std::vector<HalfMatrix> split_heads(const HalfMatrix &hidden,
+                                    index_t num_heads);
+
+/// Inverse of split_heads.
+HalfMatrix merge_heads(const std::vector<HalfMatrix> &heads);
+
+/// Runs the engine's functional attention once per head and merges the
+/// contexts back into an L x (H * head_dim) matrix. q/k/v are hidden-state
+/// matrices of that full width.
+HalfMatrix run_multihead(const AttentionEngine &engine, const HalfMatrix &q,
+                         const HalfMatrix &k, const HalfMatrix &v);
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_CORE_MULTIHEAD_H_

@@ -1,0 +1,72 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace multigrain {
+
+std::string
+PlanCandidate::describe() const
+{
+    std::ostringstream os;
+    os << to_string(mode) << " @ block " << block << " -> " << predicted_us
+       << " us";
+    return os.str();
+}
+
+PlanDecision
+plan_attention(const CompoundPattern &pattern, const AttentionConfig &config,
+               const sim::DeviceSpec &device, const PlannerOptions &options)
+{
+    MG_CHECK(!options.blocks.empty() && !options.modes.empty())
+        << "planner needs at least one block size and one mode";
+
+    PlanDecision decision;
+    for (const SliceMode mode : options.modes) {
+        for (const index_t block : options.blocks) {
+            if (block <= 0 || pattern.seq_len % block != 0) {
+                continue;
+            }
+            // The block size only matters for plans with a coarse part;
+            // evaluate fine-only once (on the first divisible block).
+            if (mode == SliceMode::kFineOnly &&
+                !decision.candidates.empty() &&
+                decision.candidates.back().mode == SliceMode::kFineOnly) {
+                continue;
+            }
+            AttentionConfig candidate_config = config;
+            candidate_config.block = block;
+            const AttentionEngine engine(pattern, candidate_config, mode);
+            PlanCandidate candidate;
+            candidate.mode = mode;
+            candidate.block = block;
+            candidate.predicted_us = engine.simulate(device).total_us;
+            decision.candidates.push_back(candidate);
+        }
+    }
+    MG_CHECK(!decision.candidates.empty())
+        << "no block size divides seq_len " << pattern.seq_len;
+    std::stable_sort(decision.candidates.begin(), decision.candidates.end(),
+                     [](const PlanCandidate &a, const PlanCandidate &b) {
+                         return a.predicted_us < b.predicted_us;
+                     });
+    decision.best = decision.candidates.front();
+    return decision;
+}
+
+AttentionEngine
+make_planned_engine(const CompoundPattern &pattern,
+                    const AttentionConfig &config,
+                    const sim::DeviceSpec &device,
+                    const PlannerOptions &options)
+{
+    const PlanDecision decision =
+        plan_attention(pattern, config, device, options);
+    AttentionConfig chosen = config;
+    chosen.block = decision.best.block;
+    return AttentionEngine(pattern, chosen, decision.best.mode);
+}
+
+}  // namespace multigrain

@@ -1,0 +1,62 @@
+#ifndef MULTIGRAIN_CORE_PLANNER_H_
+#define MULTIGRAIN_CORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/attention.h"
+#include "gpusim/device.h"
+
+/// Cost-model-driven auto-planning.
+///
+/// The paper fixes its method (slice & dice) and block size (64) from
+/// analysis; this planner closes the loop a production library needs: for
+/// a concrete compound pattern, head geometry, and device, it *predicts*
+/// every candidate execution plan with the same cost models the benches
+/// use and picks the cheapest. Because metadata is built offline per
+/// input shape (§3.1), the planning cost is paid once and amortized
+/// across inference steps.
+namespace multigrain {
+
+struct PlanCandidate {
+    SliceMode mode = SliceMode::kMultigrain;
+    index_t block = 64;
+    double predicted_us = 0;
+
+    std::string describe() const;
+};
+
+struct PlanDecision {
+    /// The winning candidate; `engine` is constructed for it.
+    PlanCandidate best;
+    /// Every evaluated candidate, sorted by predicted time (best first).
+    std::vector<PlanCandidate> candidates;
+};
+
+struct PlannerOptions {
+    /// Coarse block sizes to evaluate; each must divide the sequence
+    /// length. Default: the paper's 64 plus its neighbors.
+    std::vector<index_t> blocks = {32, 64, 128};
+    /// Methods to evaluate.
+    std::vector<SliceMode> modes = {SliceMode::kMultigrain,
+                                    SliceMode::kCoarseOnly,
+                                    SliceMode::kFineOnly};
+};
+
+/// Evaluates every (mode, block) candidate under the device's cost model
+/// and returns them ranked. Block sizes that do not divide the sequence
+/// length are skipped; throws Error if nothing remains.
+PlanDecision plan_attention(const CompoundPattern &pattern,
+                            const AttentionConfig &config,
+                            const sim::DeviceSpec &device,
+                            const PlannerOptions &options = {});
+
+/// Convenience: builds the engine for the winning candidate.
+AttentionEngine make_planned_engine(const CompoundPattern &pattern,
+                                    const AttentionConfig &config,
+                                    const sim::DeviceSpec &device,
+                                    const PlannerOptions &options = {});
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_CORE_PLANNER_H_

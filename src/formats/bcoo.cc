@@ -1,0 +1,31 @@
+#include "formats/bcoo.h"
+
+#include "common/error.h"
+
+namespace multigrain {
+
+void
+BcooLayout::validate() const
+{
+    MG_CHECK(block > 0) << "BCOO block size must be positive";
+    MG_CHECK(rows % block == 0 && cols % block == 0)
+        << "BCOO dims " << rows << "x" << cols
+        << " must be multiples of block size " << block;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const BlockEntry &e = blocks[i];
+        MG_CHECK(e.block_row >= 0 && e.block_row < block_rows())
+            << "BCOO block row " << e.block_row << " out of range";
+        MG_CHECK(e.block_col >= 0 && e.block_col < block_cols())
+            << "BCOO block col " << e.block_col << " out of range";
+        if (i > 0) {
+            const BlockEntry &p = blocks[i - 1];
+            const bool ordered =
+                p.block_row < e.block_row ||
+                (p.block_row == e.block_row && p.block_col < e.block_col);
+            MG_CHECK(ordered) << "BCOO blocks must be sorted row-major "
+                              << "without duplicates (index " << i << ")";
+        }
+    }
+}
+
+}  // namespace multigrain

@@ -1,0 +1,42 @@
+#ifndef MULTIGRAIN_FORMATS_BCOO_H_
+#define MULTIGRAIN_FORMATS_BCOO_H_
+
+#include <vector>
+
+#include "common/util.h"
+
+/// Blocked coordinate format: an explicit (block-row, block-col) pair per
+/// stored block. Triton's SDDMM uses BCOO while its SpMM uses BSR
+/// (paper §2.4); keeping both formats is exactly the metadata-duplication
+/// cost the paper charges Triton with, so the Triton-style baseline here
+/// builds a BCOO copy of its layout and the simulator accounts its bytes.
+namespace multigrain {
+
+struct BcooLayout {
+    index_t rows = 0;
+    index_t cols = 0;
+    index_t block = 0;
+    struct BlockEntry {
+        index_t block_row;
+        index_t block_col;
+        friend bool operator==(const BlockEntry &, const BlockEntry &) =
+            default;
+    };
+    /// Sorted by (block_row, block_col), no duplicates.
+    std::vector<BlockEntry> blocks;
+
+    index_t block_rows() const { return ceil_div(rows, block); }
+    index_t block_cols() const { return ceil_div(cols, block); }
+    index_t nnz_blocks() const { return static_cast<index_t>(blocks.size()); }
+
+    /// Metadata footprint in bytes: two 32-bit coordinates per block, as a
+    /// CUDA implementation would store.
+    index_t metadata_bytes() const { return nnz_blocks() * 8; }
+
+    /// Throws Error on out-of-range or unsorted blocks.
+    void validate() const;
+};
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_FORMATS_BCOO_H_

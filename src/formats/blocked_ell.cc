@@ -1,0 +1,100 @@
+#include "formats/blocked_ell.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace multigrain {
+
+index_t
+BlockedEllLayout::padding_blocks() const
+{
+    index_t padding = 0;
+    for (const index_t c : col_indices) {
+        padding += c == kPadding ? 1 : 0;
+    }
+    return padding;
+}
+
+void
+BlockedEllLayout::validate() const
+{
+    MG_CHECK(block > 0) << "blocked-ELL block size must be positive";
+    MG_CHECK(rows % block == 0 && cols % block == 0)
+        << "blocked-ELL dims must be multiples of the block size";
+    MG_CHECK(ell_width >= 0 && ell_width <= block_cols())
+        << "blocked-ELL width " << ell_width << " out of range";
+    MG_CHECK(static_cast<index_t>(col_indices.size()) == total_slots())
+        << "blocked-ELL col_indices size mismatch";
+    for (index_t br = 0; br < block_rows(); ++br) {
+        bool seen_padding = false;
+        index_t prev = -1;
+        for (index_t s = 0; s < ell_width; ++s) {
+            const index_t c = slot_col(br, s);
+            if (c == kPadding) {
+                seen_padding = true;
+                continue;
+            }
+            MG_CHECK(!seen_padding)
+                << "blocked-ELL padding must be trailing in block row "
+                << br;
+            MG_CHECK(c >= 0 && c < block_cols())
+                << "blocked-ELL column " << c << " out of range";
+            MG_CHECK(c > prev)
+                << "blocked-ELL columns must be ascending in block row "
+                << br;
+            prev = c;
+        }
+    }
+}
+
+BlockedEllLayout
+blocked_ell_from_bsr(const BsrLayout &bsr)
+{
+    BlockedEllLayout out;
+    out.rows = bsr.rows;
+    out.cols = bsr.cols;
+    out.block = bsr.block;
+    out.ell_width = 0;
+    for (index_t br = 0; br < bsr.block_rows(); ++br) {
+        out.ell_width = std::max(out.ell_width, bsr.row_nnz_blocks(br));
+    }
+    out.col_indices.assign(
+        static_cast<std::size_t>(bsr.block_rows() * out.ell_width),
+        BlockedEllLayout::kPadding);
+    for (index_t br = 0; br < bsr.block_rows(); ++br) {
+        index_t slot = 0;
+        for (index_t b = bsr.row_offsets[static_cast<std::size_t>(br)];
+             b < bsr.row_offsets[static_cast<std::size_t>(br + 1)]; ++b) {
+            out.col_indices[static_cast<std::size_t>(
+                br * out.ell_width + slot)] =
+                bsr.col_indices[static_cast<std::size_t>(b)];
+            ++slot;
+        }
+    }
+    return out;
+}
+
+BlockedEllMatrix
+blocked_ell_matrix_from_bsr(const BsrMatrix &bsr)
+{
+    const BsrLayout &bl = *bsr.layout;
+    auto layout =
+        std::make_shared<const BlockedEllLayout>(blocked_ell_from_bsr(bl));
+    BlockedEllMatrix out(layout);
+    std::fill(out.values.begin(), out.values.end(), half(0.0f));
+    const index_t elems = bl.block * bl.block;
+    for (index_t br = 0; br < bl.block_rows(); ++br) {
+        index_t slot = 0;
+        for (index_t b = bl.row_offsets[static_cast<std::size_t>(br)];
+             b < bl.row_offsets[static_cast<std::size_t>(br + 1)]; ++b) {
+            std::memcpy(out.slot(br, slot), bsr.block(b),
+                        static_cast<std::size_t>(elems) * sizeof(half));
+            ++slot;
+        }
+    }
+    return out;
+}
+
+}  // namespace multigrain

@@ -1,0 +1,84 @@
+#ifndef MULTIGRAIN_FORMATS_BLOCKED_ELL_H_
+#define MULTIGRAIN_FORMATS_BLOCKED_ELL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/half.h"
+#include "common/util.h"
+#include "formats/bsr.h"
+
+/// Blocked-ELL: the format NVIDIA's cuSPARSE exposes for blocked SpMM
+/// (paper §2.4/§6). Every block row stores the same number of blocks
+/// (`ell_width` = the widest row); shorter rows carry explicit padding
+/// blocks (column index kPadding) that the library still streams and
+/// multiplies as zeros. That uniformity is what makes the kernel simple —
+/// and what makes the format wasteful on irregular compound patterns,
+/// which is why the paper's coarse kernels use BSR instead.
+namespace multigrain {
+
+struct BlockedEllLayout {
+    static constexpr index_t kPadding = -1;
+
+    index_t rows = 0;
+    index_t cols = 0;
+    index_t block = 0;
+    index_t ell_width = 0;
+    /// block_rows() x ell_width block-column indices, row-major;
+    /// kPadding marks padding slots (always trailing within a row).
+    std::vector<index_t> col_indices;
+
+    index_t block_rows() const { return ceil_div(rows, block); }
+    index_t block_cols() const { return ceil_div(cols, block); }
+    /// Stored block slots, padding included.
+    index_t total_slots() const { return block_rows() * ell_width; }
+    index_t padding_blocks() const;
+    /// Real (non-padding) blocks.
+    index_t nnz_blocks() const { return total_slots() - padding_blocks(); }
+
+    index_t slot_col(index_t block_row, index_t slot) const
+    {
+        return col_indices[static_cast<std::size_t>(
+            block_row * ell_width + slot)];
+    }
+
+    /// Throws Error on malformed indices or non-trailing padding.
+    void validate() const;
+};
+
+/// A blocked-ELL matrix with FP16 values; padding blocks hold zeros.
+struct BlockedEllMatrix {
+    std::shared_ptr<const BlockedEllLayout> layout;
+    std::vector<half> values;
+
+    BlockedEllMatrix() = default;
+    explicit BlockedEllMatrix(std::shared_ptr<const BlockedEllLayout> l)
+        : layout(std::move(l)),
+          values(static_cast<std::size_t>(layout->total_slots() *
+                                          layout->block * layout->block))
+    {
+    }
+
+    half *slot(index_t block_row, index_t s)
+    {
+        return values.data() + (block_row * layout->ell_width + s) *
+                                   layout->block * layout->block;
+    }
+    const half *slot(index_t block_row, index_t s) const
+    {
+        return values.data() + (block_row * layout->ell_width + s) *
+                                   layout->block * layout->block;
+    }
+};
+
+/// Re-expresses a BSR layout as blocked-ELL: ell_width becomes the widest
+/// block row; shorter rows are padded. Validity bitmaps are dropped
+/// (cuSPARSE treats stored blocks as dense).
+BlockedEllLayout blocked_ell_from_bsr(const BsrLayout &bsr);
+
+/// Copies a BSR matrix's blocks into blocked-ELL storage (padding zeroed).
+BlockedEllMatrix blocked_ell_matrix_from_bsr(const BsrMatrix &bsr);
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_FORMATS_BLOCKED_ELL_H_

@@ -1,0 +1,103 @@
+#ifndef MULTIGRAIN_FORMATS_BSR_H_
+#define MULTIGRAIN_FORMATS_BSR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/half.h"
+#include "common/util.h"
+
+/// Block compressed sparse row — the blocked ("coarse-grained") format used
+/// by Multigrain's coarse kernels (paper §3.2). The matrix is divided into
+/// uniform block x block tiles; a tile with at least one valid element is
+/// stored densely.
+///
+/// Because coarse patterns such as the local band only partially cover
+/// their edge blocks (and overlap invalidation can carve out elements that
+/// the fine part owns), each stored block carries a validity bitmap. The
+/// bitmap *is* the paper's mask matrix for the coarse part: valid elements
+/// read as 0 in the additive mask, invalid ones as -inf (§3.3).
+namespace multigrain {
+
+struct BsrLayout {
+    index_t rows = 0;
+    index_t cols = 0;
+    index_t block = 0;
+    /// block_rows+1 entries; block-row br owns blocks
+    /// [row_offsets[br], row_offsets[br+1]).
+    std::vector<index_t> row_offsets;
+    /// Block-column index per stored block, ascending within a block row.
+    std::vector<index_t> col_indices;
+    /// Validity bitmaps, words_per_block() words per stored block. Bit
+    /// (r * block + c) marks element (r, c) inside the block valid. Empty
+    /// means "every element of every block is valid".
+    std::vector<std::uint64_t> valid_bits;
+
+    index_t block_rows() const { return ceil_div(rows, block); }
+    index_t block_cols() const { return ceil_div(cols, block); }
+    index_t nnz_blocks() const
+    {
+        return row_offsets.empty() ? 0 : row_offsets.back();
+    }
+    index_t row_nnz_blocks(index_t br) const
+    {
+        return row_offsets[static_cast<std::size_t>(br + 1)] -
+               row_offsets[static_cast<std::size_t>(br)];
+    }
+    index_t elements_per_block() const { return block * block; }
+    index_t words_per_block() const
+    {
+        return ceil_div<index_t>(block * block, 64);
+    }
+    bool has_valid_bits() const { return !valid_bits.empty(); }
+
+    /// True if element (r, c) of stored block `b` is valid.
+    bool element_valid(index_t b, index_t r, index_t c) const
+    {
+        if (valid_bits.empty()) {
+            return true;
+        }
+        const index_t bit = r * block + c;
+        const std::size_t word =
+            static_cast<std::size_t>(b * words_per_block() + bit / 64);
+        return (valid_bits[word] >> (bit % 64)) & 1u;
+    }
+
+    /// Number of valid elements in stored block `b`.
+    index_t block_valid_count(index_t b) const;
+    /// Total valid elements across all stored blocks.
+    index_t total_valid() const;
+    /// Total stored elements (valid + padding): nnz_blocks * block^2.
+    index_t total_stored() const { return nnz_blocks() * block * block; }
+
+    /// Throws Error on malformed offsets/indices or bitmap size mismatch.
+    void validate() const;
+};
+
+/// A BSR matrix with FP16 values. Blocks are stored contiguously in the
+/// order of col_indices; each block is row-major block x block.
+struct BsrMatrix {
+    std::shared_ptr<const BsrLayout> layout;
+    std::vector<half> values;
+
+    BsrMatrix() = default;
+    explicit BsrMatrix(std::shared_ptr<const BsrLayout> l)
+        : layout(std::move(l)),
+          values(static_cast<std::size_t>(layout->total_stored()))
+    {
+    }
+
+    half *block(index_t b)
+    {
+        return values.data() + b * layout->elements_per_block();
+    }
+    const half *block(index_t b) const
+    {
+        return values.data() + b * layout->elements_per_block();
+    }
+};
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_FORMATS_BSR_H_

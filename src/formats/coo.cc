@@ -1,0 +1,41 @@
+#include "formats/coo.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace multigrain {
+
+void
+CooLayout::normalize()
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+}
+
+void
+CooLayout::validate() const
+{
+    MG_CHECK(rows >= 0 && cols >= 0)
+        << "COO dims must be non-negative: " << rows << "x" << cols;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        MG_CHECK(e.row >= 0 && e.row < rows)
+            << "COO row " << e.row << " out of range [0, " << rows << ")";
+        MG_CHECK(e.col >= 0 && e.col < cols)
+            << "COO col " << e.col << " out of range [0, " << cols << ")";
+        if (i > 0) {
+            const Entry &p = entries[i - 1];
+            const bool ordered =
+                p.row < e.row || (p.row == e.row && p.col < e.col);
+            MG_CHECK(ordered)
+                << "COO entries must be sorted row-major without duplicates "
+                << "(violated at index " << i << ")";
+        }
+    }
+}
+
+}  // namespace multigrain

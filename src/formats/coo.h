@@ -1,0 +1,37 @@
+#ifndef MULTIGRAIN_FORMATS_COO_H_
+#define MULTIGRAIN_FORMATS_COO_H_
+
+#include <vector>
+
+#include "common/util.h"
+
+/// Coordinate format: an explicit (row, col) pair per nonzero, sorted
+/// row-major. COO is the interchange format between pattern builders and
+/// the compressed formats, and the paper lists it among the element-wise
+/// fine-grained formats (§2.4).
+namespace multigrain {
+
+struct CooLayout {
+    index_t rows = 0;
+    index_t cols = 0;
+    struct Entry {
+        index_t row;
+        index_t col;
+        friend bool operator==(const Entry &, const Entry &) = default;
+    };
+    /// Sorted by (row, col), no duplicates.
+    std::vector<Entry> entries;
+
+    index_t nnz() const { return static_cast<index_t>(entries.size()); }
+
+    /// Sorts entries row-major and removes duplicates. Builders call this
+    /// after unioning atomic patterns, which may overlap freely.
+    void normalize();
+
+    /// Throws Error on out-of-range coordinates, unsorted order, or dups.
+    void validate() const;
+};
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_FORMATS_COO_H_

@@ -1,0 +1,95 @@
+#ifndef MULTIGRAIN_FORMATS_MATRIX_H_
+#define MULTIGRAIN_FORMATS_MATRIX_H_
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/half.h"
+#include "common/rng.h"
+#include "common/util.h"
+
+/// Dense row-major matrix used for Q/K/V operands, contexts, and test
+/// references. Element type is a template parameter: kernels store half
+/// (the paper's FP16 operand precision), references use float or double.
+namespace multigrain {
+
+template <typename T>
+class Matrix {
+  public:
+    Matrix() = default;
+    Matrix(index_t rows, index_t cols, T init = T())
+        : rows_(rows), cols_(cols),
+          data_(static_cast<std::size_t>(rows * cols), init)
+    {
+        MG_CHECK(rows >= 0 && cols >= 0)
+            << "matrix dims must be non-negative: " << rows << "x" << cols;
+    }
+
+    index_t rows() const { return rows_; }
+    index_t cols() const { return cols_; }
+    index_t size() const { return rows_ * cols_; }
+
+    T &at(index_t r, index_t c)
+    {
+        return data_[static_cast<std::size_t>(r * cols_ + c)];
+    }
+    const T &at(index_t r, index_t c) const
+    {
+        return data_[static_cast<std::size_t>(r * cols_ + c)];
+    }
+
+    T *row(index_t r) { return data_.data() + r * cols_; }
+    const T *row(index_t r) const { return data_.data() + r * cols_; }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+    bool same_shape(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_;
+    }
+
+  private:
+    index_t rows_ = 0;
+    index_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+using HalfMatrix = Matrix<half>;
+using FloatMatrix = Matrix<float>;
+using DoubleMatrix = Matrix<double>;
+/// 0/1 validity mask; nonzero means the position participates in attention.
+using MaskMatrix = Matrix<std::uint8_t>;
+
+/// Fills a half matrix with uniform values in [lo, hi); deterministic in rng.
+inline HalfMatrix
+random_half_matrix(Rng &rng, index_t rows, index_t cols, float lo = -1.0f,
+                   float hi = 1.0f)
+{
+    HalfMatrix m(rows, cols);
+    for (index_t r = 0; r < rows; ++r) {
+        for (index_t c = 0; c < cols; ++c) {
+            m.at(r, c) = half(rng.next_float(lo, hi));
+        }
+    }
+    return m;
+}
+
+/// Widens a half matrix to double for comparison against references.
+inline DoubleMatrix
+widen(const HalfMatrix &m)
+{
+    DoubleMatrix out(m.rows(), m.cols());
+    for (index_t r = 0; r < m.rows(); ++r) {
+        for (index_t c = 0; c < m.cols(); ++c) {
+            out.at(r, c) = static_cast<double>(float(m.at(r, c)));
+        }
+    }
+    return out;
+}
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_FORMATS_MATRIX_H_

@@ -1,0 +1,30 @@
+#ifndef MULTIGRAIN_FORMATS_SERIALIZE_H_
+#define MULTIGRAIN_FORMATS_SERIALIZE_H_
+
+#include <iosfwd>
+
+#include "formats/bsr.h"
+#include "formats/csr.h"
+
+/// Binary (de)serialization for sparse layouts.
+///
+/// The paper generates the compressed-matrix metadata *before* inference
+/// (§3.1, step 2) — for repeated inputs (fixed sequence lengths, cached
+/// special-token layouts) that metadata is naturally precomputed and
+/// persisted. The format is a small tagged header (magic, version, kind)
+/// followed by little-endian 64-bit fields; readers validate the result
+/// with the layouts' own validate() so a corrupted stream cannot produce
+/// an inconsistent layout.
+namespace multigrain {
+
+void write_layout(const CsrLayout &layout, std::ostream &os);
+void write_layout(const BsrLayout &layout, std::ostream &os);
+
+/// Throws Error on malformed streams (bad magic/version/kind, truncated
+/// data, or layouts that fail validation).
+CsrLayout read_csr_layout(std::istream &is);
+BsrLayout read_bsr_layout(std::istream &is);
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_FORMATS_SERIALIZE_H_

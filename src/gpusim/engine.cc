@@ -1,0 +1,636 @@
+#include "gpusim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace multigrain::sim {
+
+namespace {
+constexpr double kInfSpan = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double
+SimResult::sum_kernel_time(const std::string &prefix) const
+{
+    double sum = 0;
+    for (const auto &k : kernels) {
+        if (k.name.rfind(prefix, 0) == 0) {
+            sum += k.duration_us();
+        }
+    }
+    return sum;
+}
+
+double
+SimResult::span(const std::string &prefix) const
+{
+    double start = kInfSpan;
+    double end = 0;
+    for (const auto &k : kernels) {
+        if (k.name.rfind(prefix, 0) == 0) {
+            start = std::min(start, k.start_us);
+            end = std::max(end, k.end_us);
+        }
+    }
+    return end > start ? end - start : 0;
+}
+
+double
+SimResult::dram_bytes_for(const std::string &prefix) const
+{
+    double bytes = 0;
+    for (const auto &k : kernels) {
+        if (k.name.rfind(prefix, 0) == 0) {
+            bytes += k.work.dram_bytes();
+        }
+    }
+    return bytes;
+}
+
+const KernelStats *
+SimResult::find(const std::string &name) const
+{
+    for (const auto &k : kernels) {
+        if (k.name == name) {
+            return &k;
+        }
+    }
+    return nullptr;
+}
+
+GpuSim::GpuSim(DeviceSpec device) : device_(std::move(device))
+{
+    MG_CHECK(device_.num_sms > 0) << "device needs at least one SM";
+    static std::uint64_t next_id = 0;
+    id_ = ++next_id;
+    stream_tail_.assign(1, -1);
+}
+
+int
+GpuSim::create_stream()
+{
+    stream_tail_.push_back(-1);
+    return num_streams_++;
+}
+
+void
+GpuSim::launch(int stream, KernelLaunch launch)
+{
+    MG_CHECK(stream >= 0 && stream < num_streams_)
+        << "unknown stream " << stream;
+    MG_CHECK(!ran_) << "GpuSim::run() was already called";
+
+    KernelNode node;
+    node.launch = std::move(launch);
+    node.stream = stream;
+    if (stream_tail_[static_cast<std::size_t>(stream)] >= 0) {
+        node.deps.push_back(stream_tail_[static_cast<std::size_t>(stream)]);
+    }
+    if (static_cast<std::size_t>(stream) >= join_applied_.size()) {
+        join_applied_.resize(static_cast<std::size_t>(num_streams_), false);
+    }
+    if (!join_set_.empty() &&
+        !join_applied_[static_cast<std::size_t>(stream)]) {
+        // First kernel on this stream since the last join: wait for every
+        // stream tail recorded at join time (duplicates are removed later).
+        node.deps.insert(node.deps.end(), join_set_.begin(),
+                         join_set_.end());
+        join_applied_[static_cast<std::size_t>(stream)] = true;
+    }
+    const int id = static_cast<int>(kernels_.size());
+    kernels_.push_back(std::move(node));
+    stream_tail_[static_cast<std::size_t>(stream)] = id;
+}
+
+void
+GpuSim::join_streams()
+{
+    join_set_.clear();
+    for (int s = 0; s < num_streams_; ++s) {
+        if (stream_tail_[static_cast<std::size_t>(s)] >= 0) {
+            join_set_.push_back(stream_tail_[static_cast<std::size_t>(s)]);
+        }
+    }
+    join_applied_.assign(static_cast<std::size_t>(num_streams_), false);
+}
+
+namespace {
+
+constexpr int kWaves = 8;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum Component : int {
+    kCompTensor = 0,   ///< Per-SM tensor pipe; drains tensor_flops.
+    kCompCuda = 1,     ///< Per-SM CUDA pipe; drains cuda_flops.
+    kCompDram = 2,     ///< Global DRAM bandwidth; drains dram bytes.
+    kCompL2 = 3,       ///< Global L2 bandwidth; drains dram + l2 bytes.
+    kCompMemSm = 4,    ///< Per-SM memory burst cap; drains dram + l2 bytes.
+    kNumComponents = 5,
+};
+
+/// One progress clock: a resource shared equally among its consumers.
+/// Consumers are exactly the outstanding thresholds (one per component of
+/// each resident block using the resource).
+struct Clock {
+    double rate = 0;  ///< Full resource rate, progress units per us.
+    double value = 0;
+    double last_t = 0;
+    std::uint64_t epoch = 0;
+    /// Min-heap of (threshold progress value, unit*4 + component).
+    std::priority_queue<std::pair<double, std::int64_t>,
+                        std::vector<std::pair<double, std::int64_t>>,
+                        std::greater<>>
+        thresholds;
+
+    void advance(double t)
+    {
+        if (!thresholds.empty()) {
+            value += (t - last_t) * rate /
+                     static_cast<double>(thresholds.size());
+        }
+        last_t = t;
+    }
+
+    /// Time at which the smallest threshold will be crossed under the
+    /// current consumer count; infinity if idle.
+    double next_crossing() const
+    {
+        if (thresholds.empty() || rate <= 0) {
+            return kInf;
+        }
+        const double gap = thresholds.top().first - value;
+        if (gap <= 0) {
+            return last_t;
+        }
+        return last_t + gap * static_cast<double>(thresholds.size()) / rate;
+    }
+};
+
+struct Unit {
+    int kernel = -1;
+    int sm = -1;
+    index_t tb_count = 0;
+    int pending = 0;
+    double admit_t = 0;
+    TbWork work;  ///< Total work of the chunk (group work * tb_count).
+};
+
+struct SmState {
+    int slots = 0;
+    int threads = 0;
+    int smem = 0;
+    int regs = 0;
+};
+
+struct KernelRun {
+    std::size_t group_idx = 0;
+    index_t group_off = 0;
+    index_t total_tbs = 0;
+    index_t emitted = 0;
+    index_t completed = 0;
+    index_t max_chunk = 1;
+    int occ = 1;
+    bool ready = false;
+    bool done = false;
+    double ready_t = kInf;
+    double start_t = kInf;
+    double end_t = 0;
+    double unit_busy = 0;
+};
+
+struct Event {
+    double t = 0;
+    std::uint64_t seq = 0;  ///< Tie-break for determinism.
+    int kind = 0;           ///< 0 clock, 1 kernel-ready, 2 unit-activate.
+    int id = 0;
+    std::uint64_t epoch = 0;
+
+    friend bool operator>(const Event &a, const Event &b)
+    {
+        if (a.t != b.t) {
+            return a.t > b.t;
+        }
+        if (a.kind != b.kind) {
+            return a.kind > b.kind;
+        }
+        return a.seq > b.seq;
+    }
+};
+
+}  // namespace
+
+SimResult
+GpuSim::run()
+{
+    MG_CHECK(!ran_) << "GpuSim::run() may only be called once";
+    ran_ = true;
+
+    const int num_sms = device_.num_sms;
+    const int num_kernels = static_cast<int>(kernels_.size());
+
+    // ---- Clocks: [0] global DRAM, [1] global L2;
+    //      per SM s at 2+3s: tensor pipe, CUDA pipe, SM memory burst.
+    std::vector<Clock> clocks(static_cast<std::size_t>(2 + 3 * num_sms));
+    clocks[0].rate = device_.dram_bytes_per_us();
+    clocks[1].rate = device_.l2_bytes_per_us();
+    for (int s = 0; s < num_sms; ++s) {
+        clocks[static_cast<std::size_t>(2 + 3 * s + 0)].rate =
+            device_.sm_tensor_flops_per_us();
+        clocks[static_cast<std::size_t>(2 + 3 * s + 1)].rate =
+            device_.sm_cuda_flops_per_us();
+        clocks[static_cast<std::size_t>(2 + 3 * s + 2)].rate =
+            device_.sm_dram_bytes_per_us();
+    }
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    std::uint64_t seq = 0;
+
+    const auto push_clock_prediction = [&](int clock_id) {
+        Clock &c = clocks[static_cast<std::size_t>(clock_id)];
+        const double t = c.next_crossing();
+        if (t < kInf) {
+            events.push({t, seq++, 0, clock_id, c.epoch});
+        }
+    };
+
+    // ---- Kernel runtime state.
+    std::vector<KernelRun> runs(static_cast<std::size_t>(num_kernels));
+    std::vector<int> unresolved(static_cast<std::size_t>(num_kernels), 0);
+    for (int k = 0; k < num_kernels; ++k) {
+        KernelNode &node = kernels_[static_cast<std::size_t>(k)];
+        std::sort(node.deps.begin(), node.deps.end());
+        node.deps.erase(std::unique(node.deps.begin(), node.deps.end()),
+                        node.deps.end());
+        unresolved[static_cast<std::size_t>(k)] =
+            static_cast<int>(node.deps.size());
+        for (const int dep : node.deps) {
+            MG_CHECK(dep >= 0 && dep < k) << "kernel dependency cycle";
+            kernels_[static_cast<std::size_t>(dep)].children.push_back(k);
+        }
+        KernelRun &run = runs[static_cast<std::size_t>(k)];
+        run.total_tbs = node.launch.num_tbs();
+        run.occ = occupancy_per_sm(device_, node.launch.shape);
+        const index_t slots =
+            static_cast<index_t>(num_sms) * run.occ * kWaves;
+        run.max_chunk = std::max<index_t>(1, run.total_tbs / slots);
+    }
+
+    std::vector<SmState> sms(static_cast<std::size_t>(num_sms));
+    std::vector<Unit> units;
+    std::vector<int> free_units;
+
+    std::vector<int> issuable;  // Ready kernels with unemitted blocks.
+    std::size_t issue_cursor = 0;
+
+    int kernels_done = 0;
+
+    // Forward declarations as std::function-free lambdas via explicit
+    // structure: the admission path and the completion path call each
+    // other, so both capture through a small mutable struct.
+    const auto fits = [&](const SmState &sm, const TbShape &shape) {
+        if (sm.slots + 1 > device_.max_tb_per_sm) {
+            return false;
+        }
+        if (sm.threads + shape.threads > device_.max_threads_per_sm) {
+            return false;
+        }
+        if (sm.smem + shape.smem_bytes > device_.smem_per_sm_bytes) {
+            return false;
+        }
+        if (sm.regs + shape.threads * shape.regs_per_thread >
+            device_.regs_per_sm) {
+            return false;
+        }
+        return true;
+    };
+
+    const auto remove_issuable = [&](int kernel) {
+        for (std::size_t i = 0; i < issuable.size(); ++i) {
+            if (issuable[i] == kernel) {
+                issuable.erase(issuable.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                if (issue_cursor > i) {
+                    --issue_cursor;
+                }
+                return;
+            }
+        }
+    };
+
+    /// Admits one chunk of some issuable kernel onto SM `sm_id`.
+    /// Returns true if a chunk was placed.
+    const auto try_admit_one = [&](int sm_id, double now) -> bool {
+        if (issuable.empty()) {
+            return false;
+        }
+        SmState &sm = sms[static_cast<std::size_t>(sm_id)];
+        for (std::size_t step = 0; step < issuable.size(); ++step) {
+            const std::size_t pos =
+                (issue_cursor + step) % issuable.size();
+            const int k = issuable[pos];
+            KernelNode &node = kernels_[static_cast<std::size_t>(k)];
+            KernelRun &run = runs[static_cast<std::size_t>(k)];
+            // Respect the per-kernel occupancy bound on this SM as well:
+            // count resident units of this kernel.
+            if (!fits(sm, node.launch.shape)) {
+                continue;
+            }
+            // Pop a chunk from the current group.
+            const TbGroup &group = node.launch.tbs[run.group_idx];
+            const index_t take = std::min(run.max_chunk,
+                                          group.count - run.group_off);
+            int unit_id;
+            if (!free_units.empty()) {
+                unit_id = free_units.back();
+                free_units.pop_back();
+            } else {
+                unit_id = static_cast<int>(units.size());
+                units.emplace_back();
+            }
+            Unit &unit = units[static_cast<std::size_t>(unit_id)];
+            unit.kernel = k;
+            unit.sm = sm_id;
+            unit.tb_count = take;
+            unit.pending = 0;
+            unit.admit_t = now;
+            unit.work.tensor_flops =
+                group.work.tensor_flops * static_cast<double>(take);
+            unit.work.cuda_flops =
+                group.work.cuda_flops * static_cast<double>(take);
+            unit.work.dram_read_bytes =
+                group.work.dram_read_bytes * static_cast<double>(take);
+            unit.work.dram_write_bytes =
+                group.work.dram_write_bytes * static_cast<double>(take);
+            unit.work.l2_bytes =
+                group.work.l2_bytes * static_cast<double>(take);
+
+            sm.slots += 1;
+            sm.threads += node.launch.shape.threads;
+            sm.smem += node.launch.shape.smem_bytes;
+            sm.regs +=
+                node.launch.shape.threads * node.launch.shape.regs_per_thread;
+
+            run.emitted += take;
+            run.group_off += take;
+            if (run.group_off == group.count) {
+                run.group_off = 0;
+                ++run.group_idx;
+            }
+            run.start_t = std::min(run.start_t, now);
+            if (run.emitted == run.total_tbs) {
+                remove_issuable(k);
+            } else {
+                issue_cursor = (pos + 1) % std::max<std::size_t>(
+                                              1, issuable.size());
+            }
+
+            const double activate_t =
+                now + device_.tb_overhead_us * static_cast<double>(take);
+            events.push({activate_t, seq++, 2, unit_id, 0});
+            return true;
+        }
+        return false;
+    };
+
+    // Fill SMs least-loaded-first (the hardware work distributor steers
+    // blocks to the emptiest SM, which is what lets a second stream land
+    // on idle SMs instead of piling onto busy ones).
+    std::vector<int> sm_order(static_cast<std::size_t>(num_sms));
+    const auto fill_all_sms = [&](double now) {
+        bool admitted = true;
+        while (admitted) {
+            admitted = false;
+            for (int s = 0; s < num_sms; ++s) {
+                sm_order[static_cast<std::size_t>(s)] = s;
+            }
+            std::stable_sort(sm_order.begin(), sm_order.end(),
+                             [&](int a, int b) {
+                                 return sms[static_cast<std::size_t>(a)]
+                                            .slots <
+                                        sms[static_cast<std::size_t>(b)]
+                                            .slots;
+                             });
+            for (const int s : sm_order) {
+                if (try_admit_one(s, now)) {
+                    admitted = true;
+                }
+            }
+        }
+    };
+
+    const auto finish_kernel = [&](int k, double now) {
+        KernelRun &run = runs[static_cast<std::size_t>(k)];
+        run.done = true;
+        run.end_t = now;
+        if (run.start_t == kInf) {
+            run.start_t = now;  // Empty kernel: zero-duration at ready time.
+        }
+        ++kernels_done;
+        for (const int child : kernels_[static_cast<std::size_t>(k)]
+                                   .children) {
+            if (--unresolved[static_cast<std::size_t>(child)] == 0) {
+                events.push({now + device_.kernel_launch_us, seq++, 1, child,
+                             0});
+            }
+        }
+    };
+
+    const auto complete_unit = [&](int unit_id, double now) {
+        Unit &unit = units[static_cast<std::size_t>(unit_id)];
+        const int k = unit.kernel;
+        KernelNode &node = kernels_[static_cast<std::size_t>(k)];
+        KernelRun &run = runs[static_cast<std::size_t>(k)];
+        SmState &sm = sms[static_cast<std::size_t>(unit.sm)];
+        sm.slots -= 1;
+        sm.threads -= node.launch.shape.threads;
+        sm.smem -= node.launch.shape.smem_bytes;
+        sm.regs -=
+            node.launch.shape.threads * node.launch.shape.regs_per_thread;
+        run.completed += unit.tb_count;
+        run.unit_busy += now - unit.admit_t;
+        const int freed_sm = unit.sm;
+        unit.kernel = -1;
+        free_units.push_back(unit_id);
+        if (run.completed == run.total_tbs &&
+            run.emitted == run.total_tbs) {
+            finish_kernel(k, now);
+        }
+        while (try_admit_one(freed_sm, now)) {
+        }
+    };
+
+    const auto activate_unit = [&](int unit_id, double now) {
+        Unit &unit = units[static_cast<std::size_t>(unit_id)];
+        const double comps[kNumComponents] = {
+            unit.work.tensor_flops, unit.work.cuda_flops,
+            unit.work.dram_bytes(), unit.work.mem_bytes(),
+            unit.work.mem_bytes()};
+        // Latency-bound cap: a lone block cannot saturate a pipe. It adds
+        // a fixed per-component deadline at the capped private rate; the
+        // component is done when both the shared progress clock crosses
+        // *and* the private deadline passes.
+        const KernelNode &node =
+            kernels_[static_cast<std::size_t>(unit.kernel)];
+        double cap = 1.0;
+        if (device_.unit_saturation > 0) {
+            cap = std::min(1.0, device_.unit_saturation *
+                                    node.launch.shape.threads /
+                                    device_.max_threads_per_sm);
+        }
+        if (cap < 1.0) {
+            const double private_rates[kNumComponents] = {
+                device_.sm_tensor_flops_per_us() * cap,
+                device_.sm_cuda_flops_per_us() * cap,
+                0,  // DRAM handled through the SM burst deadline below.
+                0,
+                device_.sm_dram_bytes_per_us() * cap};
+            for (int comp = 0; comp < kNumComponents; ++comp) {
+                if (comps[comp] <= 0 || private_rates[comp] <= 0) {
+                    continue;
+                }
+                const double deadline =
+                    now + comps[comp] / private_rates[comp];
+                ++unit.pending;
+                events.push({deadline, seq++, 3, unit_id, 0});
+            }
+        }
+        for (int comp = 0; comp < kNumComponents; ++comp) {
+            if (comps[comp] <= 0) {
+                continue;
+            }
+            int clock_id;
+            switch (comp) {
+              case kCompDram:
+                clock_id = 0;
+                break;
+              case kCompL2:
+                clock_id = 1;
+                break;
+              case kCompMemSm:
+                clock_id = 2 + 3 * unit.sm + 2;
+                break;
+              default:  // kCompTensor / kCompCuda.
+                clock_id = 2 + 3 * unit.sm + comp;
+                break;
+            }
+            Clock &c = clocks[static_cast<std::size_t>(clock_id)];
+            c.advance(now);
+            c.thresholds.push(
+                {c.value + comps[comp],
+                 static_cast<std::int64_t>(unit_id) * kNumComponents +
+                     comp});
+            ++c.epoch;
+            ++unit.pending;
+            push_clock_prediction(clock_id);
+        }
+        if (unit.pending == 0) {
+            complete_unit(unit_id, now);
+        }
+    };
+
+    // ---- Seed: kernels with no dependencies become ready after launch.
+    for (int k = 0; k < num_kernels; ++k) {
+        if (unresolved[static_cast<std::size_t>(k)] == 0) {
+            events.push({device_.kernel_launch_us, seq++, 1, k, 0});
+        }
+    }
+
+    double now = 0;
+    while (!events.empty()) {
+        const Event ev = events.top();
+        events.pop();
+        MG_CHECK(ev.t >= now - 1e-6) << "simulator time went backwards";
+        now = std::max(now, ev.t);
+
+        switch (ev.kind) {
+          case 0: {  // Clock crossing prediction.
+            Clock &c = clocks[static_cast<std::size_t>(ev.id)];
+            if (ev.epoch != c.epoch) {
+                break;  // Stale prediction.
+            }
+            const double t = c.next_crossing();
+            if (t > ev.t + 1e-9 * std::max(1.0, ev.t)) {
+                events.push({t, seq++, 0, ev.id, c.epoch});
+                break;
+            }
+            c.advance(now);
+            // Fire every threshold crossed at this instant.
+            const double limit =
+                c.value + 1e-9 * std::max(1.0, std::abs(c.value));
+            while (!c.thresholds.empty() &&
+                   c.thresholds.top().first <= limit) {
+                const std::int64_t tag = c.thresholds.top().second;
+                c.thresholds.pop();
+                ++c.epoch;
+                const int unit_id = static_cast<int>(tag / kNumComponents);
+                Unit &unit = units[static_cast<std::size_t>(unit_id)];
+                if (--unit.pending == 0) {
+                    complete_unit(unit_id, now);
+                }
+            }
+            push_clock_prediction(ev.id);
+            break;
+          }
+          case 1: {  // Kernel ready.
+            KernelRun &run = runs[static_cast<std::size_t>(ev.id)];
+            run.ready = true;
+            run.ready_t = now;
+            if (run.total_tbs == 0) {
+                run.start_t = now;
+                finish_kernel(ev.id, now);
+            } else {
+                issuable.push_back(ev.id);
+                fill_all_sms(now);
+            }
+            break;
+          }
+          case 2: {  // Unit activation after its prologue.
+            activate_unit(ev.id, now);
+            break;
+          }
+          case 3: {  // Private (latency-bound) component deadline passed.
+            Unit &unit = units[static_cast<std::size_t>(ev.id)];
+            if (--unit.pending == 0) {
+                complete_unit(ev.id, now);
+            }
+            break;
+          }
+        }
+    }
+
+    MG_CHECK(kernels_done == num_kernels)
+        << "simulation ended with " << num_kernels - kernels_done
+        << " kernels unfinished (dependency deadlock?)";
+
+    // ---- Results.
+    SimResult result;
+    result.kernels.reserve(static_cast<std::size_t>(num_kernels));
+    for (int k = 0; k < num_kernels; ++k) {
+        const KernelNode &node = kernels_[static_cast<std::size_t>(k)];
+        const KernelRun &run = runs[static_cast<std::size_t>(k)];
+        KernelStats stats;
+        stats.name = node.launch.name;
+        stats.stream = node.stream;
+        stats.num_tbs = run.total_tbs;
+        stats.occupancy_per_sm = run.occ;
+        stats.ready_us = run.ready_t;
+        stats.start_us = run.start_t;
+        stats.end_us = run.end_t;
+        stats.work = node.launch.total_work();
+        stats.avg_concurrency =
+            run.end_t > run.start_t
+                ? run.unit_busy / (run.end_t - run.start_t)
+                : 0;
+        result.work += stats.work;
+        result.total_us = std::max(result.total_us, stats.end_us);
+        result.kernels.push_back(std::move(stats));
+    }
+    return result;
+}
+
+}  // namespace multigrain::sim

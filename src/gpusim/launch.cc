@@ -1,0 +1,70 @@
+#include "gpusim/launch.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace multigrain::sim {
+
+index_t
+KernelLaunch::num_tbs() const
+{
+    index_t n = 0;
+    for (const auto &group : tbs) {
+        n += group.count;
+    }
+    return n;
+}
+
+TbWork
+KernelLaunch::total_work() const
+{
+    TbWork total;
+    for (const auto &group : tbs) {
+        total.tensor_flops += group.work.tensor_flops * group.count;
+        total.cuda_flops += group.work.cuda_flops * group.count;
+        total.dram_read_bytes += group.work.dram_read_bytes * group.count;
+        total.dram_write_bytes += group.work.dram_write_bytes * group.count;
+        total.l2_bytes += group.work.l2_bytes * group.count;
+    }
+    return total;
+}
+
+void
+KernelLaunch::add_tb(const TbWork &work, index_t count)
+{
+    MG_CHECK(count >= 0) << "TB count must be non-negative";
+    if (count == 0) {
+        return;
+    }
+    if (!tbs.empty()) {
+        TbGroup &tail = tbs.back();
+        if (tail.work.tensor_flops == work.tensor_flops &&
+            tail.work.cuda_flops == work.cuda_flops &&
+            tail.work.dram_read_bytes == work.dram_read_bytes &&
+            tail.work.dram_write_bytes == work.dram_write_bytes &&
+            tail.work.l2_bytes == work.l2_bytes) {
+            tail.count += count;
+            return;
+        }
+    }
+    tbs.push_back({work, count});
+}
+
+int
+occupancy_per_sm(const DeviceSpec &device, const TbShape &shape)
+{
+    MG_CHECK(shape.threads > 0) << "TB must have threads";
+    int limit = device.max_tb_per_sm;
+    limit = std::min(limit, device.max_threads_per_sm / shape.threads);
+    if (shape.smem_bytes > 0) {
+        limit = std::min(limit, device.smem_per_sm_bytes / shape.smem_bytes);
+    }
+    const int regs_per_tb = shape.threads * shape.regs_per_thread;
+    if (regs_per_tb > 0) {
+        limit = std::min(limit, device.regs_per_sm / regs_per_tb);
+    }
+    return std::max(limit, 1);
+}
+
+}  // namespace multigrain::sim

@@ -1,0 +1,83 @@
+#ifndef MULTIGRAIN_GPUSIM_LAUNCH_H_
+#define MULTIGRAIN_GPUSIM_LAUNCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/util.h"
+#include "gpusim/device.h"
+
+/// Kernel-launch descriptors: the interface between kernels and the
+/// execution engine.
+///
+/// A kernel's plan() walks the same sparse metadata its functional run()
+/// walks and emits one TbWork per thread block (or a TbGroup of identical
+/// blocks). The engine then executes the launch against a DeviceSpec.
+namespace multigrain::sim {
+
+/// Resource footprint of one thread block; drives the occupancy limit.
+struct TbShape {
+    int threads = 128;
+    int smem_bytes = 0;
+    int regs_per_thread = 32;
+};
+
+/// Work carried by one thread block. DRAM bytes are *actual* device-memory
+/// traffic the block induces (after the kernel's reuse/overfetch model),
+/// matching what a profiler reports; l2_bytes are additional accesses
+/// served by the L2 cache (re-touches of resident data). Flops are useful
+/// arithmetic on each pipe.
+struct TbWork {
+    double tensor_flops = 0;
+    double cuda_flops = 0;
+    double dram_read_bytes = 0;
+    double dram_write_bytes = 0;
+    double l2_bytes = 0;
+
+    TbWork &operator+=(const TbWork &other)
+    {
+        tensor_flops += other.tensor_flops;
+        cuda_flops += other.cuda_flops;
+        dram_read_bytes += other.dram_read_bytes;
+        dram_write_bytes += other.dram_write_bytes;
+        l2_bytes += other.l2_bytes;
+        return *this;
+    }
+    double dram_bytes() const { return dram_read_bytes + dram_write_bytes; }
+    /// Everything that moves through the L2 slice (DRAM fills + L2 hits).
+    double mem_bytes() const { return dram_bytes() + l2_bytes; }
+    bool empty() const
+    {
+        return tensor_flops == 0 && cuda_flops == 0 && mem_bytes() == 0;
+    }
+};
+
+/// `count` thread blocks with identical work.
+struct TbGroup {
+    TbWork work;
+    index_t count = 1;
+};
+
+struct KernelLaunch {
+    std::string name;
+    TbShape shape;
+    std::vector<TbGroup> tbs;
+
+    index_t num_tbs() const;
+    TbWork total_work() const;
+
+    /// Appends `count` identical blocks, merging with the tail group when
+    /// the work matches exactly (keeps descriptors compact for the large
+    /// regular kernels).
+    void add_tb(const TbWork &work, index_t count = 1);
+};
+
+/// Thread blocks of `shape` that fit on one SM concurrently under the CUDA
+/// occupancy rules (block slots, threads, registers, shared memory).
+/// Always at least 1 (a block that oversubscribes an SM still runs alone;
+/// callers keep shapes within device limits).
+int occupancy_per_sm(const DeviceSpec &device, const TbShape &shape);
+
+}  // namespace multigrain::sim
+
+#endif  // MULTIGRAIN_GPUSIM_LAUNCH_H_

@@ -1,0 +1,70 @@
+#ifndef MULTIGRAIN_GPUSIM_REPORT_H_
+#define MULTIGRAIN_GPUSIM_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/engine.h"
+
+/// Workload characterization (the IISWC angle): given a simulated
+/// timeline and the device it ran on, classify each kernel against the
+/// roofline — which resource bound it, at what utilization, with what
+/// arithmetic intensity — and estimate dynamic + static energy.
+namespace multigrain::sim {
+
+enum class Bound {
+    kTensor,   ///< Tensor-pipe throughput bound.
+    kCuda,     ///< CUDA-pipe throughput bound.
+    kDram,     ///< DRAM bandwidth bound.
+    kL2,       ///< L2 bandwidth bound.
+    kLatency,  ///< None saturated: launch/prologue/occupancy limited.
+};
+
+const char *to_string(Bound bound);
+
+struct KernelCharacterization {
+    std::string name;
+    double duration_us = 0;
+    /// Flops per DRAM byte (tensor + CUDA flops over DRAM traffic);
+    /// +inf when the kernel moves no DRAM bytes.
+    double arithmetic_intensity = 0;
+    /// Achieved fraction of each achievable peak over the kernel's span.
+    double tensor_util = 0;
+    double cuda_util = 0;
+    double dram_util = 0;
+    double l2_util = 0;
+    Bound bound = Bound::kLatency;
+    /// Dynamic energy (compute + memory), joules.
+    double dynamic_j = 0;
+};
+
+struct WorkloadReport {
+    std::vector<KernelCharacterization> kernels;
+    double total_us = 0;
+    double dynamic_j = 0;
+    double static_j = 0;  ///< static_watts over the makespan.
+    double total_j() const { return dynamic_j + static_j; }
+    double average_watts() const
+    {
+        return total_us > 0 ? total_j() / (total_us * 1e-6) : 0;
+    }
+};
+
+/// Characterizes every kernel of `result` against `device`. A kernel is
+/// classified as bound by the resource with the highest utilization if
+/// that utilization exceeds `bound_threshold` (default 60 %), else
+/// latency-bound.
+WorkloadReport characterize(const SimResult &result,
+                            const DeviceSpec &device,
+                            double bound_threshold = 0.6);
+
+/// Prints the report as a fixed-width table (top `max_kernels` kernels by
+/// duration, plus totals).
+void print_report(const WorkloadReport &report, std::ostream &os,
+                  int max_kernels = 20);
+
+}  // namespace multigrain::sim
+
+#endif  // MULTIGRAIN_GPUSIM_REPORT_H_

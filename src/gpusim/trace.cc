@@ -1,0 +1,106 @@
+#include "gpusim/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace multigrain::sim {
+
+namespace {
+
+/// Escapes a string for embedding in a JSON literal.
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+write_chrome_trace(const SimResult &result, std::ostream &os)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+
+    // Lane names: one per stream.
+    std::set<int> streams;
+    for (const auto &k : result.kernels) {
+        streams.insert(k.stream);
+    }
+    for (const int s : streams) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"stream " << s
+           << "\"}}";
+    }
+
+    for (const auto &k : result.kernels) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        os << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << k.stream
+           << ",\"name\":\"" << json_escape(k.name) << "\",\"ts\":"
+           << k.start_us << ",\"dur\":" << k.duration_us()
+           << ",\"args\":{\"thread_blocks\":" << k.num_tbs
+           << ",\"tensor_gflops\":" << k.work.tensor_flops / 1e9
+           << ",\"cuda_gflops\":" << k.work.cuda_flops / 1e9
+           << ",\"dram_mb\":" << k.work.dram_bytes() / 1e6
+           << ",\"avg_concurrency\":" << k.avg_concurrency << "}}";
+    }
+    os << "]}";
+}
+
+std::string
+chrome_trace_json(const SimResult &result)
+{
+    std::ostringstream os;
+    write_chrome_trace(result, os);
+    return os.str();
+}
+
+void
+write_chrome_trace_file(const SimResult &result, const std::string &path)
+{
+    std::ofstream file(path);
+    MG_CHECK(file.good()) << "cannot open trace file " << path;
+    write_chrome_trace(result, file);
+    file.flush();
+    MG_CHECK(file.good()) << "failed writing trace file " << path;
+}
+
+}  // namespace multigrain::sim

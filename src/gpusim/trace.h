@@ -1,0 +1,27 @@
+#ifndef MULTIGRAIN_GPUSIM_TRACE_H_
+#define MULTIGRAIN_GPUSIM_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "gpusim/engine.h"
+
+/// Chrome trace-event export: turns a SimResult into a JSON timeline that
+/// chrome://tracing or https://ui.perfetto.dev renders, one lane ("thread")
+/// per CUDA stream. The multi-stream overlap of Multigrain's coarse ∥ fine
+/// ∥ special parts is directly visible this way.
+namespace multigrain::sim {
+
+/// Writes the trace JSON to `os`.
+void write_chrome_trace(const SimResult &result, std::ostream &os);
+
+/// Convenience: the trace as a string.
+std::string chrome_trace_json(const SimResult &result);
+
+/// Convenience: writes the trace to `path`; throws Error on I/O failure.
+void write_chrome_trace_file(const SimResult &result,
+                             const std::string &path);
+
+}  // namespace multigrain::sim
+
+#endif  // MULTIGRAIN_GPUSIM_TRACE_H_

@@ -1,0 +1,203 @@
+#include "kernels/backward.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/util.h"
+#include "kernels/cost_model.h"
+
+namespace multigrain::kernels {
+
+void
+fine_spmm_transposed(const CsrMatrix &p, const HalfMatrix &d,
+                     FloatMatrix &out)
+{
+    const CsrLayout &layout = *p.layout;
+    MG_CHECK(d.rows() == layout.rows)
+        << "fine_spmm_transposed d rows mismatch";
+    MG_CHECK(out.rows() == layout.cols && out.cols() == d.cols())
+        << "fine_spmm_transposed output shape mismatch";
+    for (index_t r = 0; r < layout.rows; ++r) {
+        for (index_t i = layout.row_offsets[static_cast<std::size_t>(r)];
+             i < layout.row_offsets[static_cast<std::size_t>(r + 1)]; ++i) {
+            const index_t col =
+                layout.col_indices[static_cast<std::size_t>(i)];
+            const float pv = float(p.values[static_cast<std::size_t>(i)]);
+            if (pv == 0.0f) {
+                continue;
+            }
+            for (index_t j = 0; j < d.cols(); ++j) {
+                out.at(col, j) += pv * float(d.at(r, j));
+            }
+        }
+    }
+}
+
+void
+coarse_spmm_transposed(const BsrMatrix &p, const HalfMatrix &d,
+                       FloatMatrix &out)
+{
+    const BsrLayout &layout = *p.layout;
+    MG_CHECK(d.rows() == layout.rows)
+        << "coarse_spmm_transposed d rows mismatch";
+    MG_CHECK(out.rows() == layout.cols && out.cols() == d.cols())
+        << "coarse_spmm_transposed output shape mismatch";
+    const index_t block = layout.block;
+    for (index_t br = 0; br < layout.block_rows(); ++br) {
+        for (index_t b = layout.row_offsets[static_cast<std::size_t>(br)];
+             b < layout.row_offsets[static_cast<std::size_t>(br + 1)];
+             ++b) {
+            const index_t bc =
+                layout.col_indices[static_cast<std::size_t>(b)];
+            const half *blk = p.block(b);
+            for (index_t r = 0; r < block; ++r) {
+                const index_t row = br * block + r;
+                for (index_t c = 0; c < block; ++c) {
+                    const float pv = float(blk[r * block + c]);
+                    if (pv == 0.0f) {
+                        continue;
+                    }
+                    const index_t col = bc * block + c;
+                    for (index_t j = 0; j < d.cols(); ++j) {
+                        out.at(col, j) += pv * float(d.at(row, j));
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+compound_softmax_backward(const BsrMatrix *p_coarse, BsrMatrix *dp_coarse,
+                          const CsrMatrix *p_fine, CsrMatrix *dp_fine,
+                          double scale)
+{
+    MG_CHECK((p_coarse == nullptr) == (dp_coarse == nullptr) &&
+             (p_fine == nullptr) == (dp_fine == nullptr))
+        << "P and dP parts must come in pairs";
+    MG_CHECK(p_coarse != nullptr || p_fine != nullptr)
+        << "softmax backward needs at least one part";
+    const BsrLayout *bl = p_coarse ? p_coarse->layout.get() : nullptr;
+    const CsrLayout *fl = p_fine ? p_fine->layout.get() : nullptr;
+    if (bl) {
+        MG_CHECK(dp_coarse->layout.get() == bl)
+            << "coarse P and dP must share a layout";
+    }
+    if (fl) {
+        MG_CHECK(dp_fine->layout.get() == fl)
+            << "fine P and dP must share a layout";
+    }
+    const index_t rows = bl ? bl->rows : fl->rows;
+    const float fscale = static_cast<float>(scale);
+
+    for (index_t r = 0; r < rows; ++r) {
+        const index_t br = bl ? r / bl->block : 0;
+        const index_t in_row = bl ? r - br * bl->block : 0;
+
+        // Phase 1: t = sum over the row of p * dp (both parts).
+        float t = 0.0f;
+        if (bl) {
+            for (index_t b = bl->row_offsets[static_cast<std::size_t>(br)];
+                 b < bl->row_offsets[static_cast<std::size_t>(br + 1)];
+                 ++b) {
+                const half *pb = p_coarse->block(b);
+                const half *db = dp_coarse->block(b);
+                for (index_t c = 0; c < bl->block; ++c) {
+                    t += float(pb[in_row * bl->block + c]) *
+                         float(db[in_row * bl->block + c]);
+                }
+            }
+        }
+        if (fl) {
+            for (index_t i = fl->row_offsets[static_cast<std::size_t>(r)];
+                 i < fl->row_offsets[static_cast<std::size_t>(r + 1)];
+                 ++i) {
+                t += float(p_fine->values[static_cast<std::size_t>(i)]) *
+                     float(dp_fine->values[static_cast<std::size_t>(i)]);
+            }
+        }
+
+        // Phase 2: dS = p * (dp - t) * scale, written over dp. Invalid
+        // coarse positions hold p == 0, so they come out zero without
+        // consulting the bitmap.
+        if (bl) {
+            for (index_t b = bl->row_offsets[static_cast<std::size_t>(br)];
+                 b < bl->row_offsets[static_cast<std::size_t>(br + 1)];
+                 ++b) {
+                const half *pb = p_coarse->block(b);
+                half *db = dp_coarse->block(b);
+                for (index_t c = 0; c < bl->block; ++c) {
+                    const float pv = float(pb[in_row * bl->block + c]);
+                    const float dv = float(db[in_row * bl->block + c]);
+                    db[in_row * bl->block + c] =
+                        half(pv * (dv - t) * fscale);
+                }
+            }
+        }
+        if (fl) {
+            for (index_t i = fl->row_offsets[static_cast<std::size_t>(r)];
+                 i < fl->row_offsets[static_cast<std::size_t>(r + 1)];
+                 ++i) {
+                const float pv =
+                    float(p_fine->values[static_cast<std::size_t>(i)]);
+                const float dv =
+                    float(dp_fine->values[static_cast<std::size_t>(i)]);
+                dp_fine->values[static_cast<std::size_t>(i)] =
+                    half(pv * (dv - t) * fscale);
+            }
+        }
+    }
+}
+
+sim::KernelLaunch
+plan_compound_softmax_backward(const sim::DeviceSpec &device,
+                               const BsrLayout *coarse,
+                               const CsrLayout *fine, index_t replicas,
+                               const std::string &name)
+{
+    MG_CHECK(coarse != nullptr || fine != nullptr)
+        << "plan_compound_softmax_backward needs at least one part";
+    MG_CHECK(replicas > 0) << "bad replicas";
+    (void)device;
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = softmax_shape();
+
+    const index_t block = coarse ? coarse->block : 64;
+    const index_t rows = coarse ? coarse->rows : fine->rows;
+    const index_t block_rows = ceil_div(rows, block);
+
+    for (index_t br = 0; br < block_rows; ++br) {
+        double stored = 0;
+        double meta = 2 * kIdxBytes;
+        if (coarse) {
+            const double nb =
+                static_cast<double>(coarse->row_nnz_blocks(br));
+            stored = nb * static_cast<double>(block) * block;
+            meta += nb * kIdxBytes;
+        }
+        double fine_nnz = 0;
+        if (fine) {
+            const index_t lo = br * block;
+            const index_t hi = std::min(rows, (br + 1) * block);
+            fine_nnz = static_cast<double>(
+                fine->row_offsets[static_cast<std::size_t>(hi)] -
+                fine->row_offsets[static_cast<std::size_t>(lo)]);
+            meta += static_cast<double>(block) * kIdxBytes;
+        }
+        if (stored == 0 && fine_nnz == 0) {
+            continue;
+        }
+        const double elems = stored + fine_nnz;
+        sim::TbWork w;
+        // Two reads (P and dP), one write (dS over dP), ~6 flops/element.
+        w.cuda_flops = elems * 6.0;
+        w.dram_read_bytes = 2.0 * elems * kHalfBytes + meta;
+        w.dram_write_bytes = elems * kHalfBytes;
+        launch.add_tb(w, replicas);
+    }
+    return launch;
+}
+
+}  // namespace multigrain::kernels

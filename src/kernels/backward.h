@@ -1,0 +1,56 @@
+#ifndef MULTIGRAIN_KERNELS_BACKWARD_H_
+#define MULTIGRAIN_KERNELS_BACKWARD_H_
+
+#include <string>
+
+#include "formats/bsr.h"
+#include "formats/csr.h"
+#include "formats/matrix.h"
+#include "gpusim/engine.h"
+
+/// Backward-pass kernels for compound sparse attention (training — the
+/// natural extension of the paper's inference-only scope; §1 motivates it
+/// with the memory cost of training long sequences).
+///
+/// Given the forward pass  S = scale·QKᵀ|pattern,  P = softmax(S),
+/// C = P·V  and an upstream gradient dC, the chain rule decomposes into
+/// the *same* sparse primitives the forward uses:
+///
+///   dP = (dC · Vᵀ)|pattern          — an SDDMM (reuse forward kernels)
+///   dS = P ⊙ (dP − rowsum(P ⊙ dP)) · scale   — softmax backward (new)
+///   dQ = dS · K                     — an SpMM (reuse forward kernels)
+///   dK = dSᵀ · Q,  dV = Pᵀ · dC     — SpMMs over *transposed* metadata
+///                                     (new functional kernels; the plans
+///                                     reuse the forward SpMM cost models
+///                                     on transpose_layout(...) metadata).
+namespace multigrain::kernels {
+
+/// dV-style accumulation out[col] += p(row, col) * d[row, :] over every
+/// nonzero of the fine part.
+void fine_spmm_transposed(const CsrMatrix &p, const HalfMatrix &d,
+                          FloatMatrix &out);
+
+/// Same over the stored blocks of the coarse part (full-block math;
+/// invalid positions hold zeros after the softmax).
+void coarse_spmm_transposed(const BsrMatrix &p, const HalfMatrix &d,
+                            FloatMatrix &out);
+
+/// Softmax backward across the coarse + fine parts of the same rows (the
+/// row sum couples them exactly like the forward denominator, §3.3):
+/// dp_* is overwritten with dS = p ⊙ (dp − Σ_row p ⊙ dp) · scale.
+/// Either part may be null; shapes must match the forward pair.
+void compound_softmax_backward(const BsrMatrix *p_coarse,
+                               BsrMatrix *dp_coarse,
+                               const CsrMatrix *p_fine, CsrMatrix *dp_fine,
+                               double scale);
+
+/// Plan for the fused softmax backward: one thread block per block row,
+/// reading P and dP and writing dS (1.5x the forward softmax's traffic).
+sim::KernelLaunch plan_compound_softmax_backward(
+    const sim::DeviceSpec &device, const BsrLayout *coarse,
+    const CsrLayout *fine, index_t replicas,
+    const std::string &name = "softmax_bwd.compound");
+
+}  // namespace multigrain::kernels
+
+#endif  // MULTIGRAIN_KERNELS_BACKWARD_H_

@@ -1,0 +1,133 @@
+#include "kernels/blocked_baseline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/util.h"
+#include "kernels/coarse.h"
+#include "kernels/cost_model.h"
+
+namespace multigrain::kernels {
+
+sim::KernelLaunch
+plan_triton_sddmm(const sim::DeviceSpec &device, const BcooLayout &layout,
+                  index_t head_dim, index_t replicas, const std::string &name)
+{
+    MG_CHECK(head_dim > 0 && replicas > 0) << "plan_triton_sddmm bad args";
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = triton_gemm_shape();
+
+    const double block = static_cast<double>(layout.block);
+    const double dh = static_cast<double>(head_dim);
+
+    // Both operands are re-touched across blocks (no SMEM row reuse): the
+    // LHS block row by every stored block in the row, the RHS by every
+    // stored block in the column. L2 keeps what fits.
+    const double touched = 2.0 * static_cast<double>(layout.nnz_blocks()) *
+                           block * dh * kHalfBytes *
+                           static_cast<double>(replicas);
+    const double distinct = (static_cast<double>(layout.rows) +
+                             static_cast<double>(layout.cols)) *
+                            dh * kHalfBytes * static_cast<double>(replicas);
+    const MemSplit split = split_reuse(touched, distinct,
+                                       device.l2_capacity_bytes(), 0.2);
+    const double dram_scale = touched > 0 ? split.dram_bytes / touched : 0;
+    const double l2_scale = touched > 0 ? split.l2_bytes / touched : 0;
+
+    sim::TbWork w;
+    w.tensor_flops = 2.0 * block * block * dh;
+    w.cuda_flops = block * block;
+    const double operand_touch = 2.0 * block * dh * kHalfBytes;
+    // BCOO metadata: two coordinates per block.
+    w.dram_read_bytes = operand_touch * dram_scale + 2 * kIdxBytes;
+    w.l2_bytes = operand_touch * l2_scale;
+    w.dram_write_bytes = block * block * kHalfBytes;
+    launch.add_tb(w, layout.nnz_blocks() * replicas);
+    return launch;
+}
+
+sim::KernelLaunch
+plan_triton_spmm(const sim::DeviceSpec &device, const BsrLayout &layout,
+                 index_t head_dim, index_t replicas, const std::string &name)
+{
+    MG_CHECK(head_dim > 0 && replicas > 0) << "plan_triton_spmm bad args";
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = triton_gemm_shape();
+
+    const double block = static_cast<double>(layout.block);
+    const double dh = static_cast<double>(head_dim);
+
+    const double rhs_touched = static_cast<double>(layout.nnz_blocks()) *
+                               block * dh * kHalfBytes *
+                               static_cast<double>(replicas);
+    const double rhs_distinct =
+        static_cast<double>(distinct_block_columns(layout)) * block * dh *
+        kHalfBytes * static_cast<double>(replicas);
+    const MemSplit rhs = split_reuse(rhs_touched, rhs_distinct,
+                                     device.l2_capacity_bytes(), 0.3);
+    const double rhs_dram_scale =
+        rhs_touched > 0 ? rhs.dram_bytes / rhs_touched : 0;
+    const double rhs_l2_scale =
+        rhs_touched > 0 ? rhs.l2_bytes / rhs_touched : 0;
+
+    for (index_t br = 0; br < layout.block_rows(); ++br) {
+        const double nb = static_cast<double>(layout.row_nnz_blocks(br));
+        if (nb == 0) {
+            continue;
+        }
+        // One thread block per output block row covering the full head
+        // dim: a larger tile than ours, which helps imbalance but lowers
+        // the resident-block count (§5.2.1).
+        sim::TbWork w;
+        w.tensor_flops = nb * 2.0 * block * block * dh;
+        w.cuda_flops = block * dh;
+        const double lhs = nb * block * block * kHalfBytes;
+        const double rhs_touch = nb * block * dh * kHalfBytes;
+        w.dram_read_bytes =
+            lhs + rhs_touch * rhs_dram_scale + nb * kIdxBytes + 2 * kIdxBytes;
+        w.l2_bytes = rhs_touch * rhs_l2_scale;
+        w.dram_write_bytes = block * dh * kHalfBytes;
+        launch.add_tb(w, replicas);
+    }
+    return launch;
+}
+
+sim::KernelLaunch
+plan_triton_softmax(const sim::DeviceSpec &device, const BsrLayout &layout,
+                    index_t replicas, const std::string &name)
+{
+    MG_CHECK(replicas > 0) << "plan_triton_softmax bad args";
+    (void)device;
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = softmax_shape();
+
+    const double block = static_cast<double>(layout.block);
+    for (index_t br = 0; br < layout.block_rows(); ++br) {
+        const double nb = static_cast<double>(layout.row_nnz_blocks(br));
+        if (nb == 0) {
+            continue;
+        }
+        const double stored = nb * block * block;
+        sim::TbWork w;
+        // Every stored element is swept, valid or not — and unlike the
+        // fused compound kernel (§3.3), the baseline (a) runs scaling and
+        // masking as a separate pass over S with an FP16 mask matrix read,
+        // and (b) sweeps rows too large for registers, re-reading them
+        // from L2 in the exp-sum and normalize phases.
+        w.cuda_flops = stored * (kSoftmaxFlopsPerElem + 4.0);
+        w.dram_read_bytes = stored * kHalfBytes          // S, first sweep.
+                            + stored * kHalfBytes / 2    // Mask matrix
+                                                         // (shared across
+                                                         // heads via L2).
+                            + nb * kIdxBytes + 2 * kIdxBytes;
+        w.l2_bytes = 3.0 * stored * kHalfBytes;          // Re-read sweeps.
+        w.dram_write_bytes = stored * kHalfBytes;        // P.
+        launch.add_tb(w, replicas);
+    }
+    return launch;
+}
+
+}  // namespace multigrain::kernels

@@ -1,0 +1,50 @@
+#ifndef MULTIGRAIN_KERNELS_BLOCKED_BASELINE_H_
+#define MULTIGRAIN_KERNELS_BLOCKED_BASELINE_H_
+
+#include <string>
+
+#include "formats/bcoo.h"
+#include "formats/bsr.h"
+#include "formats/matrix.h"
+#include "gpusim/engine.h"
+
+/// The Triton/DeepSpeed-style coarse-only baseline (paper §2.4, §4).
+///
+/// It processes the *entire* compound pattern — including the fine,
+/// low-locality atoms and the dense global rows — through blocked kernels:
+/// SDDMM over BCOO (one thread block per stored block), SpMM over BSR, and
+/// a blocked softmax. Because blockifying a fine pattern stores mostly
+/// near-empty blocks, the baseline's unnecessary computation and memory
+/// traffic emerge directly from its own layout, not from any penalty knob.
+///
+/// Functionally the math inside stored blocks is identical to the coarse
+/// kernels', so the functional implementations are shared (coarse.h /
+/// compound_softmax.h with a null fine part); this header provides the
+/// baseline's own cost models, which differ in grid mapping, metadata
+/// (duplicated BCOO+BSR formats), and register pressure.
+namespace multigrain::kernels {
+
+/// Triton SDDMM plan: one thread block per stored BCOO block. No load
+/// imbalance (every block is the same job), but the LHS block row is
+/// re-fetched per block instead of being reused from SMEM.
+sim::KernelLaunch plan_triton_sddmm(const sim::DeviceSpec &device,
+                                    const BcooLayout &layout,
+                                    index_t head_dim, index_t replicas,
+                                    const std::string &name = "triton_sddmm");
+
+/// Triton SpMM plan: BSR row splitting with tensor cores, like ours, but
+/// with the baseline's register pressure (lower occupancy).
+sim::KernelLaunch plan_triton_spmm(const sim::DeviceSpec &device,
+                                   const BsrLayout &layout, index_t head_dim,
+                                   index_t replicas,
+                                   const std::string &name = "triton_spmm");
+
+/// Triton blocked softmax plan: sweeps every stored element of every block
+/// (valid or not) — the §5.2.2 slowdown source on blockified fine parts.
+sim::KernelLaunch plan_triton_softmax(
+    const sim::DeviceSpec &device, const BsrLayout &layout, index_t replicas,
+    const std::string &name = "triton_softmax");
+
+}  // namespace multigrain::kernels
+
+#endif  // MULTIGRAIN_KERNELS_BLOCKED_BASELINE_H_

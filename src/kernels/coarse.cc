@@ -1,0 +1,187 @@
+#include "kernels/coarse.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "kernels/cost_model.h"
+
+namespace multigrain::kernels {
+
+void
+coarse_sddmm(const HalfMatrix &q, const HalfMatrix &k, BsrMatrix &s)
+{
+    const BsrLayout &layout = *s.layout;
+    MG_CHECK(q.rows() == layout.rows && k.rows() == layout.cols &&
+             q.cols() == k.cols())
+        << "coarse_sddmm shape mismatch";
+    const index_t block = layout.block;
+    const index_t head_dim = q.cols();
+    for (index_t br = 0; br < layout.block_rows(); ++br) {
+        for (index_t b = layout.row_offsets[static_cast<std::size_t>(br)];
+             b < layout.row_offsets[static_cast<std::size_t>(br + 1)]; ++b) {
+            const index_t bc = layout.col_indices[static_cast<std::size_t>(b)];
+            half *out = s.block(b);
+            for (index_t r = 0; r < block; ++r) {
+                const index_t row = br * block + r;
+                for (index_t c = 0; c < block; ++c) {
+                    const index_t col = bc * block + c;
+                    float acc = 0.0f;
+                    for (index_t d = 0; d < head_dim; ++d) {
+                        acc += float(q.at(row, d)) * float(k.at(col, d));
+                    }
+                    out[r * block + c] = half(acc);
+                }
+            }
+        }
+    }
+}
+
+void
+coarse_spmm(const BsrMatrix &p, const HalfMatrix &v, FloatMatrix &c)
+{
+    const BsrLayout &layout = *p.layout;
+    MG_CHECK(v.rows() == layout.cols)
+        << "coarse_spmm V rows mismatch: " << v.rows() << " vs "
+        << layout.cols;
+    MG_CHECK(c.rows() == layout.rows && c.cols() == v.cols())
+        << "coarse_spmm output shape mismatch";
+    const index_t block = layout.block;
+    for (index_t br = 0; br < layout.block_rows(); ++br) {
+        for (index_t b = layout.row_offsets[static_cast<std::size_t>(br)];
+             b < layout.row_offsets[static_cast<std::size_t>(br + 1)]; ++b) {
+            const index_t bc = layout.col_indices[static_cast<std::size_t>(b)];
+            const half *blk = p.block(b);
+            for (index_t r = 0; r < block; ++r) {
+                const index_t row = br * block + r;
+                for (index_t kk = 0; kk < block; ++kk) {
+                    const float pv = float(blk[r * block + kk]);
+                    if (pv == 0.0f) {
+                        continue;
+                    }
+                    const index_t col = bc * block + kk;
+                    for (index_t d = 0; d < v.cols(); ++d) {
+                        c.at(row, d) += pv * float(v.at(col, d));
+                    }
+                }
+            }
+        }
+    }
+}
+
+index_t
+distinct_block_columns(const BsrLayout &layout)
+{
+    std::vector<bool> seen(static_cast<std::size_t>(layout.block_cols()),
+                           false);
+    index_t count = 0;
+    for (const index_t bc : layout.col_indices) {
+        if (!seen[static_cast<std::size_t>(bc)]) {
+            seen[static_cast<std::size_t>(bc)] = true;
+            ++count;
+        }
+    }
+    return count;
+}
+
+sim::KernelLaunch
+plan_coarse_sddmm(const sim::DeviceSpec &device, const BsrLayout &layout,
+                  index_t head_dim, index_t replicas, const std::string &name)
+{
+    MG_CHECK(head_dim > 0 && replicas > 0) << "plan_coarse_sddmm bad args";
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = coarse_gemm_shape();
+
+    const double block = static_cast<double>(layout.block);
+    // RHS (K) blocks are re-touched by neighbouring block rows; L2 keeps
+    // what fits, SMEM only helps within one thread block (l1_capture low).
+    const double rhs_touched = static_cast<double>(layout.nnz_blocks()) *
+                               block * static_cast<double>(head_dim) *
+                               kHalfBytes * static_cast<double>(replicas);
+    const double rhs_distinct =
+        static_cast<double>(distinct_block_columns(layout)) * block *
+        static_cast<double>(head_dim) * kHalfBytes *
+        static_cast<double>(replicas);
+    const MemSplit rhs = split_reuse(rhs_touched, rhs_distinct,
+                                     device.l2_capacity_bytes(), 0.3);
+    const double rhs_dram_scale =
+        rhs_touched > 0 ? rhs.dram_bytes / rhs_touched : 0;
+    const double rhs_l2_scale =
+        rhs_touched > 0 ? rhs.l2_bytes / rhs_touched : 0;
+
+    for (index_t br = 0; br < layout.block_rows(); ++br) {
+        const double nb = static_cast<double>(layout.row_nnz_blocks(br));
+        if (nb == 0) {
+            continue;
+        }
+        sim::TbWork w;
+        w.tensor_flops = nb * 2.0 * block * block *
+                         static_cast<double>(head_dim);
+        // Epilogue: FP32 -> FP16 convert + store per output element.
+        w.cuda_flops = nb * block * block;
+        const double lhs = block * static_cast<double>(head_dim) *
+                           kHalfBytes;  // Q block row, loaded once.
+        const double rhs_touch =
+            nb * block * static_cast<double>(head_dim) * kHalfBytes;
+        const double meta = nb * kIdxBytes + 2 * kIdxBytes;
+        w.dram_read_bytes = lhs + rhs_touch * rhs_dram_scale + meta;
+        w.l2_bytes = rhs_touch * rhs_l2_scale;
+        w.dram_write_bytes = nb * block * block * kHalfBytes;
+        launch.add_tb(w, replicas);
+    }
+    return launch;
+}
+
+sim::KernelLaunch
+plan_coarse_spmm(const sim::DeviceSpec &device, const BsrLayout &layout,
+                 index_t head_dim, index_t replicas, const std::string &name)
+{
+    MG_CHECK(head_dim > 0 && replicas > 0) << "plan_coarse_spmm bad args";
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = coarse_gemm_shape();
+
+    const double block = static_cast<double>(layout.block);
+    // The output tile matches the non-zero block size (§3.2): tiles of
+    // block x block over the L x head_dim output.
+    const index_t dh_tiles = ceil_div<index_t>(head_dim, layout.block);
+    const double tile =
+        static_cast<double>(std::min<index_t>(head_dim, layout.block));
+
+    // RHS (V) blocks: re-touched across block rows; L2-eligible.
+    const double rhs_touched = static_cast<double>(layout.nnz_blocks()) *
+                               block * tile * kHalfBytes *
+                               static_cast<double>(dh_tiles) *
+                               static_cast<double>(replicas);
+    const double rhs_distinct =
+        static_cast<double>(distinct_block_columns(layout)) * block *
+        static_cast<double>(head_dim) * kHalfBytes *
+        static_cast<double>(replicas);
+    const MemSplit rhs = split_reuse(rhs_touched, rhs_distinct,
+                                     device.l2_capacity_bytes(), 0.3);
+    const double rhs_dram_scale =
+        rhs_touched > 0 ? rhs.dram_bytes / rhs_touched : 0;
+    const double rhs_l2_scale =
+        rhs_touched > 0 ? rhs.l2_bytes / rhs_touched : 0;
+
+    for (index_t br = 0; br < layout.block_rows(); ++br) {
+        const double nb = static_cast<double>(layout.row_nnz_blocks(br));
+        if (nb == 0) {
+            continue;
+        }
+        sim::TbWork w;
+        w.tensor_flops = nb * 2.0 * block * block * tile;
+        w.cuda_flops = block * tile;  // Epilogue convert + store.
+        const double lhs = nb * block * block * kHalfBytes;  // P blocks.
+        const double rhs_touch = nb * block * tile * kHalfBytes;
+        const double meta = nb * kIdxBytes + 2 * kIdxBytes;
+        w.dram_read_bytes = lhs + rhs_touch * rhs_dram_scale + meta;
+        w.l2_bytes = rhs_touch * rhs_l2_scale;
+        w.dram_write_bytes = block * tile * kHalfBytes;
+        launch.add_tb(w, replicas * dh_tiles);
+    }
+    return launch;
+}
+
+}  // namespace multigrain::kernels

@@ -1,0 +1,48 @@
+#ifndef MULTIGRAIN_KERNELS_COARSE_H_
+#define MULTIGRAIN_KERNELS_COARSE_H_
+
+#include <string>
+
+#include "formats/bsr.h"
+#include "formats/matrix.h"
+#include "gpusim/engine.h"
+
+/// Multigrain's coarse-grained GPU kernels (paper §3.2): the blocked
+/// row-splitting SDDMM and the blocked 1D-tiling SpMM, both BSR-based and
+/// tensor-core driven with double-buffered SMEM tiles.
+///
+/// Functional semantics mirror the CUDA kernels: SDDMM computes *entire*
+/// stored blocks (including positions the validity bitmap marks invalid —
+/// those are masked later by the softmax), with FP16 operands and FP32
+/// accumulation. SpMM multiplies stored P blocks, whose invalid positions
+/// the softmax has zeroed, so full-block math is exact.
+namespace multigrain::kernels {
+
+/// S = Q x K^T restricted to the stored blocks of S.layout.
+void coarse_sddmm(const HalfMatrix &q, const HalfMatrix &k, BsrMatrix &s);
+
+/// C += P x V (FP32 accumulator shared with the fine/special parts).
+void coarse_spmm(const BsrMatrix &p, const HalfMatrix &v, FloatMatrix &c);
+
+/// Plan for the blocked row-splitting SDDMM: one thread block per output
+/// block row (per replica); the LHS block row is loaded to SMEM once and
+/// reused across every stored block in the row.
+sim::KernelLaunch plan_coarse_sddmm(const sim::DeviceSpec &device,
+                                    const BsrLayout &layout,
+                                    index_t head_dim, index_t replicas,
+                                    const std::string &name = "coarse_sddmm");
+
+/// Plan for the blocked 1D-tiling SpMM: one thread block per (block row,
+/// head-dim tile) of the dense output.
+sim::KernelLaunch plan_coarse_spmm(const sim::DeviceSpec &device,
+                                   const BsrLayout &layout,
+                                   index_t head_dim, index_t replicas,
+                                   const std::string &name = "coarse_spmm");
+
+/// Distinct block columns referenced by the layout (shared by the cost
+/// models to size the reused right-hand-side working set).
+index_t distinct_block_columns(const BsrLayout &layout);
+
+}  // namespace multigrain::kernels
+
+#endif  // MULTIGRAIN_KERNELS_COARSE_H_

@@ -1,0 +1,173 @@
+#include "kernels/compound_softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/util.h"
+#include "kernels/cost_model.h"
+
+namespace multigrain::kernels {
+
+void
+compound_softmax(BsrMatrix *coarse, CsrMatrix *fine, double scale)
+{
+    MG_CHECK(coarse != nullptr || fine != nullptr)
+        << "compound_softmax needs at least one part";
+    const BsrLayout *bl = coarse ? coarse->layout.get() : nullptr;
+    const CsrLayout *fl = fine ? fine->layout.get() : nullptr;
+    if (bl && fl) {
+        MG_CHECK(bl->rows == fl->rows)
+            << "coarse and fine parts disagree on row count";
+    }
+    const index_t rows = bl ? bl->rows : fl->rows;
+    const float fscale = static_cast<float>(scale);
+
+    // Per-row index of coarse blocks: for each block row, the stored block
+    // range; rows inside share it.
+    for (index_t r = 0; r < rows; ++r) {
+        const index_t br = bl ? r / bl->block : 0;
+        const index_t in_row = bl ? r - br * bl->block : 0;
+
+        // ---- Phase 1: max over valid coarse elements and fine elements.
+        float max_v = -std::numeric_limits<float>::infinity();
+        if (bl) {
+            for (index_t b = bl->row_offsets[static_cast<std::size_t>(br)];
+                 b < bl->row_offsets[static_cast<std::size_t>(br + 1)];
+                 ++b) {
+                const half *blk = coarse->block(b);
+                for (index_t c = 0; c < bl->block; ++c) {
+                    if (bl->element_valid(b, in_row, c)) {
+                        max_v = std::max(
+                            max_v,
+                            fscale * float(blk[in_row * bl->block + c]));
+                    }
+                }
+            }
+        }
+        if (fl) {
+            for (index_t i = fl->row_offsets[static_cast<std::size_t>(r)];
+                 i < fl->row_offsets[static_cast<std::size_t>(r + 1)]; ++i) {
+                max_v = std::max(
+                    max_v,
+                    fscale * float(fine->values[static_cast<std::size_t>(i)]));
+            }
+        }
+        if (max_v == -std::numeric_limits<float>::infinity()) {
+            // Empty row (e.g. zero padding): nothing to normalize, but the
+            // stored coarse positions must still become zeros.
+            max_v = 0.0f;
+        }
+
+        // ---- Phase 2: exponential sum.
+        float sum = 0.0f;
+        if (bl) {
+            for (index_t b = bl->row_offsets[static_cast<std::size_t>(br)];
+                 b < bl->row_offsets[static_cast<std::size_t>(br + 1)];
+                 ++b) {
+                const half *blk = coarse->block(b);
+                for (index_t c = 0; c < bl->block; ++c) {
+                    if (bl->element_valid(b, in_row, c)) {
+                        sum += std::exp(
+                            fscale * float(blk[in_row * bl->block + c]) -
+                            max_v);
+                    }
+                }
+            }
+        }
+        if (fl) {
+            for (index_t i = fl->row_offsets[static_cast<std::size_t>(r)];
+                 i < fl->row_offsets[static_cast<std::size_t>(r + 1)]; ++i) {
+                sum += std::exp(
+                    fscale * float(fine->values[static_cast<std::size_t>(i)]) -
+                    max_v);
+            }
+        }
+
+        // ---- Phase 3: normalize; invalid coarse positions become zeros.
+        if (bl) {
+            for (index_t b = bl->row_offsets[static_cast<std::size_t>(br)];
+                 b < bl->row_offsets[static_cast<std::size_t>(br + 1)];
+                 ++b) {
+                half *blk = coarse->block(b);
+                for (index_t c = 0; c < bl->block; ++c) {
+                    if (bl->element_valid(b, in_row, c) && sum > 0.0f) {
+                        blk[in_row * bl->block + c] = half(
+                            std::exp(fscale *
+                                         float(blk[in_row * bl->block + c]) -
+                                     max_v) /
+                            sum);
+                    } else {
+                        blk[in_row * bl->block + c] = half(0.0f);
+                    }
+                }
+            }
+        }
+        if (fl && sum > 0.0f) {
+            for (index_t i = fl->row_offsets[static_cast<std::size_t>(r)];
+                 i < fl->row_offsets[static_cast<std::size_t>(r + 1)]; ++i) {
+                half &v = fine->values[static_cast<std::size_t>(i)];
+                v = half(std::exp(fscale * float(v) - max_v) / sum);
+            }
+        }
+    }
+}
+
+sim::KernelLaunch
+plan_compound_softmax(const sim::DeviceSpec &device, const BsrLayout *coarse,
+                      const CsrLayout *fine, index_t replicas,
+                      const std::string &name)
+{
+    MG_CHECK(coarse != nullptr || fine != nullptr)
+        << "plan_compound_softmax needs at least one part";
+    MG_CHECK(replicas > 0) << "plan_compound_softmax bad replicas";
+    (void)device;
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = softmax_shape();
+
+    const index_t block = coarse ? coarse->block : 64;
+    const index_t rows = coarse ? coarse->rows : fine->rows;
+    const index_t block_rows = ceil_div(rows, block);
+
+    for (index_t br = 0; br < block_rows; ++br) {
+        double stored = 0;
+        double bitmap = 0;
+        double meta = 2 * kIdxBytes;
+        if (coarse) {
+            const double nb =
+                static_cast<double>(coarse->row_nnz_blocks(br));
+            stored = nb * static_cast<double>(block) * block;
+            bitmap = nb * static_cast<double>(coarse->words_per_block()) * 8;
+            meta += nb * kIdxBytes;
+        }
+        double fine_nnz = 0;
+        if (fine) {
+            const index_t lo = br * block;
+            const index_t hi = std::min(rows, (br + 1) * block);
+            fine_nnz = static_cast<double>(
+                fine->row_offsets[static_cast<std::size_t>(hi)] -
+                fine->row_offsets[static_cast<std::size_t>(lo)]);
+            meta += static_cast<double>(block) * kIdxBytes;
+        }
+        if (stored == 0 && fine_nnz == 0) {
+            continue;
+        }
+        sim::TbWork w;
+        // Every stored element is swept (invalid ones read the bitmap mask
+        // and write a zero), plus every fine element. The fine part needs
+        // only the contiguous values: overlap and padding were already
+        // invalidated at metadata-build time (§3.1), so no column-index or
+        // mask-matrix reads here — the kernel's key traffic advantage.
+        w.cuda_flops = (stored + fine_nnz) * kSoftmaxFlopsPerElem;
+        w.dram_read_bytes =
+            stored * kHalfBytes + bitmap + fine_nnz * kHalfBytes + meta;
+        w.dram_write_bytes = (stored + fine_nnz) * kHalfBytes;
+        launch.add_tb(w, replicas);
+    }
+    return launch;
+}
+
+}  // namespace multigrain::kernels

@@ -1,0 +1,39 @@
+#ifndef MULTIGRAIN_KERNELS_COMPOUND_SOFTMAX_H_
+#define MULTIGRAIN_KERNELS_COMPOUND_SOFTMAX_H_
+
+#include <string>
+
+#include "formats/bsr.h"
+#include "formats/csr.h"
+#include "gpusim/engine.h"
+
+/// Multigrain's compound sparse softmax (paper §3.3): a single kernel that
+/// performs the fused scale + mask + safe row-wise softmax across the
+/// coarse part (BSR blocks with validity bitmaps) *and* the fine part
+/// (CSR) of the same rows. Softmax sweeps entire rows, so unlike SDDMM and
+/// SpMM the two granularities cannot run in separate kernels — the
+/// denominator couples them.
+///
+/// Either part may be null; with only a coarse part this is exactly the
+/// blocked softmax the Triton-style baseline runs, so the baseline reuses
+/// this functional implementation with its own cost model.
+namespace multigrain::kernels {
+
+/// In place: S blocks/values become attention probabilities. Invalid
+/// positions inside stored coarse blocks (block padding, zero padding, and
+/// coarse/fine overlap carved out by the classifier) read as -inf through
+/// the mask and are written back as exact zeros, which is what makes
+/// full-block SpMM on P correct afterwards.
+void compound_softmax(BsrMatrix *coarse, CsrMatrix *fine, double scale);
+
+/// Plan: one thread block per output block row, sweeping its BSR blocks
+/// and its CSR rows (three warp-shuffle phases: max, exp-sum, normalize;
+/// values stay resident, so one read and one write of each part).
+sim::KernelLaunch plan_compound_softmax(
+    const sim::DeviceSpec &device, const BsrLayout *coarse,
+    const CsrLayout *fine, index_t replicas,
+    const std::string &name = "compound_softmax");
+
+}  // namespace multigrain::kernels
+
+#endif  // MULTIGRAIN_KERNELS_COMPOUND_SOFTMAX_H_

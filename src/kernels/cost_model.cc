@@ -1,0 +1,85 @@
+#include "kernels/cost_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace multigrain::kernels {
+
+MemSplit
+split_reuse(double touched_bytes, double distinct_bytes,
+            double l2_capacity_bytes, double l1_capture)
+{
+    MG_CHECK(touched_bytes >= 0 && distinct_bytes >= 0)
+        << "negative traffic";
+    MG_CHECK(l1_capture >= 0 && l1_capture <= 1) << "bad l1_capture";
+    MemSplit split;
+    if (touched_bytes <= 0) {
+        return split;
+    }
+    // The data cannot be more distinct than it is touched.
+    distinct_bytes = std::min(distinct_bytes, touched_bytes);
+    const double retouch = touched_bytes - distinct_bytes;
+    const double past_l1 = retouch * (1.0 - l1_capture);
+    // Fraction of the working set resident in L2 (with a safety margin for
+    // competing data); misses fall through to DRAM.
+    double hit = 1.0;
+    if (distinct_bytes > 0 && l2_capacity_bytes > 0) {
+        hit = std::min(1.0, 0.8 * l2_capacity_bytes / distinct_bytes);
+    }
+    split.dram_bytes = distinct_bytes + past_l1 * (1.0 - hit);
+    split.l2_bytes = past_l1 * hit;
+    return split;
+}
+
+sim::TbShape
+coarse_gemm_shape()
+{
+    sim::TbShape shape;
+    shape.threads = 256;            // 8 warps per block row.
+    shape.smem_bytes = 24 * 1024;   // Double-buffered LHS/RHS tiles.
+    shape.regs_per_thread = 64;
+    return shape;
+}
+
+sim::TbShape
+triton_gemm_shape()
+{
+    sim::TbShape shape;
+    shape.threads = 256;
+    shape.smem_bytes = 24 * 1024;
+    shape.regs_per_thread = 96;     // Higher register pressure (§4).
+    return shape;
+}
+
+sim::TbShape
+dense_gemm_shape()
+{
+    sim::TbShape shape;
+    shape.threads = 256;            // 128x128 output tile.
+    shape.smem_bytes = 32 * 1024;
+    shape.regs_per_thread = 96;
+    return shape;
+}
+
+sim::TbShape
+fine_shape()
+{
+    sim::TbShape shape;
+    shape.threads = 64;
+    shape.smem_bytes = 0;
+    shape.regs_per_thread = 48;
+    return shape;
+}
+
+sim::TbShape
+softmax_shape()
+{
+    sim::TbShape shape;
+    shape.threads = 256;            // 8 warps sweep a block row.
+    shape.smem_bytes = 2 * 1024;    // Reduction scratch.
+    shape.regs_per_thread = 40;
+    return shape;
+}
+
+}  // namespace multigrain::kernels

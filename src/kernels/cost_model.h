@@ -1,0 +1,59 @@
+#ifndef MULTIGRAIN_KERNELS_COST_MODEL_H_
+#define MULTIGRAIN_KERNELS_COST_MODEL_H_
+
+#include "gpusim/device.h"
+#include "gpusim/launch.h"
+
+/// Shared constants and helpers of the kernel cost models.
+///
+/// Every kernel's plan() derives its thread-block work from the same sparse
+/// metadata the functional implementation walks. The helpers here encode
+/// the two cross-cutting pieces: (a) how repeated touches of shared
+/// operands split between L1 capture, L2 hits, and DRAM fills, and (b) the
+/// resource shapes (threads/SMEM/registers) of each kernel family, which
+/// drive the occupancy model.
+namespace multigrain::kernels {
+
+/// FP16 operand size.
+inline constexpr double kHalfBytes = 2.0;
+/// Column index / offset metadata entry size (CUDA kernels use int32).
+inline constexpr double kIdxBytes = 4.0;
+/// DRAM sector granularity: scattered sub-sector accesses still move 32 B.
+inline constexpr double kSectorBytes = 32.0;
+/// CUDA-core flops charged per element for a fused scale+mask+softmax
+/// (max, subtract, exp on the SFU, accumulate, divide).
+inline constexpr double kSoftmaxFlopsPerElem = 8.0;
+/// Gathered (CSR-indexed) inner loops spend instruction issue on address
+/// arithmetic and predication alongside the MACs; measured Sputnik-class
+/// kernels sustain roughly half of a dense CUDA-core loop's per-element
+/// rate (~30 % of peak with the global efficiency factor applied).
+inline constexpr double kFineGatherOverhead = 2.0;
+
+/// How `touched` bytes of reads against `distinct` bytes of underlying data
+/// split between DRAM and L2. First touches always come from DRAM;
+/// re-touches are first filtered by L1/SMEM locality (`l1_capture`
+/// fraction, free in the model) and the rest hit L2 with a probability set
+/// by how much of the working set fits.
+struct MemSplit {
+    double dram_bytes = 0;
+    double l2_bytes = 0;
+};
+
+MemSplit split_reuse(double touched_bytes, double distinct_bytes,
+                     double l2_capacity_bytes, double l1_capture);
+
+/// Our coarse (tensor-core, double-buffered SMEM) GEMM blocks (§3.2).
+sim::TbShape coarse_gemm_shape();
+/// Triton-style blocked GEMM blocks: same tiling idea but with the higher
+/// register pressure the paper observed (register-spill-prone SDDMM).
+sim::TbShape triton_gemm_shape();
+/// CUTLASS-style dense GEMM blocks (128x128 tile, double buffered).
+sim::TbShape dense_gemm_shape();
+/// Fine (Sputnik-style) element-wise blocks: small, SMEM-free.
+sim::TbShape fine_shape();
+/// Row-wise softmax blocks.
+sim::TbShape softmax_shape();
+
+}  // namespace multigrain::kernels
+
+#endif  // MULTIGRAIN_KERNELS_COST_MODEL_H_

@@ -1,0 +1,86 @@
+#include "kernels/cusparse_baseline.h"
+
+#include "common/error.h"
+#include "kernels/cost_model.h"
+
+namespace multigrain::kernels {
+
+void
+cusparse_spmm(const BlockedEllMatrix &p, const HalfMatrix &v,
+              FloatMatrix &c)
+{
+    const BlockedEllLayout &layout = *p.layout;
+    MG_CHECK(v.rows() == layout.cols) << "cusparse_spmm V rows mismatch";
+    MG_CHECK(c.rows() == layout.rows && c.cols() == v.cols())
+        << "cusparse_spmm output shape mismatch";
+    const index_t block = layout.block;
+    for (index_t br = 0; br < layout.block_rows(); ++br) {
+        for (index_t s = 0; s < layout.ell_width; ++s) {
+            const index_t bc = layout.slot_col(br, s);
+            if (bc == BlockedEllLayout::kPadding) {
+                continue;  // Zero block: skipped functionally; the cost
+                           // model still charges it, like the library.
+            }
+            const half *blk = p.slot(br, s);
+            for (index_t r = 0; r < block; ++r) {
+                const index_t row = br * block + r;
+                for (index_t kk = 0; kk < block; ++kk) {
+                    const float pv = float(blk[r * block + kk]);
+                    if (pv == 0.0f) {
+                        continue;
+                    }
+                    const index_t col = bc * block + kk;
+                    for (index_t d = 0; d < v.cols(); ++d) {
+                        c.at(row, d) += pv * float(v.at(col, d));
+                    }
+                }
+            }
+        }
+    }
+}
+
+sim::KernelLaunch
+plan_cusparse_spmm(const sim::DeviceSpec &device,
+                   const BlockedEllLayout &layout, index_t head_dim,
+                   index_t replicas, const std::string &name)
+{
+    MG_CHECK(head_dim > 0 && replicas > 0) << "plan_cusparse_spmm bad args";
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = coarse_gemm_shape();
+
+    const double block = static_cast<double>(layout.block);
+    const double dh = static_cast<double>(head_dim);
+    const double width = static_cast<double>(layout.ell_width);
+    if (layout.ell_width == 0) {
+        return launch;
+    }
+
+    // Perfectly uniform: every block row is ell_width slots of work,
+    // padding included. The RHS gather reuse matches the BSR kernels'.
+    const double rhs_touched = static_cast<double>(layout.total_slots()) *
+                               block * dh * kHalfBytes *
+                               static_cast<double>(replicas);
+    const double rhs_distinct = static_cast<double>(layout.block_cols()) *
+                                block * dh * kHalfBytes *
+                                static_cast<double>(replicas);
+    const MemSplit rhs = split_reuse(rhs_touched, rhs_distinct,
+                                     device.l2_capacity_bytes(), 0.3);
+
+    sim::TbWork w;
+    w.tensor_flops = width * 2.0 * block * block * dh;
+    w.cuda_flops = block * dh;
+    const double lhs = width * block * block * kHalfBytes;
+    w.dram_read_bytes = lhs +
+                        rhs.dram_bytes /
+                            static_cast<double>(layout.block_rows() *
+                                                replicas) +
+                        width * kIdxBytes + 2 * kIdxBytes;
+    w.l2_bytes = rhs.l2_bytes / static_cast<double>(layout.block_rows() *
+                                                    replicas);
+    w.dram_write_bytes = block * dh * kHalfBytes;
+    launch.add_tb(w, layout.block_rows() * replicas);
+    return launch;
+}
+
+}  // namespace multigrain::kernels

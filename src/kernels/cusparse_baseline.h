@@ -1,0 +1,31 @@
+#ifndef MULTIGRAIN_KERNELS_CUSPARSE_BASELINE_H_
+#define MULTIGRAIN_KERNELS_CUSPARSE_BASELINE_H_
+
+#include <string>
+
+#include "formats/blocked_ell.h"
+#include "formats/matrix.h"
+#include "gpusim/engine.h"
+
+/// cuSPARSE-style blocked-ELL SpMM (paper §2.4/§6): NVIDIA's library API
+/// for blocked sparse x dense products. Uniform ELL rows make the kernel
+/// regular (no load imbalance at all — every block row is the same job),
+/// but padding blocks are streamed and multiplied like real ones, so
+/// irregular compound patterns pay for their widest row everywhere.
+namespace multigrain::kernels {
+
+/// C += P x V with P in blocked-ELL form (padding slots are zero blocks,
+/// so multiplying them is a no-op numerically — just wasted work).
+void cusparse_spmm(const BlockedEllMatrix &p, const HalfMatrix &v,
+                   FloatMatrix &c);
+
+/// Plan: one thread block per block row covering head_dim, sweeping all
+/// ell_width slots — padding included.
+sim::KernelLaunch plan_cusparse_spmm(
+    const sim::DeviceSpec &device, const BlockedEllLayout &layout,
+    index_t head_dim, index_t replicas,
+    const std::string &name = "cusparse_spmm");
+
+}  // namespace multigrain::kernels
+
+#endif  // MULTIGRAIN_KERNELS_CUSPARSE_BASELINE_H_

@@ -1,0 +1,237 @@
+#include "kernels/fine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/util.h"
+#include "kernels/cost_model.h"
+
+namespace multigrain::kernels {
+
+void
+fine_sddmm(const HalfMatrix &q, const HalfMatrix &k, CsrMatrix &s)
+{
+    const CsrLayout &layout = *s.layout;
+    MG_CHECK(q.rows() == layout.rows && k.rows() == layout.cols &&
+             q.cols() == k.cols())
+        << "fine_sddmm shape mismatch";
+    const index_t head_dim = q.cols();
+    for (index_t r = 0; r < layout.rows; ++r) {
+        for (index_t i = layout.row_offsets[static_cast<std::size_t>(r)];
+             i < layout.row_offsets[static_cast<std::size_t>(r + 1)]; ++i) {
+            const index_t c = layout.col_indices[static_cast<std::size_t>(i)];
+            float acc = 0.0f;
+            for (index_t d = 0; d < head_dim; ++d) {
+                acc += float(q.at(r, d)) * float(k.at(c, d));
+            }
+            s.values[static_cast<std::size_t>(i)] = half(acc);
+        }
+    }
+}
+
+void
+fine_softmax(CsrMatrix &s, double scale)
+{
+    const CsrLayout &layout = *s.layout;
+    const float fscale = static_cast<float>(scale);
+    for (index_t r = 0; r < layout.rows; ++r) {
+        const index_t begin = layout.row_offsets[static_cast<std::size_t>(r)];
+        const index_t end =
+            layout.row_offsets[static_cast<std::size_t>(r + 1)];
+        if (begin == end) {
+            continue;
+        }
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (index_t i = begin; i < end; ++i) {
+            max_v = std::max(
+                max_v, fscale * float(s.values[static_cast<std::size_t>(i)]));
+        }
+        float sum = 0.0f;
+        for (index_t i = begin; i < end; ++i) {
+            sum += std::exp(
+                fscale * float(s.values[static_cast<std::size_t>(i)]) -
+                max_v);
+        }
+        for (index_t i = begin; i < end; ++i) {
+            const float e = std::exp(
+                fscale * float(s.values[static_cast<std::size_t>(i)]) -
+                max_v);
+            s.values[static_cast<std::size_t>(i)] = half(e / sum);
+        }
+    }
+}
+
+void
+fine_spmm(const CsrMatrix &p, const HalfMatrix &v, FloatMatrix &c)
+{
+    const CsrLayout &layout = *p.layout;
+    MG_CHECK(v.rows() == layout.cols) << "fine_spmm V rows mismatch";
+    MG_CHECK(c.rows() == layout.rows && c.cols() == v.cols())
+        << "fine_spmm output shape mismatch";
+    for (index_t r = 0; r < layout.rows; ++r) {
+        for (index_t i = layout.row_offsets[static_cast<std::size_t>(r)];
+             i < layout.row_offsets[static_cast<std::size_t>(r + 1)]; ++i) {
+            const index_t col =
+                layout.col_indices[static_cast<std::size_t>(i)];
+            const float pv = float(p.values[static_cast<std::size_t>(i)]);
+            for (index_t d = 0; d < v.cols(); ++d) {
+                c.at(r, d) += pv * float(v.at(col, d));
+            }
+        }
+    }
+}
+
+namespace {
+
+/// DRAM/L2 split scales for gathering `head_dim`-wide rows of a dense
+/// operand at every nonzero. Rows are 128 B-ish contiguous vectors, so
+/// sector efficiency is fine; the question is only reuse.
+struct GatherScales {
+    double dram = 0;
+    double l2 = 0;
+};
+
+GatherScales
+gather_scales(const sim::DeviceSpec &device, const CsrLayout &layout,
+              index_t head_dim, index_t replicas)
+{
+    const double touched = static_cast<double>(layout.nnz()) *
+                           static_cast<double>(head_dim) * kHalfBytes *
+                           static_cast<double>(replicas);
+    const double distinct = static_cast<double>(layout.cols) *
+                            static_cast<double>(head_dim) * kHalfBytes *
+                            static_cast<double>(replicas);
+    // Gathered rows are hot in L1 as well: a local-ish pattern touches the
+    // same 128 B row from ~2w consecutive output rows, and with ~32
+    // resident row-blocks per SM those touches are temporally adjacent.
+    const MemSplit split = split_reuse(touched, distinct,
+                                       device.l2_capacity_bytes(), 0.85);
+    GatherScales scales;
+    if (touched > 0) {
+        scales.dram = split.dram_bytes / touched;
+        scales.l2 = split.l2_bytes / touched;
+    }
+    return scales;
+}
+
+}  // namespace
+
+sim::KernelLaunch
+plan_fine_sddmm(const sim::DeviceSpec &device, const CsrLayout &layout,
+                index_t head_dim, index_t replicas, FineSddmmScheme scheme,
+                const std::string &name)
+{
+    MG_CHECK(head_dim > 0 && replicas > 0) << "plan_fine_sddmm bad args";
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = fine_shape();
+
+    const GatherScales scales =
+        gather_scales(device, layout, head_dim, replicas);
+    const double dh = static_cast<double>(head_dim);
+
+    if (scheme == FineSddmmScheme::kRowSplit) {
+        // One thread block per output row: the LHS row is loaded once and
+        // every nonzero gathers one RHS row. The gather inner loop carries
+        // address math and predication alongside the MACs
+        // (kFineGatherOverhead).
+        for (index_t r = 0; r < layout.rows; ++r) {
+            const double nnz = static_cast<double>(layout.row_nnz(r));
+            sim::TbWork w;
+            w.cuda_flops = nnz * (2.0 * dh * kFineGatherOverhead + 2.0);
+            const double gather = nnz * dh * kHalfBytes;
+            w.dram_read_bytes = dh * kHalfBytes + gather * scales.dram +
+                                nnz * kIdxBytes + 2 * kIdxBytes;
+            w.l2_bytes = gather * scales.l2;
+            w.dram_write_bytes = nnz * kHalfBytes;
+            launch.add_tb(w, replicas);
+        }
+        return launch;
+    }
+
+    // Official 1D tiling: the grid is rows x ceil(max_row_nnz / tile).
+    // Rows shorter than the widest row still launch the full set of
+    // blocks; the workless ones burn slots and prologue (§4 footnote 5).
+    const index_t tile = 64;
+    const index_t tiles_per_row =
+        std::max<index_t>(1, ceil_div(layout.max_row_nnz(), tile));
+    for (index_t r = 0; r < layout.rows; ++r) {
+        const index_t nnz = layout.row_nnz(r);
+        for (index_t t = 0; t < tiles_per_row; ++t) {
+            const index_t begin = t * tile;
+            const index_t slice =
+                std::max<index_t>(0, std::min(tile, nnz - begin));
+            sim::TbWork w;
+            if (slice > 0) {
+                const double s = static_cast<double>(slice);
+                w.cuda_flops =
+                    s * (2.0 * dh * kFineGatherOverhead + 2.0);
+                const double gather = s * dh * kHalfBytes;
+                // Each tile re-reads the LHS row.
+                w.dram_read_bytes = dh * kHalfBytes + gather * scales.dram +
+                                    s * kIdxBytes + 2 * kIdxBytes;
+                w.l2_bytes = gather * scales.l2;
+                w.dram_write_bytes = s * kHalfBytes;
+            }
+            launch.add_tb(w, replicas);
+        }
+    }
+    return launch;
+}
+
+sim::KernelLaunch
+plan_fine_softmax(const sim::DeviceSpec &device, const CsrLayout &layout,
+                  index_t replicas, const std::string &name)
+{
+    MG_CHECK(replicas > 0) << "plan_fine_softmax bad args";
+    (void)device;
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = fine_shape();
+    for (index_t r = 0; r < layout.rows; ++r) {
+        const double nnz = static_cast<double>(layout.row_nnz(r));
+        sim::TbWork w;
+        w.cuda_flops = nnz * kSoftmaxFlopsPerElem;
+        // The generic CSR kernel carries column indices with the values
+        // (the per-element request overhead of §5.2.2); Multigrain's
+        // compound kernel references the coarse part through block
+        // metadata and reads only contiguous values for its fine part.
+        w.dram_read_bytes = nnz * (kHalfBytes + kIdxBytes) + 2 * kIdxBytes;
+        w.dram_write_bytes = nnz * kHalfBytes;
+        launch.add_tb(w, replicas);
+    }
+    return launch;
+}
+
+sim::KernelLaunch
+plan_fine_spmm(const sim::DeviceSpec &device, const CsrLayout &layout,
+               index_t head_dim, index_t replicas, const std::string &name)
+{
+    MG_CHECK(head_dim > 0 && replicas > 0) << "plan_fine_spmm bad args";
+    sim::KernelLaunch launch;
+    launch.name = name;
+    launch.shape = fine_shape();
+
+    const GatherScales scales =
+        gather_scales(device, layout, head_dim, replicas);
+    const double dh = static_cast<double>(head_dim);
+
+    // Sputnik SpMM: 1D tiles of the dense output; with head_dim <= 64 the
+    // tile is one full output row.
+    for (index_t r = 0; r < layout.rows; ++r) {
+        const double nnz = static_cast<double>(layout.row_nnz(r));
+        sim::TbWork w;
+        w.cuda_flops = nnz * (2.0 * dh * kFineGatherOverhead + 2.0);
+        const double gather = nnz * dh * kHalfBytes;
+        w.dram_read_bytes = nnz * (kHalfBytes + kIdxBytes) +
+                            gather * scales.dram + 2 * kIdxBytes;
+        w.l2_bytes = gather * scales.l2;
+        w.dram_write_bytes = dh * kHalfBytes;
+        launch.add_tb(w, replicas);
+    }
+    return launch;
+}
+
+}  // namespace multigrain::kernels

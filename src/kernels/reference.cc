@@ -1,0 +1,194 @@
+#include "kernels/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace multigrain::kernels {
+
+std::vector<double>
+ref_sddmm(const HalfMatrix &q, const HalfMatrix &k, const CsrLayout &layout)
+{
+    MG_CHECK(q.rows() == layout.rows && k.rows() == layout.cols &&
+             q.cols() == k.cols())
+        << "ref_sddmm shape mismatch";
+    std::vector<double> values(static_cast<std::size_t>(layout.nnz()));
+    for (index_t r = 0; r < layout.rows; ++r) {
+        for (index_t i = layout.row_offsets[static_cast<std::size_t>(r)];
+             i < layout.row_offsets[static_cast<std::size_t>(r + 1)]; ++i) {
+            const index_t c = layout.col_indices[static_cast<std::size_t>(i)];
+            double acc = 0;
+            for (index_t d = 0; d < q.cols(); ++d) {
+                acc += static_cast<double>(float(q.at(r, d))) *
+                       static_cast<double>(float(k.at(c, d)));
+            }
+            values[static_cast<std::size_t>(i)] = acc;
+        }
+    }
+    return values;
+}
+
+std::vector<double>
+ref_softmax(const CsrLayout &layout, const std::vector<double> &values,
+            double scale)
+{
+    MG_CHECK(static_cast<index_t>(values.size()) == layout.nnz())
+        << "ref_softmax values/layout mismatch";
+    std::vector<double> out(values.size());
+    for (index_t r = 0; r < layout.rows; ++r) {
+        const index_t begin = layout.row_offsets[static_cast<std::size_t>(r)];
+        const index_t end =
+            layout.row_offsets[static_cast<std::size_t>(r + 1)];
+        if (begin == end) {
+            continue;
+        }
+        double max_v = -std::numeric_limits<double>::infinity();
+        for (index_t i = begin; i < end; ++i) {
+            max_v = std::max(max_v,
+                             scale * values[static_cast<std::size_t>(i)]);
+        }
+        double sum = 0;
+        for (index_t i = begin; i < end; ++i) {
+            const double e =
+                std::exp(scale * values[static_cast<std::size_t>(i)] - max_v);
+            out[static_cast<std::size_t>(i)] = e;
+            sum += e;
+        }
+        for (index_t i = begin; i < end; ++i) {
+            out[static_cast<std::size_t>(i)] /= sum;
+        }
+    }
+    return out;
+}
+
+DoubleMatrix
+ref_spmm(const CsrLayout &layout, const std::vector<double> &values,
+         const HalfMatrix &v)
+{
+    MG_CHECK(v.rows() == layout.cols) << "ref_spmm shape mismatch";
+    MG_CHECK(static_cast<index_t>(values.size()) == layout.nnz())
+        << "ref_spmm values/layout mismatch";
+    DoubleMatrix out(layout.rows, v.cols(), 0.0);
+    for (index_t r = 0; r < layout.rows; ++r) {
+        for (index_t i = layout.row_offsets[static_cast<std::size_t>(r)];
+             i < layout.row_offsets[static_cast<std::size_t>(r + 1)]; ++i) {
+            const index_t c = layout.col_indices[static_cast<std::size_t>(i)];
+            const double p = values[static_cast<std::size_t>(i)];
+            for (index_t d = 0; d < v.cols(); ++d) {
+                out.at(r, d) += p * static_cast<double>(float(v.at(c, d)));
+            }
+        }
+    }
+    return out;
+}
+
+DoubleMatrix
+ref_attention(const HalfMatrix &q, const HalfMatrix &k, const HalfMatrix &v,
+              const CsrLayout &layout, double scale)
+{
+    const std::vector<double> s = ref_sddmm(q, k, layout);
+    const std::vector<double> p = ref_softmax(layout, s, scale);
+    return ref_spmm(layout, p, v);
+}
+
+RefAttentionGrads
+ref_attention_backward(const HalfMatrix &q, const HalfMatrix &k,
+                       const HalfMatrix &v, const CsrLayout &layout,
+                       double scale, const DoubleMatrix &d_out)
+{
+    MG_CHECK(d_out.rows() == layout.rows && d_out.cols() == q.cols())
+        << "ref_attention_backward d_out shape mismatch";
+    const index_t dh = q.cols();
+    const std::vector<double> s = ref_sddmm(q, k, layout);
+    const std::vector<double> p = ref_softmax(layout, s, scale);
+
+    RefAttentionGrads grads;
+    grads.dq = DoubleMatrix(layout.rows, dh, 0.0);
+    grads.dk = DoubleMatrix(layout.cols, dh, 0.0);
+    grads.dv = DoubleMatrix(layout.cols, dh, 0.0);
+
+    for (index_t r = 0; r < layout.rows; ++r) {
+        const index_t begin = layout.row_offsets[static_cast<std::size_t>(r)];
+        const index_t end =
+            layout.row_offsets[static_cast<std::size_t>(r + 1)];
+        // dP and the softmax-backward row coupling term.
+        std::vector<double> dp(static_cast<std::size_t>(end - begin));
+        double t = 0;
+        for (index_t i = begin; i < end; ++i) {
+            const index_t c = layout.col_indices[static_cast<std::size_t>(i)];
+            double acc = 0;
+            for (index_t d = 0; d < dh; ++d) {
+                acc += d_out.at(r, d) * static_cast<double>(float(v.at(c, d)));
+            }
+            dp[static_cast<std::size_t>(i - begin)] = acc;
+            t += p[static_cast<std::size_t>(i)] * acc;
+        }
+        for (index_t i = begin; i < end; ++i) {
+            const index_t c = layout.col_indices[static_cast<std::size_t>(i)];
+            const double pv = p[static_cast<std::size_t>(i)];
+            const double ds =
+                pv * (dp[static_cast<std::size_t>(i - begin)] - t) * scale;
+            for (index_t d = 0; d < dh; ++d) {
+                grads.dq.at(r, d) +=
+                    ds * static_cast<double>(float(k.at(c, d)));
+                grads.dk.at(c, d) +=
+                    ds * static_cast<double>(float(q.at(r, d)));
+                grads.dv.at(c, d) += pv * d_out.at(r, d);
+            }
+        }
+    }
+    return grads;
+}
+
+DoubleMatrix
+ref_gemm_nt(const DoubleMatrix &a, const DoubleMatrix &b)
+{
+    MG_CHECK(a.cols() == b.cols()) << "ref_gemm_nt inner-dim mismatch";
+    DoubleMatrix c(a.rows(), b.rows(), 0.0);
+    for (index_t i = 0; i < a.rows(); ++i) {
+        for (index_t j = 0; j < b.rows(); ++j) {
+            double acc = 0;
+            for (index_t d = 0; d < a.cols(); ++d) {
+                acc += a.at(i, d) * b.at(j, d);
+            }
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+DoubleMatrix
+ref_gemm_nn(const DoubleMatrix &a, const DoubleMatrix &b)
+{
+    MG_CHECK(a.cols() == b.rows()) << "ref_gemm_nn inner-dim mismatch";
+    DoubleMatrix c(a.rows(), b.cols(), 0.0);
+    for (index_t i = 0; i < a.rows(); ++i) {
+        for (index_t d = 0; d < a.cols(); ++d) {
+            const double av = a.at(i, d);
+            if (av == 0) {
+                continue;
+            }
+            for (index_t j = 0; j < b.cols(); ++j) {
+                c.at(i, j) += av * b.at(d, j);
+            }
+        }
+    }
+    return c;
+}
+
+double
+max_abs_diff(const DoubleMatrix &a, const DoubleMatrix &b)
+{
+    MG_CHECK(a.same_shape(b)) << "max_abs_diff shape mismatch";
+    double best = 0;
+    for (index_t r = 0; r < a.rows(); ++r) {
+        for (index_t c = 0; c < a.cols(); ++c) {
+            best = std::max(best, std::abs(a.at(r, c) - b.at(r, c)));
+        }
+    }
+    return best;
+}
+
+}  // namespace multigrain::kernels

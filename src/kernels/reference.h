@@ -1,0 +1,58 @@
+#ifndef MULTIGRAIN_KERNELS_REFERENCE_H_
+#define MULTIGRAIN_KERNELS_REFERENCE_H_
+
+#include <vector>
+
+#include "formats/csr.h"
+#include "formats/matrix.h"
+
+/// FP64 reference implementations used only by tests and examples to
+/// validate the FP16 kernels. The reference computes dense masked attention
+/// restricted to a CSR layout: exactly the math every method (Multigrain,
+/// coarse-only, fine-only) must reproduce.
+namespace multigrain::kernels {
+
+/// S values aligned with `layout` nonzeros: S[i] = Q[row_i] . K[col_i].
+std::vector<double> ref_sddmm(const HalfMatrix &q, const HalfMatrix &k,
+                              const CsrLayout &layout);
+
+/// Row-wise safe softmax over the layout nonzeros of `scale * values`.
+/// Rows with no nonzeros stay empty.
+std::vector<double> ref_softmax(const CsrLayout &layout,
+                                const std::vector<double> &values,
+                                double scale);
+
+/// C = P_layout x V with P given as layout-aligned values.
+DoubleMatrix ref_spmm(const CsrLayout &layout,
+                      const std::vector<double> &values,
+                      const HalfMatrix &v);
+
+/// Full single-head attention: softmax(scale * Q K^T restricted to layout)
+/// x V. The composition of the three references above.
+DoubleMatrix ref_attention(const HalfMatrix &q, const HalfMatrix &k,
+                           const HalfMatrix &v, const CsrLayout &layout,
+                           double scale);
+
+/// Analytic FP64 gradients of ref_attention with respect to Q, K, V for
+/// an upstream gradient d_out (validated against finite differences in
+/// the tests; used to pin the FP16 backward kernels).
+struct RefAttentionGrads {
+    DoubleMatrix dq, dk, dv;
+};
+RefAttentionGrads ref_attention_backward(const HalfMatrix &q,
+                                         const HalfMatrix &k,
+                                         const HalfMatrix &v,
+                                         const CsrLayout &layout,
+                                         double scale,
+                                         const DoubleMatrix &d_out);
+
+/// Dense helpers for testing the dense kernels. C = A * B^T and C = A * B.
+DoubleMatrix ref_gemm_nt(const DoubleMatrix &a, const DoubleMatrix &b);
+DoubleMatrix ref_gemm_nn(const DoubleMatrix &a, const DoubleMatrix &b);
+
+/// Max |a - b| over all positions; matrices must share shapes.
+double max_abs_diff(const DoubleMatrix &a, const DoubleMatrix &b);
+
+}  // namespace multigrain::kernels
+
+#endif  // MULTIGRAIN_KERNELS_REFERENCE_H_

@@ -1,0 +1,185 @@
+#include "patterns/slice.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "formats/convert.h"
+
+namespace multigrain {
+
+const char *
+to_string(SliceMode mode)
+{
+    switch (mode) {
+      case SliceMode::kMultigrain:
+        return "multigrain";
+      case SliceMode::kCoarseOnly:
+        return "coarse-only";
+      case SliceMode::kFineOnly:
+        return "fine-only";
+      case SliceMode::kDense:
+        return "dense";
+    }
+    return "?";
+}
+
+void
+SlicePlan::validate_partition() const
+{
+    MG_CHECK(full != nullptr) << "plan has no ground-truth layout";
+
+    if (mode == SliceMode::kDense) {
+        // The dense baseline has no sparse parts: it computes everything
+        // and masks; the partition property is vacuous.
+        MG_CHECK(!has_coarse() && !has_fine() && !has_special())
+            << "dense plans must not carry sparse parts";
+        return;
+    }
+
+    // Reconstruct the union of the three parts row by row and compare it
+    // against `full`; simultaneously detect double coverage.
+    CsrLayout rebuilt;
+    rebuilt.rows = seq_len;
+    rebuilt.cols = seq_len;
+    rebuilt.row_offsets.push_back(0);
+
+    const CsrLayout coarse_csr =
+        has_coarse() ? csr_from_bsr(*coarse) : CsrLayout{};
+
+    std::vector<index_t> cols;
+    for (index_t r = 0; r < seq_len; ++r) {
+        cols.clear();
+        const bool is_global = std::binary_search(global_rows.begin(),
+                                                  global_rows.end(), r);
+        if (is_global) {
+            for (index_t c = 0; c < valid_len; ++c) {
+                cols.push_back(c);
+            }
+        }
+        if (has_coarse() && coarse_csr.rows == seq_len) {
+            for (index_t i =
+                     coarse_csr.row_offsets[static_cast<std::size_t>(r)];
+                 i < coarse_csr.row_offsets[static_cast<std::size_t>(r + 1)];
+                 ++i) {
+                cols.push_back(
+                    coarse_csr.col_indices[static_cast<std::size_t>(i)]);
+            }
+        }
+        if (has_fine()) {
+            for (index_t i = fine->row_offsets[static_cast<std::size_t>(r)];
+                 i < fine->row_offsets[static_cast<std::size_t>(r + 1)];
+                 ++i) {
+                cols.push_back(
+                    fine->col_indices[static_cast<std::size_t>(i)]);
+            }
+        }
+        std::sort(cols.begin(), cols.end());
+        for (std::size_t i = 1; i < cols.size(); ++i) {
+            MG_CHECK(cols[i] != cols[i - 1])
+                << "element (" << r << ", " << cols[i]
+                << ") is covered by more than one part";
+        }
+        rebuilt.col_indices.insert(rebuilt.col_indices.end(), cols.begin(),
+                                   cols.end());
+        rebuilt.row_offsets.push_back(
+            static_cast<index_t>(rebuilt.col_indices.size()));
+    }
+
+    MG_CHECK(rebuilt.row_offsets == full->row_offsets &&
+             rebuilt.col_indices == full->col_indices)
+        << "slice-and-dice parts do not reassemble the full pattern";
+}
+
+SlicePlan
+slice_and_dice(const CompoundPattern &pattern, const SliceOptions &options)
+{
+    MG_CHECK(options.block > 0) << "slice block size must be positive";
+    MG_CHECK(pattern.seq_len % options.block == 0)
+        << "seq_len " << pattern.seq_len
+        << " must be a multiple of the block size " << options.block
+        << " (pad the sequence)";
+
+    SlicePlan plan;
+    plan.seq_len = pattern.seq_len;
+    plan.valid_len = pattern.effective_valid_len();
+    plan.block = options.block;
+    plan.mode = options.mode;
+    plan.full =
+        std::make_shared<const CsrLayout>(build_full_layout(pattern));
+
+    switch (options.mode) {
+      case SliceMode::kCoarseOnly: {
+        // Triton-style: the entire compound pattern, including global rows
+        // and low-locality atoms, becomes one blocked layout.
+        plan.coarse = std::make_shared<const BsrLayout>(
+            bsr_from_csr(*plan.full, options.block));
+        return plan;
+      }
+      case SliceMode::kFineOnly: {
+        // Sputnik-style: everything element-wise, global rows included.
+        plan.fine = plan.full;
+        return plan;
+      }
+      case SliceMode::kDense:
+        // Naive dense baseline: no sparse parts at all; the engine runs
+        // dense kernels with an additive mask built from `full`.
+        return plan;
+      case SliceMode::kMultigrain:
+        break;
+    }
+
+    // 1) Global rows form the special part and are carved out of the rest.
+    for (const auto &atom : pattern.atoms) {
+        if (atom.is_special() && options.route_global_to_dense) {
+            for (const index_t t : atom.tokens) {
+                if (t < plan.valid_len) {
+                    plan.global_rows.push_back(t);
+                }
+            }
+        }
+    }
+    std::sort(plan.global_rows.begin(), plan.global_rows.end());
+    plan.global_rows.erase(
+        std::unique(plan.global_rows.begin(), plan.global_rows.end()),
+        plan.global_rows.end());
+
+    // 2) Coarse part: high-locality atoms, minus global rows, blockified.
+    std::vector<const AtomicPattern *> coarse_atoms;
+    std::vector<const AtomicPattern *> fine_atoms;
+    for (const auto &atom : pattern.atoms) {
+        if (atom.is_special()) {
+            if (!options.route_global_to_dense) {
+                fine_atoms.push_back(&atom);  // Ablation: globals stay fine.
+            }
+            continue;
+        }
+        (atom.is_coarse() ? coarse_atoms : fine_atoms).push_back(&atom);
+    }
+
+    CsrLayout coarse_csr;
+    if (!coarse_atoms.empty()) {
+        coarse_csr =
+            build_union_layout(pattern, coarse_atoms, plan.global_rows);
+        if (coarse_csr.nnz() > 0) {
+            plan.coarse = std::make_shared<const BsrLayout>(
+                bsr_from_csr(coarse_csr, options.block));
+        }
+    }
+
+    // 3) Fine part: low-locality atoms, minus global rows, minus the
+    // elements the coarse part already owns (overlap invalidation, §3.3).
+    if (!fine_atoms.empty()) {
+        CsrLayout fine_csr =
+            build_union_layout(pattern, fine_atoms, plan.global_rows);
+        if (plan.coarse) {
+            fine_csr = csr_difference(fine_csr, coarse_csr);
+        }
+        if (fine_csr.nnz() > 0) {
+            plan.fine =
+                std::make_shared<const CsrLayout>(std::move(fine_csr));
+        }
+    }
+    return plan;
+}
+
+}  // namespace multigrain

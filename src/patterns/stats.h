@@ -1,0 +1,48 @@
+#ifndef MULTIGRAIN_PATTERNS_STATS_H_
+#define MULTIGRAIN_PATTERNS_STATS_H_
+
+#include <string>
+
+#include "patterns/pattern.h"
+#include "patterns/slice.h"
+
+/// Pattern analytics: the quantities the paper's arguments turn on,
+/// computed for any compound pattern — density, row-length variation (the
+/// load-imbalance index for row-mapped kernels), blockification inflation
+/// (the coarse-only baseline's waste), and how the slice-and-dice
+/// classifier would split the nonzeros.
+namespace multigrain {
+
+struct PatternStats {
+    index_t seq_len = 0;
+    index_t nnz = 0;
+    double density = 0;          ///< nnz / L².
+    double mean_row_nnz = 0;
+    index_t max_row_nnz = 0;
+    /// Coefficient of variation of row nnz (std/mean): ~0 for banded
+    /// patterns, large when global rows or random draws skew rows.
+    double row_cv = 0;
+
+    // At the analysis block size:
+    index_t block = 0;
+    index_t stored_blocks = 0;    ///< Blocks if the *whole* pattern were
+                                  ///< blockified (the coarse-only view).
+    index_t stored_elements = 0;
+    /// stored / nnz — the coarse-only baseline's traffic+compute
+    /// multiplier (1 = perfectly block-aligned).
+    double block_inflation = 0;
+
+    // Under Multigrain slicing at this block size:
+    double coarse_fraction = 0;   ///< Share of nnz owned by the BSR part.
+    double fine_fraction = 0;
+    double special_fraction = 0;  ///< Share owned by dense global rows.
+
+    std::string summarize() const;
+};
+
+/// Computes the stats; `block` must divide seq_len.
+PatternStats analyze_pattern(const CompoundPattern &pattern, index_t block);
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_PATTERNS_STATS_H_

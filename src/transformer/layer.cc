@@ -1,0 +1,140 @@
+#include "transformer/layer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/multihead.h"
+#include "kernels/dense.h"
+
+namespace multigrain {
+
+namespace {
+
+HalfMatrix
+random_weight(Rng &rng, index_t rows, index_t cols)
+{
+    // Scale ~ 1/sqrt(fan_in) keeps activations order-1 through any depth.
+    const float bound =
+        1.0f / std::sqrt(static_cast<float>(rows));
+    return random_half_matrix(rng, rows, cols, -bound, bound);
+}
+
+}  // namespace
+
+LayerWeights
+LayerWeights::random(Rng &rng, const ModelConfig &config)
+{
+    LayerWeights w;
+    w.wq = random_weight(rng, config.d_model, config.d_model);
+    w.wk = random_weight(rng, config.d_model, config.d_model);
+    w.wv = random_weight(rng, config.d_model, config.d_model);
+    w.wo = random_weight(rng, config.d_model, config.d_model);
+    w.w1 = random_weight(rng, config.d_model, config.ffn_dim);
+    w.w2 = random_weight(rng, config.ffn_dim, config.d_model);
+    w.ln1_gamma.assign(static_cast<std::size_t>(config.d_model), 1.0f);
+    w.ln1_beta.assign(static_cast<std::size_t>(config.d_model), 0.0f);
+    w.ln2_gamma.assign(static_cast<std::size_t>(config.d_model), 1.0f);
+    w.ln2_beta.assign(static_cast<std::size_t>(config.d_model), 0.0f);
+    return w;
+}
+
+void
+layer_norm_rows(HalfMatrix &m, const std::vector<float> &gamma,
+                const std::vector<float> &beta)
+{
+    MG_CHECK(static_cast<index_t>(gamma.size()) == m.cols() &&
+             static_cast<index_t>(beta.size()) == m.cols())
+        << "layer_norm parameter width mismatch";
+    const float inv_n = 1.0f / static_cast<float>(m.cols());
+    for (index_t r = 0; r < m.rows(); ++r) {
+        float mean = 0.0f;
+        for (index_t c = 0; c < m.cols(); ++c) {
+            mean += float(m.at(r, c));
+        }
+        mean *= inv_n;
+        float var = 0.0f;
+        for (index_t c = 0; c < m.cols(); ++c) {
+            const float d = float(m.at(r, c)) - mean;
+            var += d * d;
+        }
+        var *= inv_n;
+        const float inv_std = 1.0f / std::sqrt(var + 1e-5f);
+        for (index_t c = 0; c < m.cols(); ++c) {
+            const std::size_t i = static_cast<std::size_t>(c);
+            m.at(r, c) = half((float(m.at(r, c)) - mean) * inv_std *
+                                  gamma[i] +
+                              beta[i]);
+        }
+    }
+}
+
+void
+gelu_inplace(HalfMatrix &m)
+{
+    constexpr float kSqrt2OverPi = 0.7978845608f;
+    for (index_t r = 0; r < m.rows(); ++r) {
+        for (index_t c = 0; c < m.cols(); ++c) {
+            const float x = float(m.at(r, c));
+            const float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
+            m.at(r, c) = half(0.5f * x * (1.0f + std::tanh(inner)));
+        }
+    }
+}
+
+HalfMatrix
+layer_forward(const ModelConfig &config, const AttentionEngine &engine,
+              const LayerWeights &weights, const HalfMatrix &hidden)
+{
+    MG_CHECK(hidden.cols() == config.d_model)
+        << "hidden width " << hidden.cols() << " != d_model "
+        << config.d_model;
+    const index_t seq = hidden.rows();
+    const index_t d = config.d_model;
+
+    HalfMatrix q(seq, d), k(seq, d), v(seq, d);
+    kernels::dense_gemm_nn(hidden, weights.wq, q);
+    kernels::dense_gemm_nn(hidden, weights.wk, k);
+    kernels::dense_gemm_nn(hidden, weights.wv, v);
+
+    const HalfMatrix attn = run_multihead(engine, q, k, v);
+
+    HalfMatrix proj(seq, d);
+    kernels::dense_gemm_nn(attn, weights.wo, proj);
+    HalfMatrix x(seq, d);
+    for (index_t r = 0; r < seq; ++r) {
+        for (index_t c = 0; c < d; ++c) {
+            x.at(r, c) = half(float(hidden.at(r, c)) + float(proj.at(r, c)));
+        }
+    }
+    layer_norm_rows(x, weights.ln1_gamma, weights.ln1_beta);
+
+    HalfMatrix h1(seq, config.ffn_dim);
+    kernels::dense_gemm_nn(x, weights.w1, h1);
+    gelu_inplace(h1);
+    HalfMatrix h2(seq, d);
+    kernels::dense_gemm_nn(h1, weights.w2, h2);
+    for (index_t r = 0; r < seq; ++r) {
+        for (index_t c = 0; c < d; ++c) {
+            x.at(r, c) = half(float(x.at(r, c)) + float(h2.at(r, c)));
+        }
+    }
+    layer_norm_rows(x, weights.ln2_gamma, weights.ln2_beta);
+    return x;
+}
+
+HalfMatrix
+model_forward(const ModelConfig &config, const AttentionEngine &engine,
+              const std::vector<LayerWeights> &weights,
+              const HalfMatrix &hidden)
+{
+    MG_CHECK(static_cast<index_t>(weights.size()) == config.num_layers)
+        << "expected " << config.num_layers << " layer weights, got "
+        << weights.size();
+    HalfMatrix x = hidden;
+    for (const LayerWeights &w : weights) {
+        x = layer_forward(config, engine, w, x);
+    }
+    return x;
+}
+
+}  // namespace multigrain

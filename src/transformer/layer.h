@@ -1,0 +1,57 @@
+#ifndef MULTIGRAIN_TRANSFORMER_LAYER_H_
+#define MULTIGRAIN_TRANSFORMER_LAYER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/attention.h"
+#include "formats/matrix.h"
+#include "transformer/config.h"
+
+/// Functional transformer encoder layer (pre-activation weights drawn at
+/// random): the CPU-side ground truth behind the end-to-end simulation and
+/// the integration tests. One layer is
+///
+///   q,k,v = x·Wq, x·Wk, x·Wv
+///   a     = MultiHeadSparseAttention(q, k, v)       (the engine's run())
+///   x     = LayerNorm(x + a·Wo)
+///   x     = LayerNorm(x + GELU(x·W1)·W2)
+///
+/// with FP16 storage and FP32 math inside each op, like the kernels.
+namespace multigrain {
+
+struct LayerWeights {
+    HalfMatrix wq, wk, wv, wo;  ///< d_model x d_model.
+    HalfMatrix w1;              ///< d_model x ffn_dim.
+    HalfMatrix w2;              ///< ffn_dim x d_model.
+    std::vector<float> ln1_gamma, ln1_beta;  ///< d_model.
+    std::vector<float> ln2_gamma, ln2_beta;  ///< d_model.
+
+    /// Random initialization with GEMM-friendly magnitudes (so FP16 sums
+    /// stay in range at any tested width).
+    static LayerWeights random(Rng &rng, const ModelConfig &config);
+};
+
+/// In-place LayerNorm over each row of m (FP32 math).
+void layer_norm_rows(HalfMatrix &m, const std::vector<float> &gamma,
+                     const std::vector<float> &beta);
+
+/// In-place GELU (tanh approximation) on every element.
+void gelu_inplace(HalfMatrix &m);
+
+/// Runs one encoder layer on hidden (seq_len x d_model) with the sparse
+/// attention engine (which fixes the pattern and method).
+HalfMatrix layer_forward(const ModelConfig &config,
+                         const AttentionEngine &engine,
+                         const LayerWeights &weights,
+                         const HalfMatrix &hidden);
+
+/// Runs `config.num_layers` layers with per-layer weights.
+HalfMatrix model_forward(const ModelConfig &config,
+                         const AttentionEngine &engine,
+                         const std::vector<LayerWeights> &weights,
+                         const HalfMatrix &hidden);
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_TRANSFORMER_LAYER_H_

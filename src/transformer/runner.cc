@@ -1,0 +1,204 @@
+#include "transformer/runner.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+#include "kernels/dense.h"
+
+namespace multigrain {
+
+namespace {
+
+AttentionConfig
+make_attention_config(const ModelConfig &model, index_t batch,
+                      const AttentionConfig *overrides)
+{
+    AttentionConfig config;
+    if (overrides != nullptr) {
+        config = *overrides;
+    }
+    config.head_dim = model.head_dim();
+    config.num_heads = model.num_heads;
+    config.batch = batch;
+    config.block = model.block;
+    return config;
+}
+
+}  // namespace
+
+TransformerRunner::TransformerRunner(const ModelConfig &model,
+                                     SliceMode mode,
+                                     const WorkloadSample &sample,
+                                     index_t batch,
+                                     const AttentionConfig *overrides)
+    : model_(model), batch_(batch)
+{
+    MG_CHECK(batch > 0) << "batch must be positive";
+    engines_.push_back(std::make_unique<AttentionEngine>(
+        build_model_pattern(model_, sample),
+        make_attention_config(model_, batch, overrides), mode));
+}
+
+TransformerRunner::TransformerRunner(
+    const ModelConfig &model, SliceMode mode,
+    const std::vector<WorkloadSample> &samples,
+    const AttentionConfig *overrides)
+    : model_(model), batch_(static_cast<index_t>(samples.size()))
+{
+    MG_CHECK(!samples.empty()) << "heterogeneous batch needs samples";
+    for (const WorkloadSample &sample : samples) {
+        engines_.push_back(std::make_unique<AttentionEngine>(
+            build_model_pattern(model_, sample),
+            make_attention_config(model_, 1, overrides), mode));
+    }
+}
+
+EndToEndResult
+TransformerRunner::simulate(const sim::DeviceSpec &device) const
+{
+    sim::GpuSim sim(device);
+    const index_t seq = model_.max_seq_len;
+    const index_t d = model_.d_model;
+    const index_t ffn = model_.ffn_dim;
+    const index_t elems = seq * d * batch_;
+
+    for (index_t layer = 0; layer < model_.num_layers; ++layer) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "L%02d.",
+                      static_cast<int>(layer));
+        const std::string p(prefix);
+
+        // Fused QKV projection: one L x 3D x D GEMM per batch element.
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, 3 * d, d,
+                                               batch_, p + "gemm.qkv"));
+        sim.join_streams();
+
+        // Attention: every engine's phase co-schedules before each join,
+        // so a heterogeneous batch behaves like one batched launch over
+        // per-sample metadata.
+        for (const auto &engine : engines_) {
+            engine->plan_sddmm_phase(sim, p + "attn.");
+        }
+        sim.join_streams();
+        for (const auto &engine : engines_) {
+            engine->plan_softmax_phase(sim, p + "attn.");
+        }
+        sim.join_streams();
+        for (const auto &engine : engines_) {
+            engine->plan_spmm_phase(sim, p + "attn.");
+        }
+        sim.join_streams();
+
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, d, d, batch_,
+                                               p + "gemm.attn_out"));
+        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                p + "ew.ln1"));
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, ffn, d, batch_,
+                                               p + "gemm.ffn1"));
+        sim.launch(0, kernels::plan_elementwise(device, seq * ffn * batch_,
+                                                1, 12.0, p + "ew.gelu"));
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, d, ffn, batch_,
+                                               p + "gemm.ffn2"));
+        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                p + "ew.ln2"));
+        sim.join_streams();
+    }
+
+    EndToEndResult result;
+    result.sim = sim.run();
+    result.total_us = result.sim.total_us;
+    result.dram_bytes = result.sim.work.dram_bytes();
+    for (index_t layer = 0; layer < model_.num_layers; ++layer) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "L%02d.attn.",
+                      static_cast<int>(layer));
+        result.attention_us += result.sim.span(prefix);
+        result.attention_dram_bytes += result.sim.dram_bytes_for(prefix);
+    }
+    return result;
+}
+
+
+EndToEndResult
+TransformerRunner::simulate_training(const sim::DeviceSpec &device) const
+{
+    sim::GpuSim sim(device);
+    const index_t seq = model_.max_seq_len;
+    const index_t d = model_.d_model;
+    const index_t ffn = model_.ffn_dim;
+    const index_t elems = seq * d * batch_;
+
+    const auto dense_layer = [&](const std::string &p, double flop_scale) {
+        // flop_scale 1 = forward; 2 = backward (dX and dW GEMMs).
+        for (double rep = 0; rep < flop_scale; ++rep) {
+            const std::string suffix =
+                flop_scale > 1 ? (rep == 0 ? ".dx" : ".dw") : "";
+            sim.launch(0, kernels::plan_dense_gemm(
+                              device, seq, 3 * d, d, batch_,
+                              p + "gemm.qkv" + suffix));
+            sim.launch(0, kernels::plan_dense_gemm(
+                              device, seq, d, d, batch_,
+                              p + "gemm.attn_out" + suffix));
+            sim.launch(0, kernels::plan_dense_gemm(
+                              device, seq, ffn, d, batch_,
+                              p + "gemm.ffn1" + suffix));
+            sim.launch(0, kernels::plan_dense_gemm(
+                              device, seq, d, ffn, batch_,
+                              p + "gemm.ffn2" + suffix));
+        }
+        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                p + "ew.ln"));
+        sim.launch(0, kernels::plan_elementwise(device, seq * ffn * batch_,
+                                                1, 12.0, p + "ew.gelu"));
+    };
+
+    // Forward sweep.
+    for (index_t layer = 0; layer < model_.num_layers; ++layer) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "F%02d.",
+                      static_cast<int>(layer));
+        const std::string p(prefix);
+        dense_layer(p, 1.0);
+        sim.join_streams();
+        for (const auto &engine : engines_) {
+            engine->plan_sddmm_phase(sim, p + "attn.");
+        }
+        sim.join_streams();
+        for (const auto &engine : engines_) {
+            engine->plan_softmax_phase(sim, p + "attn.");
+        }
+        sim.join_streams();
+        for (const auto &engine : engines_) {
+            engine->plan_spmm_phase(sim, p + "attn.");
+        }
+        sim.join_streams();
+    }
+    // Backward sweep (reverse layer order).
+    for (index_t layer = model_.num_layers; layer-- > 0;) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "B%02d.",
+                      static_cast<int>(layer));
+        const std::string p(prefix);
+        for (const auto &engine : engines_) {
+            engine->plan_backward_into(sim, p + "attn.");
+        }
+        dense_layer(p, 2.0);
+        sim.join_streams();
+    }
+
+    EndToEndResult result;
+    result.sim = sim.run();
+    result.total_us = result.sim.total_us;
+    result.dram_bytes = result.sim.work.dram_bytes();
+    for (index_t layer = 0; layer < model_.num_layers; ++layer) {
+        char f[16], b[16];
+        std::snprintf(f, sizeof f, "F%02d.attn.", static_cast<int>(layer));
+        std::snprintf(b, sizeof b, "B%02d.attn.", static_cast<int>(layer));
+        result.attention_us += result.sim.span(f) + result.sim.span(b);
+        result.attention_dram_bytes += result.sim.dram_bytes_for(f) +
+                                       result.sim.dram_bytes_for(b);
+    }
+    return result;
+}
+
+}  // namespace multigrain

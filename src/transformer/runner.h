@@ -1,0 +1,70 @@
+#ifndef MULTIGRAIN_TRANSFORMER_RUNNER_H_
+#define MULTIGRAIN_TRANSFORMER_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attention.h"
+#include "gpusim/engine.h"
+#include "patterns/slice.h"
+#include "transformer/config.h"
+#include "transformer/workload.h"
+
+/// End-to-end inference timing (paper §5.1, Figs. 7-8): plans a full
+/// forward pass — embedding-to-output per-layer op stream — into the GPU
+/// simulator. The dense ops (QKV projection, output projection, FFN,
+/// residual/LayerNorm element-wise passes) are identical across methods;
+/// only the attention kernels differ, exactly as in the paper's setup.
+namespace multigrain {
+
+struct EndToEndResult {
+    double total_us = 0;
+    /// Wall-clock spent inside the sparse-attention phases (all layers).
+    double attention_us = 0;
+    /// DRAM traffic of the whole pass / of the attention phases, bytes.
+    double dram_bytes = 0;
+    double attention_dram_bytes = 0;
+    sim::SimResult sim;
+};
+
+class TransformerRunner {
+  public:
+    /// Homogeneous batch: every sample shares `sample`'s metadata, fused
+    /// into batch-replicated kernel launches (the fast common path).
+    TransformerRunner(const ModelConfig &model, SliceMode mode,
+                      const WorkloadSample &sample, index_t batch,
+                      const AttentionConfig *attention_overrides = nullptr);
+
+    /// Heterogeneous batch: each sample carries its own valid length and
+    /// special-token positions — its own attention metadata (§3.1: "the
+    /// number and position of nonzeros are changed by the input data").
+    /// Each sample's kernels are planned into the same phase and
+    /// co-scheduled, modeling a batched launch over per-sample metadata.
+    TransformerRunner(const ModelConfig &model, SliceMode mode,
+                      const std::vector<WorkloadSample> &samples,
+                      const AttentionConfig *attention_overrides = nullptr);
+
+    /// The (first) attention engine; handy for inspecting the slice plan.
+    const AttentionEngine &attention() const { return *engines_.front(); }
+    const ModelConfig &model() const { return model_; }
+    index_t batch() const { return batch_; }
+
+    /// Simulates one full forward pass on `device`.
+    EndToEndResult simulate(const sim::DeviceSpec &device) const;
+
+    /// Simulates one training step (forward + backward): each layer's
+    /// dense GEMMs reappear with ~2x the flops in the backward (dX and
+    /// dW products), and the attention backward runs the dP SDDMM, fused
+    /// softmax backward, and dQ/dK/dV SpMMs over (transposed) metadata.
+    EndToEndResult simulate_training(const sim::DeviceSpec &device) const;
+
+  private:
+    ModelConfig model_;
+    index_t batch_ = 1;
+    std::vector<std::unique_ptr<AttentionEngine>> engines_;
+};
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_TRANSFORMER_RUNNER_H_

@@ -1,0 +1,174 @@
+#include "transformer/workload.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace multigrain {
+
+namespace {
+
+/// Clamps and sorts special tokens into [0, valid_len) without duplicates.
+std::vector<index_t>
+finalize_tokens(std::vector<index_t> tokens, index_t valid_len)
+{
+    std::vector<index_t> out;
+    out.reserve(tokens.size());
+    for (const index_t t : tokens) {
+        if (t >= 0 && t < valid_len) {
+            out.push_back(t);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+}  // namespace
+
+WorkloadSample
+sample_hotpotqa(Rng &rng, const ModelConfig &config)
+{
+    WorkloadSample s;
+    const index_t cap = config.max_seq_len;
+    // HotpotQA contexts (10 paragraphs) mostly exceed the window; lengths
+    // concentrate near the cap with a tail of shorter inputs.
+    const index_t lo = std::max<index_t>(cap / 2, 16);
+    s.valid_len = std::min(cap, rng.next_range(lo, cap + cap / 4));
+
+    std::vector<index_t> tokens;
+    tokens.push_back(0);  // CLS.
+    const index_t question = rng.next_range(15, 45);
+    for (index_t t = 1; t <= question && t < s.valid_len; ++t) {
+        tokens.push_back(t);  // Question tokens get global attention.
+    }
+    // Paragraph separators through the context.
+    index_t pos = question + 1;
+    while (pos < s.valid_len) {
+        pos += rng.next_range(100, 200);
+        tokens.push_back(pos);
+    }
+    s.special_tokens = finalize_tokens(std::move(tokens), s.valid_len);
+    return s;
+}
+
+WorkloadSample
+sample_msmarco(Rng &rng, const ModelConfig &config)
+{
+    WorkloadSample s;
+    const index_t cap = config.max_seq_len;
+    // MARCO document lengths are broadly distributed under the cap.
+    s.valid_len = std::min(cap, rng.next_range(cap / 3, cap + cap / 8));
+
+    std::vector<index_t> tokens;
+    tokens.push_back(0);  // CLS.
+    const index_t query = rng.next_range(3, 12);
+    for (index_t t = 1; t <= query && t < s.valid_len; ++t) {
+        tokens.push_back(t);
+    }
+    // Sentence separators: QDS-Transformer attends every sentence head.
+    index_t pos = query + 1;
+    while (pos < s.valid_len) {
+        pos += rng.next_range(25, 60);
+        tokens.push_back(pos);
+    }
+    s.special_tokens = finalize_tokens(std::move(tokens), s.valid_len);
+    return s;
+}
+
+WorkloadSample
+sample_for_model(Rng &rng, const ModelConfig &config)
+{
+    if (config.has_global_rows) {
+        return sample_hotpotqa(rng, config);
+    }
+    return sample_msmarco(rng, config);
+}
+
+void
+write_workload_sample(const WorkloadSample &sample, std::ostream &os)
+{
+    os << "valid_len " << sample.valid_len << "\n";
+    os << "tokens";
+    for (const index_t t : sample.special_tokens) {
+        os << " " << t;
+    }
+    os << "\n";
+}
+
+WorkloadSample
+read_workload_sample(std::istream &is)
+{
+    WorkloadSample sample;
+    std::string keyword;
+    MG_CHECK(static_cast<bool>(is >> keyword) && keyword == "valid_len")
+        << "workload sample must start with 'valid_len <N>'";
+    MG_CHECK(static_cast<bool>(is >> sample.valid_len) &&
+             sample.valid_len > 0)
+        << "workload sample needs a positive valid_len";
+    MG_CHECK(static_cast<bool>(is >> keyword) && keyword == "tokens")
+        << "workload sample must continue with 'tokens ...'";
+    std::string rest;
+    std::getline(is, rest);
+    std::istringstream tokens(rest);
+    index_t t;
+    while (tokens >> t) {
+        MG_CHECK(t >= 0 && t < sample.valid_len)
+            << "special token " << t << " outside [0, " << sample.valid_len
+            << ")";
+        sample.special_tokens.push_back(t);
+    }
+    sample.special_tokens =
+        finalize_tokens(std::move(sample.special_tokens), sample.valid_len);
+    return sample;
+}
+
+CompoundPattern
+build_model_pattern(const ModelConfig &config, const WorkloadSample &sample)
+{
+    MG_CHECK(sample.valid_len > 0 && sample.valid_len <= config.max_seq_len)
+        << "sample valid_len " << sample.valid_len
+        << " out of range for model cap " << config.max_seq_len;
+    CompoundPattern pattern;
+    pattern.seq_len = config.max_seq_len;
+    pattern.valid_len = sample.valid_len;
+
+    switch (config.family) {
+      case PatternFamily::kLongformer:
+      case PatternFamily::kQds:
+        pattern.atoms.push_back(AtomicPattern::local(config.local_window));
+        pattern.atoms.push_back(
+            AtomicPattern::selected(sample.special_tokens));
+        break;
+      case PatternFamily::kBigBird: {
+        // Blocked band of ~local_window reach plus random blocks; random
+        // draws are input dependent (seeded from the sample).
+        const index_t radius =
+            std::max<index_t>(1, config.local_window / config.block);
+        pattern.atoms.push_back(
+            AtomicPattern::blocked_local(config.block, radius));
+        pattern.atoms.push_back(AtomicPattern::blocked_random(
+            config.block, config.random_blocks,
+            0x9e3779b97f4a7c15ull ^
+                static_cast<std::uint64_t>(sample.valid_len)));
+        pattern.atoms.push_back(
+            AtomicPattern::selected(sample.special_tokens));
+        break;
+      }
+      case PatternFamily::kPoolingformer:
+        pattern.atoms.push_back(AtomicPattern::local(config.local_window));
+        pattern.atoms.push_back(AtomicPattern::dilated(
+            config.dilated_window, config.dilated_stride));
+        break;
+    }
+    if (config.has_global_rows) {
+        pattern.atoms.push_back(AtomicPattern::global(sample.special_tokens));
+    }
+    return pattern;
+}
+
+}  // namespace multigrain

@@ -1,0 +1,62 @@
+#ifndef MULTIGRAIN_TRANSFORMER_WORKLOAD_H_
+#define MULTIGRAIN_TRANSFORMER_WORKLOAD_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/util.h"
+#include "patterns/pattern.h"
+#include "transformer/config.h"
+
+/// Synthetic end-to-end workloads standing in for the paper's datasets
+/// (§4: HotpotQA for Longformer, MS MARCO documents for QDS-Transformer).
+///
+/// The real datasets influence the measured kernels through exactly two
+/// knobs: the effective sequence length (zero padding) and the positions
+/// of the special tokens that receive global/selected attention (question
+/// tokens and separators for HotpotQA; CLS + query + sentence separators
+/// for MS MARCO document ranking). The generators below draw both from
+/// distributions matching the datasets' published statistics, seeded and
+/// deterministic (DESIGN.md §1, substitution table).
+namespace multigrain {
+
+struct WorkloadSample {
+    /// Real tokens; the rest of max_seq_len is zero padding.
+    index_t valid_len = 0;
+    /// Positions of special tokens (sorted): global rows for Longformer,
+    /// selected columns for both models.
+    std::vector<index_t> special_tokens;
+};
+
+/// HotpotQA-style multi-hop QA inputs: a 15-45-token question (all its
+/// tokens are special) plus paragraph separators roughly every 100-200
+/// tokens; documents mostly fill the 4096 window.
+WorkloadSample sample_hotpotqa(Rng &rng, const ModelConfig &config);
+
+/// MS MARCO document-ranking inputs: CLS + a short query (3-12 tokens)
+/// plus sentence separators roughly every 25-60 tokens; document lengths
+/// spread widely below the 2048 cap.
+WorkloadSample sample_msmarco(Rng &rng, const ModelConfig &config);
+
+/// Dispatches on the model name (Longformer -> HotpotQA, QDS -> MARCO).
+WorkloadSample sample_for_model(Rng &rng, const ModelConfig &config);
+
+/// Text I/O for samples, so real tokenized inputs can be plugged in:
+///   valid_len <N>
+///   tokens <t0> <t1> ...
+/// The reader validates ranges and sorts/dedupes tokens; throws Error on
+/// malformed input.
+void write_workload_sample(const WorkloadSample &sample, std::ostream &os);
+WorkloadSample read_workload_sample(std::istream &is);
+
+/// Builds the model's compound sparse pattern for one input sample:
+/// local(window) + selected(special) [+ global(special) when the model has
+/// one-to-all rows].
+CompoundPattern build_model_pattern(const ModelConfig &config,
+                                    const WorkloadSample &sample);
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_TRANSFORMER_WORKLOAD_H_

@@ -1,0 +1,155 @@
+// Tests for the blocked-ELL format and the cuSPARSE-style SpMM baseline:
+// conversion from BSR, padding rules, functional equivalence with the
+// reference, and the cost model's uniform-padding behaviour.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "formats/blocked_ell.h"
+#include "formats/convert.h"
+#include "gpusim/device.h"
+#include "kernels/cusparse_baseline.h"
+#include "kernels/reference.h"
+#include "patterns/pattern.h"
+
+namespace multigrain {
+namespace {
+
+BsrLayout
+band_plus_heavy_row(index_t seq, index_t block)
+{
+    CompoundPattern p;
+    p.seq_len = seq;
+    p.atoms.push_back(AtomicPattern::local(block / 2));
+    p.atoms.push_back(AtomicPattern::global({1}));  // One wide block row.
+    return bsr_from_csr(build_full_layout(p), block);
+}
+
+TEST(BlockedEllTest, ConversionPreservesBlocks)
+{
+    const BsrLayout bsr = band_plus_heavy_row(64, 8);
+    const BlockedEllLayout ell = blocked_ell_from_bsr(bsr);
+    ell.validate();
+    EXPECT_EQ(ell.nnz_blocks(), bsr.nnz_blocks());
+    // The widest block row (the global one) sets the width for all.
+    EXPECT_EQ(ell.ell_width, 8);
+    EXPECT_GT(ell.padding_blocks(), 0);
+    EXPECT_EQ(ell.total_slots(),
+              ell.nnz_blocks() + ell.padding_blocks());
+}
+
+TEST(BlockedEllTest, UniformPatternHasNoPadding)
+{
+    CompoundPattern p;
+    p.seq_len = 64;
+    p.atoms.push_back(AtomicPattern::blocked_local(8, 0));  // Diagonal.
+    const BlockedEllLayout ell =
+        blocked_ell_from_bsr(bsr_from_csr(build_full_layout(p), 8));
+    ell.validate();
+    EXPECT_EQ(ell.ell_width, 1);
+    EXPECT_EQ(ell.padding_blocks(), 0);
+}
+
+TEST(BlockedEllTest, ValidateRejectsNonTrailingPadding)
+{
+    BlockedEllLayout ell;
+    ell.rows = 16;
+    ell.cols = 16;
+    ell.block = 8;
+    ell.ell_width = 2;
+    ell.col_indices = {BlockedEllLayout::kPadding, 0,  // Padding first: bad.
+                       0, 1};
+    EXPECT_THROW(ell.validate(), Error);
+}
+
+TEST(BlockedEllTest, ValidateRejectsDescendingColumns)
+{
+    BlockedEllLayout ell;
+    ell.rows = 16;
+    ell.cols = 16;
+    ell.block = 8;
+    ell.ell_width = 2;
+    ell.col_indices = {1, 0, 0, 1};
+    EXPECT_THROW(ell.validate(), Error);
+}
+
+TEST(CusparseSpmmTest, MatchesReference)
+{
+    const index_t seq = 64, dh = 16, block = 8;
+    Rng rng(5);
+    CompoundPattern pat;
+    pat.seq_len = seq;
+    pat.atoms.push_back(AtomicPattern::local(6));
+    pat.atoms.push_back(AtomicPattern::random(3, 2));
+    const CsrLayout full = build_full_layout(pat);
+    auto bsr_layout =
+        std::make_shared<const BsrLayout>(bsr_from_csr(full, block));
+
+    // P values only at true pattern positions (like a softmax output).
+    HalfMatrix p_dense(seq, seq, half(0.0f));
+    for (index_t r = 0; r < seq; ++r) {
+        for (index_t i = full.row_offsets[static_cast<std::size_t>(r)];
+             i < full.row_offsets[static_cast<std::size_t>(r + 1)]; ++i) {
+            p_dense.at(r, full.col_indices[static_cast<std::size_t>(i)]) =
+                half(rng.next_float(0.0f, 0.1f));
+        }
+    }
+    const BsrMatrix p_bsr = gather_bsr(p_dense, bsr_layout);
+    const BlockedEllMatrix p_ell = blocked_ell_matrix_from_bsr(p_bsr);
+    const HalfMatrix v = random_half_matrix(rng, seq, dh);
+
+    FloatMatrix acc(seq, dh, 0.0f);
+    kernels::cusparse_spmm(p_ell, v, acc);
+
+    std::vector<double> pvals(static_cast<std::size_t>(full.nnz()));
+    std::size_t i = 0;
+    for (index_t r = 0; r < seq; ++r) {
+        for (index_t j = full.row_offsets[static_cast<std::size_t>(r)];
+             j < full.row_offsets[static_cast<std::size_t>(r + 1)]; ++j) {
+            pvals[i++] = float(p_dense.at(
+                r, full.col_indices[static_cast<std::size_t>(j)]));
+        }
+    }
+    const DoubleMatrix ref = kernels::ref_spmm(full, pvals, v);
+    EXPECT_LT(kernels::max_abs_diff(widen([&] {
+                  HalfMatrix h(seq, dh);
+                  for (index_t r = 0; r < seq; ++r) {
+                      for (index_t d = 0; d < dh; ++d) {
+                          h.at(r, d) = half(acc.at(r, d));
+                      }
+                  }
+                  return h;
+              }()),
+                                    ref),
+              0.03);
+}
+
+TEST(CusparseSpmmTest, PlanChargesPaddingUniformly)
+{
+    // A pattern with one wide row: the ELL plan pays the widest row's
+    // block count in *every* block row; the BSR-based plans do not.
+    const BsrLayout bsr = band_plus_heavy_row(512, 64);
+    const BlockedEllLayout ell = blocked_ell_from_bsr(bsr);
+    const auto launch = kernels::plan_cusparse_spmm(
+        sim::DeviceSpec::a100(), ell, 64, 1);
+    const double expected_flops =
+        static_cast<double>(ell.total_slots()) * 2.0 * 64 * 64 * 64;
+    EXPECT_NEAR(launch.total_work().tensor_flops, expected_flops, 1.0);
+    EXPECT_GT(static_cast<double>(ell.total_slots()),
+              1.5 * static_cast<double>(bsr.nnz_blocks()));
+}
+
+TEST(CusparseSpmmTest, UniformWorkMeansNoImbalance)
+{
+    const BsrLayout bsr = band_plus_heavy_row(512, 64);
+    const BlockedEllLayout ell = blocked_ell_from_bsr(bsr);
+    const auto launch = kernels::plan_cusparse_spmm(
+        sim::DeviceSpec::a100(), ell, 64, 1);
+    // All thread blocks identical -> a single merged group.
+    EXPECT_EQ(launch.tbs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace multigrain

@@ -1,0 +1,585 @@
+// Tests for the GPU execution engine: occupancy rules, analytic timing of
+// simple launches on a toy device, resource sharing, load imbalance,
+// stream semantics, and conservation/monotonicity properties.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gpusim/device.h"
+#include "gpusim/engine.h"
+#include "gpusim/launch.h"
+#include "gpusim/trace.h"
+
+namespace multigrain::sim {
+namespace {
+
+/// A deliberately simple device so expected times are hand-computable:
+/// per-SM CUDA rate 0.5e6 flops/us, per-SM tensor rate 1e6 flops/us,
+/// DRAM 1e5 B/us, L2 4e5 B/us, per-SM memory cap 1e5 B/us.
+DeviceSpec
+toy_device()
+{
+    DeviceSpec d;
+    d.name = "toy";
+    d.num_sms = 2;
+    d.tensor_tflops = 2.0;
+    d.cuda_tflops = 1.0;
+    d.dram_gbps = 100.0;
+    d.l2_gbps = 400.0;
+    d.l2_mb = 4.0;
+    d.l1_kb_per_sm = 128;
+    d.max_tb_per_sm = 4;
+    d.max_threads_per_sm = 1024;
+    d.regs_per_sm = 65536;
+    d.smem_per_sm_bytes = 64 * 1024;
+    d.tensor_efficiency = 1.0;
+    d.cuda_efficiency = 1.0;
+    d.dram_efficiency = 1.0;
+    d.kernel_launch_us = 1.0;
+    d.tb_overhead_us = 0.5;
+    d.sm_mem_burst = 2.0;
+    return d;
+}
+
+TbShape
+small_shape()
+{
+    TbShape s;
+    s.threads = 128;
+    s.smem_bytes = 0;
+    s.regs_per_thread = 32;
+    return s;
+}
+
+KernelLaunch
+one_kernel(const char *name, const TbWork &work, index_t count)
+{
+    KernelLaunch k;
+    k.name = name;
+    k.shape = small_shape();
+    k.add_tb(work, count);
+    return k;
+}
+
+// ----------------------------------------------------------- occupancy ----
+
+TEST(OccupancyTest, SlotLimit)
+{
+    const DeviceSpec d = toy_device();
+    EXPECT_EQ(occupancy_per_sm(d, small_shape()), 4);  // max_tb_per_sm.
+}
+
+TEST(OccupancyTest, ThreadLimit)
+{
+    const DeviceSpec d = toy_device();
+    TbShape s = small_shape();
+    s.threads = 512;
+    EXPECT_EQ(occupancy_per_sm(d, s), 2);  // 1024 / 512.
+}
+
+TEST(OccupancyTest, SmemLimit)
+{
+    const DeviceSpec d = toy_device();
+    TbShape s = small_shape();
+    s.smem_bytes = 20 * 1024;
+    EXPECT_EQ(occupancy_per_sm(d, s), 3);  // 64K / 20K.
+}
+
+TEST(OccupancyTest, RegisterLimit)
+{
+    const DeviceSpec d = toy_device();
+    TbShape s = small_shape();
+    s.regs_per_thread = 256;  // 128 * 256 = 32768 regs per block.
+    EXPECT_EQ(occupancy_per_sm(d, s), 2);
+}
+
+TEST(OccupancyTest, NeverBelowOne)
+{
+    const DeviceSpec d = toy_device();
+    TbShape s = small_shape();
+    s.smem_bytes = 1024 * 1024;  // Larger than the SM.
+    EXPECT_EQ(occupancy_per_sm(d, s), 1);
+}
+
+// ------------------------------------------------------------- devices ----
+
+TEST(DeviceTest, Table1ValuesPreserved)
+{
+    const DeviceSpec a = DeviceSpec::a100();
+    EXPECT_EQ(a.num_sms, 108);
+    EXPECT_DOUBLE_EQ(a.tensor_tflops, 169.0);
+    EXPECT_DOUBLE_EQ(a.cuda_tflops, 42.3);
+    EXPECT_DOUBLE_EQ(a.dram_gbps, 1555.0);
+    EXPECT_DOUBLE_EQ(a.l2_mb, 40.0);
+
+    const DeviceSpec r = DeviceSpec::rtx3090();
+    EXPECT_DOUBLE_EQ(r.tensor_tflops, 58.0);
+    EXPECT_DOUBLE_EQ(r.cuda_tflops, 29.3);
+    EXPECT_DOUBLE_EQ(r.dram_gbps, 936.2);
+    // The paper's RTX3090 discussion hinges on this asymmetry: tensor peak
+    // drops much more than CUDA peak (§5.1).
+    EXPECT_GT((a.tensor_tflops / r.tensor_tflops) /
+                  (a.cuda_tflops / r.cuda_tflops),
+              1.5);
+}
+
+// ---------------------------------------------------------- basic time ----
+
+TEST(EngineTest, SingleCudaBoundBlock)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 1e6;
+    sim.launch(0, one_kernel("k", w, 1));
+    const SimResult r = sim.run();
+    // launch 1.0 + prologue 0.5 + 1e6 / 0.5e6 = 3.5 us.
+    EXPECT_NEAR(r.total_us, 3.5, 1e-6);
+}
+
+TEST(EngineTest, SingleTensorBoundBlock)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.tensor_flops = 2e6;
+    sim.launch(0, one_kernel("k", w, 1));
+    EXPECT_NEAR(sim.run().total_us, 1.0 + 0.5 + 2.0, 1e-6);
+}
+
+TEST(EngineTest, SingleMemoryBoundBlock)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.dram_read_bytes = 1e5;
+    sim.launch(0, one_kernel("k", w, 1));
+    // The per-SM cap (1e5 B/us) and DRAM rate coincide: 1 us of transfer.
+    EXPECT_NEAR(sim.run().total_us, 2.5, 1e-6);
+}
+
+TEST(EngineTest, ComputeAndMemoryOverlap)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 1e6;        // 2 us alone.
+    w.dram_read_bytes = 5e4;   // 0.5 us alone.
+    sim.launch(0, one_kernel("k", w, 1));
+    // Double buffering overlaps the two: max, not sum.
+    EXPECT_NEAR(sim.run().total_us, 3.5, 1e-6);
+}
+
+TEST(EngineTest, TwoBlocksRunOnSeparateSms)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 1e6;
+    sim.launch(0, one_kernel("k", w, 2));
+    EXPECT_NEAR(sim.run().total_us, 3.5, 1e-6);
+}
+
+TEST(EngineTest, FourBlocksShareTwoSms)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 1e6;
+    sim.launch(0, one_kernel("k", w, 4));
+    // Two blocks per SM share the pipe: 4 us of compute.
+    EXPECT_NEAR(sim.run().total_us, 1.0 + 0.5 + 4.0, 1e-6);
+}
+
+TEST(EngineTest, EmptyKernelFinishesAtReadyTime)
+{
+    GpuSim sim(toy_device());
+    KernelLaunch k;
+    k.name = "empty";
+    k.shape = small_shape();
+    sim.launch(0, k);
+    const SimResult r = sim.run();
+    EXPECT_NEAR(r.total_us, 1.0, 1e-9);
+    EXPECT_EQ(r.kernels.at(0).num_tbs, 0);
+}
+
+TEST(EngineTest, ZeroWorkBlocksStillPayPrologue)
+{
+    GpuSim sim(toy_device());
+    sim.launch(0, one_kernel("k", TbWork{}, 2));
+    EXPECT_NEAR(sim.run().total_us, 1.5, 1e-6);
+}
+
+// -------------------------------------------------------- conservation ----
+
+TEST(EngineTest, WorkCountersMatchSubmission)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 123;
+    w.tensor_flops = 456;
+    w.dram_read_bytes = 789;
+    w.dram_write_bytes = 10;
+    w.l2_bytes = 11;
+    sim.launch(0, one_kernel("k", w, 7));
+    const SimResult r = sim.run();
+    EXPECT_DOUBLE_EQ(r.work.cuda_flops, 123 * 7);
+    EXPECT_DOUBLE_EQ(r.work.tensor_flops, 456 * 7);
+    EXPECT_DOUBLE_EQ(r.work.dram_read_bytes, 789 * 7);
+    EXPECT_DOUBLE_EQ(r.work.dram_write_bytes, 10 * 7);
+    EXPECT_DOUBLE_EQ(r.work.l2_bytes, 11 * 7);
+    EXPECT_DOUBLE_EQ(r.dram_bytes(), (789.0 + 10.0) * 7);
+}
+
+TEST(EngineTest, ManyBlocksApproachRooflineThroughput)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 1e6;  // Large enough to amortize the 0.5 us prologue.
+    const index_t n = 200;
+    sim.launch(0, one_kernel("k", w, n));
+    const SimResult r = sim.run();
+    // Total compute 2e8 flops at 1e6 flops/us device-wide = 200 us.
+    const double compute_us = 2e8 / 1e6;
+    EXPECT_GT(r.total_us, compute_us);
+    EXPECT_LT(r.total_us, compute_us * 1.25);
+}
+
+TEST(EngineTest, LoadImbalanceDominatesMakespan)
+{
+    GpuSim sim(toy_device());
+    KernelLaunch k;
+    k.name = "imbalanced";
+    k.shape = small_shape();
+    TbWork heavy;
+    heavy.cuda_flops = 50e6;  // 100 us alone on a full SM pipe.
+    TbWork light;
+    light.cuda_flops = 1e5;
+    k.add_tb(heavy, 1);
+    k.add_tb(light, 100);
+    sim.launch(0, std::move(k));
+    const SimResult r = sim.run();
+    // Balanced-work lower bound would be ~60 us; the straggler forces 100+.
+    EXPECT_GT(r.total_us, 100.0);
+    EXPECT_LT(r.total_us, 140.0);
+}
+
+// ------------------------------------------------------------- streams ----
+
+TEST(EngineTest, SameStreamSerializes)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 1e6;
+    sim.launch(0, one_kernel("a", w, 2));
+    sim.launch(0, one_kernel("b", w, 2));
+    const SimResult r = sim.run();
+    EXPECT_GE(r.find("b")->start_us, r.find("a")->end_us);
+}
+
+TEST(EngineTest, DifferentStreamsOverlap)
+{
+    GpuSim sim(toy_device());
+    const int s1 = sim.create_stream();
+    TbWork w;
+    w.cuda_flops = 4e6;
+    sim.launch(0, one_kernel("a", w, 2));
+    sim.launch(s1, one_kernel("b", w, 2));
+    const SimResult r = sim.run();
+    EXPECT_LT(r.find("b")->start_us, r.find("a")->end_us);
+    // Sharing the pipes makes both slower than alone but the makespan
+    // shorter than serial execution.
+    const double serial = 2 * (4e6 / 0.5e6);
+    EXPECT_LT(r.total_us, serial + 2.0);
+}
+
+TEST(EngineTest, MultiStreamFillsIdleSms)
+{
+    // One block per kernel: alone, each kernel leaves an SM idle. On two
+    // streams the blocks land on different SMs and fully overlap.
+    GpuSim serial(toy_device());
+    TbWork w;
+    w.cuda_flops = 2e6;
+    serial.launch(0, one_kernel("a", w, 1));
+    serial.launch(0, one_kernel("b", w, 1));
+    const double t_serial = serial.run().total_us;
+
+    GpuSim overlap(toy_device());
+    const int s1 = overlap.create_stream();
+    overlap.launch(0, one_kernel("a", w, 1));
+    overlap.launch(s1, one_kernel("b", w, 1));
+    const double t_overlap = overlap.run().total_us;
+
+    // 4 us compute each + two launch latencies + two prologues.
+    EXPECT_NEAR(t_serial, 2 * (1.0 + 0.5 + 4.0), 1e-6);
+    EXPECT_NEAR(t_overlap, 4.0 + 1.5, 1e-6);
+    EXPECT_LT(t_overlap, t_serial * 0.6);
+}
+
+TEST(EngineTest, JoinStreamsOrdersAcrossStreams)
+{
+    GpuSim sim(toy_device());
+    const int s1 = sim.create_stream();
+    TbWork w;
+    w.cuda_flops = 1e6;
+    sim.launch(0, one_kernel("a", w, 1));
+    sim.launch(s1, one_kernel("b", w, 1));
+    sim.join_streams();
+    sim.launch(s1, one_kernel("c", w, 1));
+    const SimResult r = sim.run();
+    EXPECT_GE(r.find("c")->start_us,
+              std::max(r.find("a")->end_us, r.find("b")->end_us));
+}
+
+TEST(EngineTest, RunTwiceThrows)
+{
+    GpuSim sim(toy_device());
+    sim.launch(0, one_kernel("k", TbWork{}, 1));
+    sim.run();
+    EXPECT_THROW(sim.run(), Error);
+}
+
+// ---------------------------------------------------------- properties ----
+
+TEST(EngineTest, Deterministic)
+{
+    const auto build = [] {
+        GpuSim sim(toy_device());
+        const int s1 = sim.create_stream();
+        TbWork w;
+        w.cuda_flops = 3e5;
+        w.dram_read_bytes = 2e4;
+        sim.launch(0, one_kernel("a", w, 37));
+        sim.launch(s1, one_kernel("b", w, 19));
+        sim.join_streams();
+        sim.launch(0, one_kernel("c", w, 11));
+        return sim.run();
+    };
+    const SimResult r1 = build();
+    const SimResult r2 = build();
+    EXPECT_DOUBLE_EQ(r1.total_us, r2.total_us);
+    for (std::size_t i = 0; i < r1.kernels.size(); ++i) {
+        EXPECT_DOUBLE_EQ(r1.kernels[i].end_us, r2.kernels[i].end_us);
+    }
+}
+
+TEST(EngineTest, MoreComputeNeverFaster)
+{
+    double prev = 0;
+    for (const double flops : {1e5, 2e5, 4e5, 8e5}) {
+        GpuSim sim(toy_device());
+        TbWork w;
+        w.cuda_flops = flops;
+        sim.launch(0, one_kernel("k", w, 16));
+        const double t = sim.run().total_us;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(EngineTest, FasterDeviceNeverSlower)
+{
+    TbWork w;
+    w.cuda_flops = 5e5;
+    w.dram_read_bytes = 4e4;
+
+    GpuSim slow(toy_device());
+    slow.launch(0, one_kernel("k", w, 64));
+    const double t_slow = slow.run().total_us;
+
+    DeviceSpec fast_spec = toy_device();
+    fast_spec.cuda_tflops *= 2;
+    fast_spec.dram_gbps *= 2;
+    fast_spec.l2_gbps *= 2;
+    GpuSim fast(fast_spec);
+    fast.launch(0, one_kernel("k", w, 64));
+    const double t_fast = fast.run().total_us;
+
+    EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(EngineTest, ConcurrencyBoundedByOccupancy)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 1e6;
+    sim.launch(0, one_kernel("k", w, 64));
+    const SimResult r = sim.run();
+    const KernelStats &k = r.kernels.at(0);
+    EXPECT_LE(k.avg_concurrency,
+              static_cast<double>(k.occupancy_per_sm) * 2 + 1e-9);
+    EXPECT_GT(k.avg_concurrency, 1.0);
+}
+
+TEST(EngineTest, SpanAndPrefixHelpers)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 1e6;
+    w.dram_write_bytes = 100;
+    sim.launch(0, one_kernel("phase.a", w, 1));
+    sim.launch(0, one_kernel("phase.b", w, 1));
+    sim.launch(0, one_kernel("other", w, 1));
+    const SimResult r = sim.run();
+    EXPECT_NEAR(r.span("phase."),
+                r.find("phase.b")->end_us - r.find("phase.a")->start_us,
+                1e-9);
+    EXPECT_DOUBLE_EQ(r.dram_bytes_for("phase."), 200.0);
+    EXPECT_GT(r.sum_kernel_time("phase."), 0.0);
+    EXPECT_EQ(r.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(r.span("missing"), 0.0);
+}
+
+TEST(EngineTest, GroupedAndUngroupedSubmissionsAgree)
+{
+    TbWork w;
+    w.cuda_flops = 2e5;
+    w.dram_read_bytes = 1e4;
+
+    GpuSim grouped(toy_device());
+    grouped.launch(0, one_kernel("k", w, 12));
+    const double t_grouped = grouped.run().total_us;
+
+    GpuSim ungrouped(toy_device());
+    KernelLaunch k;
+    k.name = "k";
+    k.shape = small_shape();
+    for (int i = 0; i < 12; ++i) {
+        k.tbs.push_back({w, 1});  // Bypass add_tb merging deliberately.
+    }
+    ungrouped.launch(0, std::move(k));
+    const double t_ungrouped = ungrouped.run().total_us;
+
+    EXPECT_NEAR(t_grouped, t_ungrouped, 1e-9);
+}
+
+TEST(EngineTest, L2TrafficUsesItsOwnClock)
+{
+    // Pure-L2 work drains at the L2 rate (4e5 B/us), not the DRAM rate;
+    // raise the per-SM burst cap so it does not bind here.
+    DeviceSpec d = toy_device();
+    d.sm_mem_burst = 20.0;
+    GpuSim sim(d);
+    TbWork w;
+    w.l2_bytes = 4e5;
+    sim.launch(0, one_kernel("k", w, 1));
+    EXPECT_NEAR(sim.run().total_us, 1.0 + 0.5 + 1.0, 1e-6);
+}
+
+TEST(EngineTest, DramPlusL2TakesTheSlowerConstraint)
+{
+    // dram 1e5 B at 1e5 B/us = 1 us; (dram+l2) = 1.4e5 B at L2 4e5 = 0.35;
+    // per-SM cap: 1.4e5 at 1e5 = 1.4 us -> the SM burst bounds it.
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.dram_read_bytes = 1e5;
+    w.l2_bytes = 4e4;
+    sim.launch(0, one_kernel("k", w, 1));
+    EXPECT_NEAR(sim.run().total_us, 1.0 + 0.5 + 1.4, 1e-6);
+}
+
+TEST(EngineTest, UnitSaturationCapsLoneBlocks)
+{
+    // With unit_saturation = 1 a 128-thread block alone sustains at most
+    // 128/1024 = 1/8 of the SM pipe; the same work then takes 8x longer.
+    DeviceSpec capped = toy_device();
+    capped.unit_saturation = 1.0;
+    GpuSim sim(capped);
+    TbWork w;
+    w.cuda_flops = 1e6;  // 2 us at full pipe.
+    sim.launch(0, one_kernel("k", w, 1));
+    EXPECT_NEAR(sim.run().total_us, 1.0 + 0.5 + 16.0, 1e-6);
+}
+
+TEST(EngineTest, UnitSaturationIrrelevantWhenSmIsFull)
+{
+    // Eight resident blocks split the pipe to 1/8 each - already below the
+    // saturation cap, so capped and uncapped devices agree.
+    DeviceSpec capped = toy_device();
+    capped.unit_saturation = 1.0;
+    capped.max_tb_per_sm = 8;
+    DeviceSpec uncapped = capped;
+    uncapped.unit_saturation = 0.0;
+
+    TbWork w;
+    w.cuda_flops = 1e6;
+    GpuSim a(capped), b(uncapped);
+    a.launch(0, one_kernel("k", w, 16));
+    b.launch(0, one_kernel("k", w, 16));
+    EXPECT_NEAR(a.run().total_us, b.run().total_us, 1e-6);
+}
+
+TEST(EngineTest, LaunchOnUnknownStreamThrows)
+{
+    GpuSim sim(toy_device());
+    EXPECT_THROW(sim.launch(3, one_kernel("k", TbWork{}, 1)), Error);
+}
+
+TEST(EngineTest, ManySmallKernelsSerializeByLaunchLatency)
+{
+    GpuSim sim(toy_device());
+    for (int i = 0; i < 5; ++i) {
+        TbWork w;
+        w.cuda_flops = 1;  // Negligible work.
+        sim.launch(0, one_kernel("k", w, 1));
+    }
+    const double t = sim.run().total_us;
+    // Each kernel pays launch latency + prologue serially.
+    EXPECT_GT(t, 5 * (1.0 + 0.5));
+}
+
+TEST(TraceTest, ChromeTraceContainsKernelsAndStreams)
+{
+    GpuSim sim(toy_device());
+    const int s1 = sim.create_stream();
+    TbWork w;
+    w.cuda_flops = 1e6;
+    w.dram_write_bytes = 100;
+    sim.launch(0, one_kernel("kernel_a", w, 2));
+    sim.launch(s1, one_kernel("kernel_b", w, 1));
+    const SimResult r = sim.run();
+    const std::string json = chrome_trace_json(r);
+
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("kernel_a"), std::string::npos);
+    EXPECT_NE(json.find("kernel_b"), std::string::npos);
+    EXPECT_NE(json.find("stream 0"), std::string::npos);
+    EXPECT_NE(json.find("stream 1"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // Braces and brackets balance (cheap JSON well-formedness check).
+    index_t braces = 0, brackets = 0;
+    for (const char c : json) {
+        braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+        brackets += c == '[' ? 1 : (c == ']' ? -1 : 0);
+        ASSERT_GE(braces, 0);
+        ASSERT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceTest, EscapesSpecialCharactersInNames)
+{
+    GpuSim sim(toy_device());
+    TbWork w;
+    w.cuda_flops = 1;
+    sim.launch(0, one_kernel("weird\"name\\with\nstuff", w, 1));
+    const std::string json = chrome_trace_json(sim.run());
+    EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"),
+              std::string::npos);
+}
+
+TEST(LaunchTest, AddTbMergesIdenticalTailGroups)
+{
+    KernelLaunch k;
+    TbWork w;
+    w.cuda_flops = 5;
+    k.add_tb(w, 3);
+    k.add_tb(w, 2);
+    EXPECT_EQ(k.tbs.size(), 1u);
+    EXPECT_EQ(k.num_tbs(), 5);
+    w.cuda_flops = 6;
+    k.add_tb(w, 1);
+    EXPECT_EQ(k.tbs.size(), 2u);
+    EXPECT_DOUBLE_EQ(k.total_work().cuda_flops, 5 * 5 + 6);
+}
+
+}  // namespace
+}  // namespace multigrain::sim

@@ -1,0 +1,474 @@
+// Tests for the transformer substrate: model configs, synthetic workload
+// generators, the functional encoder layer, and the end-to-end runner.
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/attention.h"
+#include "gpusim/device.h"
+#include "kernels/reference.h"
+#include "transformer/config.h"
+#include "transformer/layer.h"
+#include "transformer/runner.h"
+#include "transformer/workload.h"
+
+namespace multigrain {
+namespace {
+
+// -------------------------------------------------------------- config ----
+
+TEST(ConfigTest, LongformerMatchesPaperSetup)
+{
+    const ModelConfig c = ModelConfig::longformer_large();
+    EXPECT_EQ(c.max_seq_len, 4096);
+    EXPECT_EQ(c.num_heads, 16);
+    EXPECT_EQ(c.head_dim(), 64);
+    EXPECT_EQ(c.num_layers, 24);
+    EXPECT_TRUE(c.has_global_rows);
+    // §5.1: sparse:dense stored-block ratio ~1:3 for the ±256 window at
+    // block 64 — enough dense interior blocks to favor tensor cores.
+    EXPECT_EQ(2 * c.local_window, 512);
+}
+
+TEST(ConfigTest, QdsMatchesPaperSetup)
+{
+    const ModelConfig c = ModelConfig::qds_base();
+    EXPECT_EQ(c.max_seq_len, 2048);
+    EXPECT_EQ(c.head_dim(), 64);
+    EXPECT_FALSE(c.has_global_rows);
+    EXPECT_EQ(2 * c.local_window, 128);
+}
+
+TEST(ConfigTest, BlockRatiosMatchSection51)
+{
+    // Stored blocks per interior block row: 2w/B + 1 fully-dense plus 2
+    // partial; the paper quotes sparse:dense 1:3 (Longformer) vs 2:1 (QDS).
+    const auto ratio = [](const ModelConfig &c) {
+        CompoundPattern p;
+        p.seq_len = c.max_seq_len;
+        p.atoms.push_back(AtomicPattern::local(c.local_window));
+        const SlicePlan plan = slice_and_dice(p, {.block = c.block});
+        index_t dense = 0, sparse = 0;
+        const BsrLayout &l = *plan.coarse;
+        for (index_t b = 0; b < l.nnz_blocks(); ++b) {
+            if (l.block_valid_count(b) == l.block * l.block) {
+                ++dense;
+            } else {
+                ++sparse;
+            }
+        }
+        return static_cast<double>(sparse) / static_cast<double>(dense);
+    };
+    EXPECT_LT(ratio(ModelConfig::longformer_large()), 0.6);  // ~1:3.
+    EXPECT_GT(ratio(ModelConfig::qds_base()), 1.4);          // ~2:1.
+}
+
+TEST(ConfigTest, BigBirdPatternHasBlockedAtomsAndGlobals)
+{
+    const ModelConfig c = ModelConfig::bigbird_etc_base();
+    EXPECT_EQ(c.family, PatternFamily::kBigBird);
+    Rng rng(40);
+    const WorkloadSample s = sample_for_model(rng, c);
+    const CompoundPattern p = build_model_pattern(c, s);
+    bool blocked_local = false, blocked_random = false, global = false;
+    for (const auto &atom : p.atoms) {
+        blocked_local |= atom.kind == AtomicKind::kBlockedLocal;
+        blocked_random |= atom.kind == AtomicKind::kBlockedRandom;
+        global |= atom.kind == AtomicKind::kGlobal;
+    }
+    EXPECT_TRUE(blocked_local);
+    EXPECT_TRUE(blocked_random);
+    EXPECT_TRUE(global);
+    // Random block draws are input dependent: different samples differ.
+    const WorkloadSample s2 = sample_for_model(rng, c);
+    ASSERT_NE(s.valid_len, s2.valid_len);
+    const SlicePlan a = slice_and_dice(p, {.block = c.block});
+    const SlicePlan b =
+        slice_and_dice(build_model_pattern(c, s2), {.block = c.block});
+    EXPECT_NE(a.coarse->nnz_blocks(), b.coarse->nnz_blocks());
+}
+
+TEST(ConfigTest, PoolingformerPatternIsTwoLevelWindow)
+{
+    const ModelConfig c = ModelConfig::poolingformer_base();
+    Rng rng(41);
+    const CompoundPattern p =
+        build_model_pattern(c, sample_for_model(rng, c));
+    ASSERT_EQ(p.atoms.size(), 2u);
+    EXPECT_EQ(p.atoms[0].kind, AtomicKind::kLocal);
+    EXPECT_EQ(p.atoms[1].kind, AtomicKind::kDilated);
+    // Second level reaches far beyond the sliding window.
+    EXPECT_GT(c.dilated_window * c.dilated_stride, 2 * c.local_window);
+}
+
+TEST(ConfigTest, ExtraModelsSliceCleanly)
+{
+    for (const ModelConfig &c : {ModelConfig::bigbird_etc_base(),
+                                 ModelConfig::poolingformer_base()}) {
+        Rng rng(42);
+        const CompoundPattern p =
+            build_model_pattern(c, sample_for_model(rng, c));
+        const SlicePlan plan = slice_and_dice(p, {.block = c.block});
+        plan.validate_partition();
+        EXPECT_TRUE(plan.has_coarse()) << c.name;
+        EXPECT_TRUE(plan.has_fine()) << c.name;
+    }
+}
+
+// ------------------------------------------------------------ workload ----
+
+TEST(WorkloadTest, SamplesAreDeterministic)
+{
+    const ModelConfig c = ModelConfig::longformer_large();
+    Rng a(5), b(5);
+    const WorkloadSample sa = sample_hotpotqa(a, c);
+    const WorkloadSample sb = sample_hotpotqa(b, c);
+    EXPECT_EQ(sa.valid_len, sb.valid_len);
+    EXPECT_EQ(sa.special_tokens, sb.special_tokens);
+}
+
+TEST(WorkloadTest, HotpotqaSamplesWithinBounds)
+{
+    const ModelConfig c = ModelConfig::longformer_large();
+    Rng rng(6);
+    for (int i = 0; i < 50; ++i) {
+        const WorkloadSample s = sample_hotpotqa(rng, c);
+        EXPECT_GT(s.valid_len, 0);
+        EXPECT_LE(s.valid_len, c.max_seq_len);
+        EXPECT_FALSE(s.special_tokens.empty());
+        EXPECT_LT(s.special_tokens.size(), 200u);
+        for (const index_t t : s.special_tokens) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(t, s.valid_len);
+        }
+    }
+}
+
+TEST(WorkloadTest, MarcoHasDenserSeparators)
+{
+    // QDS attends a separator per sentence: more special tokens per token
+    // of document than Longformer's paragraph markers.
+    Rng rng(7);
+    const WorkloadSample lf =
+        sample_hotpotqa(rng, ModelConfig::longformer_large());
+    const WorkloadSample ms = sample_msmarco(rng, ModelConfig::qds_base());
+    const double lf_density =
+        static_cast<double>(lf.special_tokens.size()) /
+        static_cast<double>(lf.valid_len);
+    const double ms_density =
+        static_cast<double>(ms.special_tokens.size()) /
+        static_cast<double>(ms.valid_len);
+    EXPECT_GT(ms_density, lf_density);
+}
+
+TEST(WorkloadTest, ModelPatternHasExpectedAtoms)
+{
+    const ModelConfig lf = ModelConfig::longformer_large();
+    Rng rng(8);
+    const WorkloadSample s = sample_for_model(rng, lf);
+    const CompoundPattern p = build_model_pattern(lf, s);
+    ASSERT_EQ(p.atoms.size(), 3u);  // local + selected + global.
+    EXPECT_EQ(p.atoms[0].kind, AtomicKind::kLocal);
+    EXPECT_EQ(p.atoms[1].kind, AtomicKind::kSelected);
+    EXPECT_EQ(p.atoms[2].kind, AtomicKind::kGlobal);
+    EXPECT_EQ(p.valid_len, s.valid_len);
+
+    const CompoundPattern q = build_model_pattern(
+        ModelConfig::qds_base(),
+        sample_for_model(rng, ModelConfig::qds_base()));
+    ASSERT_EQ(q.atoms.size(), 2u);  // local + selected.
+}
+
+TEST(WorkloadTest, SampleTextRoundTrips)
+{
+    WorkloadSample s;
+    s.valid_len = 1000;
+    s.special_tokens = {0, 5, 17, 500};
+    std::stringstream ss;
+    write_workload_sample(s, ss);
+    const WorkloadSample back = read_workload_sample(ss);
+    EXPECT_EQ(back.valid_len, s.valid_len);
+    EXPECT_EQ(back.special_tokens, s.special_tokens);
+}
+
+TEST(WorkloadTest, ReaderRejectsMalformedInput)
+{
+    {
+        std::stringstream ss("nonsense 4");
+        EXPECT_THROW(read_workload_sample(ss), Error);
+    }
+    {
+        std::stringstream ss("valid_len -3\ntokens 1\n");
+        EXPECT_THROW(read_workload_sample(ss), Error);
+    }
+    {
+        std::stringstream ss("valid_len 10\ntokens 12\n");  // Out of range.
+        EXPECT_THROW(read_workload_sample(ss), Error);
+    }
+}
+
+TEST(WorkloadTest, ReaderSortsAndDedupes)
+{
+    std::stringstream ss("valid_len 100\ntokens 9 3 9 1\n");
+    const WorkloadSample s = read_workload_sample(ss);
+    const std::vector<index_t> expected = {1, 3, 9};
+    EXPECT_EQ(s.special_tokens, expected);
+}
+
+// --------------------------------------------------------------- layer ----
+
+TEST(LayerTest, ForwardPreservesShapeAndFiniteness)
+{
+    const ModelConfig c = ModelConfig::tiny_test();
+    Rng rng(9);
+    const WorkloadSample s{.valid_len = 100,
+                           .special_tokens = {0, 1, 2, 40, 80}};
+    AttentionConfig ac;
+    ac.head_dim = c.head_dim();
+    ac.num_heads = c.num_heads;
+    ac.block = c.block;
+    const AttentionEngine engine(build_model_pattern(c, s), ac,
+                                 SliceMode::kMultigrain);
+    const LayerWeights w = LayerWeights::random(rng, c);
+    const HalfMatrix hidden =
+        random_half_matrix(rng, c.max_seq_len, c.d_model, -0.5f, 0.5f);
+    const HalfMatrix out = layer_forward(c, engine, w, hidden);
+    ASSERT_EQ(out.rows(), c.max_seq_len);
+    ASSERT_EQ(out.cols(), c.d_model);
+    for (index_t r = 0; r < out.rows(); ++r) {
+        for (index_t col = 0; col < out.cols(); ++col) {
+            ASSERT_TRUE(std::isfinite(float(out.at(r, col))))
+                << r << "," << col;
+        }
+    }
+}
+
+TEST(LayerTest, LayerNormStandardizesRows)
+{
+    Rng rng(10);
+    HalfMatrix m = random_half_matrix(rng, 4, 64, -3.0f, 5.0f);
+    std::vector<float> gamma(64, 1.0f), beta(64, 0.0f);
+    layer_norm_rows(m, gamma, beta);
+    for (index_t r = 0; r < 4; ++r) {
+        double mean = 0, var = 0;
+        for (index_t c = 0; c < 64; ++c) {
+            mean += float(m.at(r, c));
+        }
+        mean /= 64;
+        for (index_t c = 0; c < 64; ++c) {
+            var += (float(m.at(r, c)) - mean) * (float(m.at(r, c)) - mean);
+        }
+        var /= 64;
+        EXPECT_NEAR(mean, 0.0, 0.02);
+        EXPECT_NEAR(var, 1.0, 0.05);
+    }
+}
+
+TEST(LayerTest, GeluMatchesKnownValues)
+{
+    HalfMatrix m(1, 3);
+    m.at(0, 0) = half(0.0f);
+    m.at(0, 1) = half(1.0f);
+    m.at(0, 2) = half(-1.0f);
+    gelu_inplace(m);
+    EXPECT_NEAR(float(m.at(0, 0)), 0.0f, 1e-4);
+    EXPECT_NEAR(float(m.at(0, 1)), 0.8412f, 0.01f);
+    EXPECT_NEAR(float(m.at(0, 2)), -0.1588f, 0.01f);
+}
+
+TEST(LayerTest, ModelForwardAgreesAcrossMethods)
+{
+    // The whole 2-layer tiny model must produce (nearly) the same output
+    // whichever processing method computes the attention.
+    const ModelConfig c = ModelConfig::tiny_test();
+    Rng rng(11);
+    const WorkloadSample s{.valid_len = 128,
+                           .special_tokens = {0, 3, 64, 100}};
+    const CompoundPattern pattern = build_model_pattern(c, s);
+    AttentionConfig ac;
+    ac.head_dim = c.head_dim();
+    ac.num_heads = c.num_heads;
+    ac.block = c.block;
+    std::vector<LayerWeights> weights;
+    for (index_t i = 0; i < c.num_layers; ++i) {
+        weights.push_back(LayerWeights::random(rng, c));
+    }
+    const HalfMatrix hidden =
+        random_half_matrix(rng, c.max_seq_len, c.d_model, -0.5f, 0.5f);
+
+    const AttentionEngine mg(pattern, ac, SliceMode::kMultigrain);
+    const AttentionEngine fine(pattern, ac, SliceMode::kFineOnly);
+    const HalfMatrix out_mg = model_forward(c, mg, weights, hidden);
+    const HalfMatrix out_fine = model_forward(c, fine, weights, hidden);
+    EXPECT_LT(kernels::max_abs_diff(widen(out_mg), widen(out_fine)), 0.15);
+}
+
+// -------------------------------------------------------------- runner ----
+
+TEST(RunnerTest, EndToEndProducesLayeredTimeline)
+{
+    const ModelConfig c = ModelConfig::qds_base();
+    Rng rng(12);
+    const WorkloadSample s = sample_for_model(rng, c);
+    const TransformerRunner runner(c, SliceMode::kMultigrain, s, 1);
+    const EndToEndResult r = runner.simulate(sim::DeviceSpec::a100());
+    EXPECT_GT(r.total_us, 0);
+    EXPECT_GT(r.attention_us, 0);
+    EXPECT_LT(r.attention_us, r.total_us);
+    EXPECT_GT(r.dram_bytes, r.attention_dram_bytes);
+    // One QKV GEMM per layer present in the timeline.
+    int qkv = 0;
+    for (const auto &k : r.sim.kernels) {
+        qkv += k.name.find("gemm.qkv") != std::string::npos;
+    }
+    EXPECT_EQ(qkv, static_cast<int>(c.num_layers));
+}
+
+TEST(RunnerTest, DenseWorkIdenticalAcrossMethods)
+{
+    const ModelConfig c = ModelConfig::qds_base();
+    Rng rng(13);
+    const WorkloadSample s = sample_for_model(rng, c);
+    const auto dense_flops = [&](SliceMode mode) {
+        const TransformerRunner runner(c, mode, s, 1);
+        const EndToEndResult r = runner.simulate(sim::DeviceSpec::a100());
+        double flops = 0;
+        for (const auto &k : r.sim.kernels) {
+            if (k.name.find("gemm.") != std::string::npos) {
+                flops += k.work.tensor_flops;
+            }
+        }
+        return flops;
+    };
+    EXPECT_DOUBLE_EQ(dense_flops(SliceMode::kMultigrain),
+                     dense_flops(SliceMode::kFineOnly));
+    EXPECT_DOUBLE_EQ(dense_flops(SliceMode::kMultigrain),
+                     dense_flops(SliceMode::kCoarseOnly));
+}
+
+TEST(RunnerTest, HeterogeneousBatchSumsSampleWork)
+{
+    const ModelConfig c = ModelConfig::qds_base();
+    Rng rng(15);
+    const WorkloadSample s1 = sample_for_model(rng, c);
+    const WorkloadSample s2 = sample_for_model(rng, c);
+    ASSERT_NE(s1.valid_len, s2.valid_len);  // Genuinely heterogeneous.
+
+    const TransformerRunner hetero(c, SliceMode::kMultigrain, {s1, s2});
+    EXPECT_EQ(hetero.batch(), 2);
+    const EndToEndResult r = hetero.simulate(sim::DeviceSpec::a100());
+
+    const EndToEndResult r1 =
+        TransformerRunner(c, SliceMode::kMultigrain, s1, 1)
+            .simulate(sim::DeviceSpec::a100());
+    const EndToEndResult r2 =
+        TransformerRunner(c, SliceMode::kMultigrain, s2, 1)
+            .simulate(sim::DeviceSpec::a100());
+
+    // Attention DRAM traffic is exactly the sum of the two samples'.
+    EXPECT_NEAR(r.attention_dram_bytes,
+                r1.attention_dram_bytes + r2.attention_dram_bytes,
+                1e-3 * r.attention_dram_bytes);
+    // Co-scheduling makes the batched pass cheaper than serial execution.
+    EXPECT_LT(r.total_us, r1.total_us + r2.total_us);
+}
+
+TEST(RunnerTest, HeterogeneousSamplesCoSchedule)
+{
+    const ModelConfig c = ModelConfig::qds_base();
+    Rng rng(16);
+    const WorkloadSample s1 = sample_for_model(rng, c);
+    const WorkloadSample s2 = sample_for_model(rng, c);
+    const TransformerRunner hetero(c, SliceMode::kMultigrain, {s1, s2});
+    const EndToEndResult r = hetero.simulate(sim::DeviceSpec::a100());
+
+    // Layer 0's SDDMM phase contains both samples' coarse kernels, on
+    // different streams, overlapping in time.
+    std::vector<const sim::KernelStats *> coarse;
+    for (const auto &k : r.sim.kernels) {
+        if (k.name == "L00.attn.sddmm.coarse") {
+            coarse.push_back(&k);
+        }
+    }
+    ASSERT_EQ(coarse.size(), 2u);
+    EXPECT_NE(coarse[0]->stream, coarse[1]->stream);
+    EXPECT_LT(coarse[1]->start_us, coarse[0]->end_us);
+}
+
+TEST(RunnerTest, HomogeneousAndHeterogeneousAgreeOnIdenticalSamples)
+{
+    // A heterogeneous batch of two *identical* samples must do the same
+    // attention work as the fused homogeneous batch-2 launch.
+    const ModelConfig c = ModelConfig::qds_base();
+    Rng rng(17);
+    const WorkloadSample s = sample_for_model(rng, c);
+    const EndToEndResult fused =
+        TransformerRunner(c, SliceMode::kMultigrain, s, 2)
+            .simulate(sim::DeviceSpec::a100());
+    const EndToEndResult split =
+        TransformerRunner(c, SliceMode::kMultigrain, {s, s})
+            .simulate(sim::DeviceSpec::a100());
+    EXPECT_NEAR(fused.attention_dram_bytes, split.attention_dram_bytes,
+                1e-3 * fused.attention_dram_bytes);
+    // Timing differs (kernel count, launch overheads) but stays close.
+    EXPECT_NEAR(fused.total_us, split.total_us, 0.25 * fused.total_us);
+}
+
+TEST(RunnerTest, TrainingStepExtendsForward)
+{
+    const ModelConfig c = ModelConfig::qds_base();
+    Rng rng(18);
+    const WorkloadSample s = sample_for_model(rng, c);
+    const TransformerRunner runner(c, SliceMode::kMultigrain, s, 1);
+    const EndToEndResult fwd = runner.simulate(sim::DeviceSpec::a100());
+    const EndToEndResult step =
+        runner.simulate_training(sim::DeviceSpec::a100());
+    // A step costs roughly 3x a forward pass (backward dense GEMMs are 2x
+    // and the attention backward is ~2-3x the forward attention).
+    EXPECT_GT(step.total_us, 2.0 * fwd.total_us);
+    EXPECT_LT(step.total_us, 4.5 * fwd.total_us);
+    // The backward attention kernels are present.
+    bool saw_dv = false, saw_softmax_bwd = false;
+    for (const auto &k : step.sim.kernels) {
+        saw_dv |= k.name.find("spmm_t.dv") != std::string::npos;
+        saw_softmax_bwd |= k.name.find("bwd.softmax") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_dv);
+    EXPECT_TRUE(saw_softmax_bwd);
+}
+
+TEST(RunnerTest, MultigrainWinsTrainingToo)
+{
+    const ModelConfig c = ModelConfig::qds_base();
+    Rng rng(19);
+    const WorkloadSample s = sample_for_model(rng, c);
+    const double mg = TransformerRunner(c, SliceMode::kMultigrain, s, 2)
+                          .simulate_training(sim::DeviceSpec::a100())
+                          .total_us;
+    const double tr = TransformerRunner(c, SliceMode::kCoarseOnly, s, 2)
+                          .simulate_training(sim::DeviceSpec::a100())
+                          .total_us;
+    EXPECT_LT(mg, tr);
+}
+
+TEST(RunnerTest, BatchScalesAttentionWork)
+{
+    const ModelConfig c = ModelConfig::qds_base();
+    Rng rng(14);
+    const WorkloadSample s = sample_for_model(rng, c);
+    const TransformerRunner b1(c, SliceMode::kMultigrain, s, 1);
+    const TransformerRunner b2(c, SliceMode::kMultigrain, s, 2);
+    const EndToEndResult r1 = b1.simulate(sim::DeviceSpec::a100());
+    const EndToEndResult r2 = b2.simulate(sim::DeviceSpec::a100());
+    EXPECT_NEAR(r2.attention_dram_bytes, 2 * r1.attention_dram_bytes,
+                0.01 * r1.attention_dram_bytes);
+    EXPECT_GT(r2.total_us, r1.total_us);
+    EXPECT_LT(r2.total_us, 2 * r1.total_us);  // Better utilization.
+}
+
+}  // namespace
+}  // namespace multigrain
