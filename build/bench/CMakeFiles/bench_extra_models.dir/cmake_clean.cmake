@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_models.dir/bench_extra_models.cc.o"
+  "CMakeFiles/bench_extra_models.dir/bench_extra_models.cc.o.d"
+  "bench_extra_models"
+  "bench_extra_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_spsoftmax.dir/bench_fig10_spsoftmax.cc.o"
+  "CMakeFiles/bench_fig10_spsoftmax.dir/bench_fig10_spsoftmax.cc.o.d"
+  "bench_fig10_spsoftmax"
+  "bench_fig10_spsoftmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_spsoftmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

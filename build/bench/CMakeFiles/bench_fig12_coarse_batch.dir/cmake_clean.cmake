@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_coarse_batch.dir/bench_fig12_coarse_batch.cc.o"
+  "CMakeFiles/bench_fig12_coarse_batch.dir/bench_fig12_coarse_batch.cc.o.d"
+  "bench_fig12_coarse_batch"
+  "bench_fig12_coarse_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_coarse_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

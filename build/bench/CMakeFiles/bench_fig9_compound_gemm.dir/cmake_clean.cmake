@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_compound_gemm.dir/bench_fig9_compound_gemm.cc.o"
+  "CMakeFiles/bench_fig9_compound_gemm.dir/bench_fig9_compound_gemm.cc.o.d"
+  "bench_fig9_compound_gemm"
+  "bench_fig9_compound_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_compound_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

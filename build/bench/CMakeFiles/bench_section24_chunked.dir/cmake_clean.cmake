@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section24_chunked.dir/bench_section24_chunked.cc.o"
+  "CMakeFiles/bench_section24_chunked.dir/bench_section24_chunked.cc.o.d"
+  "bench_section24_chunked"
+  "bench_section24_chunked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section24_chunked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

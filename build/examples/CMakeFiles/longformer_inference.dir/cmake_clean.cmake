@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longformer_inference.dir/longformer_inference.cpp.o"
+  "CMakeFiles/longformer_inference.dir/longformer_inference.cpp.o.d"
+  "longformer_inference"
+  "longformer_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longformer_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qds_ranking.dir/qds_ranking.cpp.o"
+  "CMakeFiles/qds_ranking.dir/qds_ranking.cpp.o.d"
+  "qds_ranking"
+  "qds_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qds_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_common.dir/half.cc.o"
+  "CMakeFiles/mg_common.dir/half.cc.o.d"
+  "CMakeFiles/mg_common.dir/logging.cc.o"
+  "CMakeFiles/mg_common.dir/logging.cc.o.d"
+  "CMakeFiles/mg_common.dir/rng.cc.o"
+  "CMakeFiles/mg_common.dir/rng.cc.o.d"
+  "libmg_common.a"
+  "libmg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_core.dir/attention.cc.o"
+  "CMakeFiles/mg_core.dir/attention.cc.o.d"
+  "CMakeFiles/mg_core.dir/multihead.cc.o"
+  "CMakeFiles/mg_core.dir/multihead.cc.o.d"
+  "CMakeFiles/mg_core.dir/planner.cc.o"
+  "CMakeFiles/mg_core.dir/planner.cc.o.d"
+  "libmg_core.a"
+  "libmg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

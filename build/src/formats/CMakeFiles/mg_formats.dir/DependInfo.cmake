@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/bcoo.cc" "src/formats/CMakeFiles/mg_formats.dir/bcoo.cc.o" "gcc" "src/formats/CMakeFiles/mg_formats.dir/bcoo.cc.o.d"
+  "/root/repo/src/formats/blocked_ell.cc" "src/formats/CMakeFiles/mg_formats.dir/blocked_ell.cc.o" "gcc" "src/formats/CMakeFiles/mg_formats.dir/blocked_ell.cc.o.d"
+  "/root/repo/src/formats/bsr.cc" "src/formats/CMakeFiles/mg_formats.dir/bsr.cc.o" "gcc" "src/formats/CMakeFiles/mg_formats.dir/bsr.cc.o.d"
+  "/root/repo/src/formats/convert.cc" "src/formats/CMakeFiles/mg_formats.dir/convert.cc.o" "gcc" "src/formats/CMakeFiles/mg_formats.dir/convert.cc.o.d"
+  "/root/repo/src/formats/coo.cc" "src/formats/CMakeFiles/mg_formats.dir/coo.cc.o" "gcc" "src/formats/CMakeFiles/mg_formats.dir/coo.cc.o.d"
+  "/root/repo/src/formats/csr.cc" "src/formats/CMakeFiles/mg_formats.dir/csr.cc.o" "gcc" "src/formats/CMakeFiles/mg_formats.dir/csr.cc.o.d"
+  "/root/repo/src/formats/serialize.cc" "src/formats/CMakeFiles/mg_formats.dir/serialize.cc.o" "gcc" "src/formats/CMakeFiles/mg_formats.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

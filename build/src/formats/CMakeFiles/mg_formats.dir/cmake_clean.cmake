@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_formats.dir/bcoo.cc.o"
+  "CMakeFiles/mg_formats.dir/bcoo.cc.o.d"
+  "CMakeFiles/mg_formats.dir/blocked_ell.cc.o"
+  "CMakeFiles/mg_formats.dir/blocked_ell.cc.o.d"
+  "CMakeFiles/mg_formats.dir/bsr.cc.o"
+  "CMakeFiles/mg_formats.dir/bsr.cc.o.d"
+  "CMakeFiles/mg_formats.dir/convert.cc.o"
+  "CMakeFiles/mg_formats.dir/convert.cc.o.d"
+  "CMakeFiles/mg_formats.dir/coo.cc.o"
+  "CMakeFiles/mg_formats.dir/coo.cc.o.d"
+  "CMakeFiles/mg_formats.dir/csr.cc.o"
+  "CMakeFiles/mg_formats.dir/csr.cc.o.d"
+  "CMakeFiles/mg_formats.dir/serialize.cc.o"
+  "CMakeFiles/mg_formats.dir/serialize.cc.o.d"
+  "libmg_formats.a"
+  "libmg_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

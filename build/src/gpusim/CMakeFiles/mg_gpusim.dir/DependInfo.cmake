@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/mg_gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/mg_gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/engine.cc" "src/gpusim/CMakeFiles/mg_gpusim.dir/engine.cc.o" "gcc" "src/gpusim/CMakeFiles/mg_gpusim.dir/engine.cc.o.d"
+  "/root/repo/src/gpusim/launch.cc" "src/gpusim/CMakeFiles/mg_gpusim.dir/launch.cc.o" "gcc" "src/gpusim/CMakeFiles/mg_gpusim.dir/launch.cc.o.d"
+  "/root/repo/src/gpusim/report.cc" "src/gpusim/CMakeFiles/mg_gpusim.dir/report.cc.o" "gcc" "src/gpusim/CMakeFiles/mg_gpusim.dir/report.cc.o.d"
+  "/root/repo/src/gpusim/trace.cc" "src/gpusim/CMakeFiles/mg_gpusim.dir/trace.cc.o" "gcc" "src/gpusim/CMakeFiles/mg_gpusim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_gpusim.dir/device.cc.o"
+  "CMakeFiles/mg_gpusim.dir/device.cc.o.d"
+  "CMakeFiles/mg_gpusim.dir/engine.cc.o"
+  "CMakeFiles/mg_gpusim.dir/engine.cc.o.d"
+  "CMakeFiles/mg_gpusim.dir/launch.cc.o"
+  "CMakeFiles/mg_gpusim.dir/launch.cc.o.d"
+  "CMakeFiles/mg_gpusim.dir/report.cc.o"
+  "CMakeFiles/mg_gpusim.dir/report.cc.o.d"
+  "CMakeFiles/mg_gpusim.dir/trace.cc.o"
+  "CMakeFiles/mg_gpusim.dir/trace.cc.o.d"
+  "libmg_gpusim.a"
+  "libmg_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

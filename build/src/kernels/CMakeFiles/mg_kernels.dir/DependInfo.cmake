@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/backward.cc" "src/kernels/CMakeFiles/mg_kernels.dir/backward.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/backward.cc.o.d"
+  "/root/repo/src/kernels/blocked_baseline.cc" "src/kernels/CMakeFiles/mg_kernels.dir/blocked_baseline.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/blocked_baseline.cc.o.d"
+  "/root/repo/src/kernels/chunked_baseline.cc" "src/kernels/CMakeFiles/mg_kernels.dir/chunked_baseline.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/chunked_baseline.cc.o.d"
+  "/root/repo/src/kernels/coarse.cc" "src/kernels/CMakeFiles/mg_kernels.dir/coarse.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/coarse.cc.o.d"
+  "/root/repo/src/kernels/compound_softmax.cc" "src/kernels/CMakeFiles/mg_kernels.dir/compound_softmax.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/compound_softmax.cc.o.d"
+  "/root/repo/src/kernels/cost_model.cc" "src/kernels/CMakeFiles/mg_kernels.dir/cost_model.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/cost_model.cc.o.d"
+  "/root/repo/src/kernels/cusparse_baseline.cc" "src/kernels/CMakeFiles/mg_kernels.dir/cusparse_baseline.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/cusparse_baseline.cc.o.d"
+  "/root/repo/src/kernels/dense.cc" "src/kernels/CMakeFiles/mg_kernels.dir/dense.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/dense.cc.o.d"
+  "/root/repo/src/kernels/fine.cc" "src/kernels/CMakeFiles/mg_kernels.dir/fine.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/fine.cc.o.d"
+  "/root/repo/src/kernels/reference.cc" "src/kernels/CMakeFiles/mg_kernels.dir/reference.cc.o" "gcc" "src/kernels/CMakeFiles/mg_kernels.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formats/CMakeFiles/mg_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/mg_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mg_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

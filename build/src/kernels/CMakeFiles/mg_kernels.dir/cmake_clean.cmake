@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_kernels.dir/backward.cc.o"
+  "CMakeFiles/mg_kernels.dir/backward.cc.o.d"
+  "CMakeFiles/mg_kernels.dir/blocked_baseline.cc.o"
+  "CMakeFiles/mg_kernels.dir/blocked_baseline.cc.o.d"
+  "CMakeFiles/mg_kernels.dir/chunked_baseline.cc.o"
+  "CMakeFiles/mg_kernels.dir/chunked_baseline.cc.o.d"
+  "CMakeFiles/mg_kernels.dir/coarse.cc.o"
+  "CMakeFiles/mg_kernels.dir/coarse.cc.o.d"
+  "CMakeFiles/mg_kernels.dir/compound_softmax.cc.o"
+  "CMakeFiles/mg_kernels.dir/compound_softmax.cc.o.d"
+  "CMakeFiles/mg_kernels.dir/cost_model.cc.o"
+  "CMakeFiles/mg_kernels.dir/cost_model.cc.o.d"
+  "CMakeFiles/mg_kernels.dir/cusparse_baseline.cc.o"
+  "CMakeFiles/mg_kernels.dir/cusparse_baseline.cc.o.d"
+  "CMakeFiles/mg_kernels.dir/dense.cc.o"
+  "CMakeFiles/mg_kernels.dir/dense.cc.o.d"
+  "CMakeFiles/mg_kernels.dir/fine.cc.o"
+  "CMakeFiles/mg_kernels.dir/fine.cc.o.d"
+  "CMakeFiles/mg_kernels.dir/reference.cc.o"
+  "CMakeFiles/mg_kernels.dir/reference.cc.o.d"
+  "libmg_kernels.a"
+  "libmg_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patterns/pattern.cc" "src/patterns/CMakeFiles/mg_patterns.dir/pattern.cc.o" "gcc" "src/patterns/CMakeFiles/mg_patterns.dir/pattern.cc.o.d"
+  "/root/repo/src/patterns/presets.cc" "src/patterns/CMakeFiles/mg_patterns.dir/presets.cc.o" "gcc" "src/patterns/CMakeFiles/mg_patterns.dir/presets.cc.o.d"
+  "/root/repo/src/patterns/slice.cc" "src/patterns/CMakeFiles/mg_patterns.dir/slice.cc.o" "gcc" "src/patterns/CMakeFiles/mg_patterns.dir/slice.cc.o.d"
+  "/root/repo/src/patterns/stats.cc" "src/patterns/CMakeFiles/mg_patterns.dir/stats.cc.o" "gcc" "src/patterns/CMakeFiles/mg_patterns.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formats/CMakeFiles/mg_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

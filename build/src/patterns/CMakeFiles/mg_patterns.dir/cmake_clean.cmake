@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_patterns.dir/pattern.cc.o"
+  "CMakeFiles/mg_patterns.dir/pattern.cc.o.d"
+  "CMakeFiles/mg_patterns.dir/presets.cc.o"
+  "CMakeFiles/mg_patterns.dir/presets.cc.o.d"
+  "CMakeFiles/mg_patterns.dir/slice.cc.o"
+  "CMakeFiles/mg_patterns.dir/slice.cc.o.d"
+  "CMakeFiles/mg_patterns.dir/stats.cc.o"
+  "CMakeFiles/mg_patterns.dir/stats.cc.o.d"
+  "libmg_patterns.a"
+  "libmg_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

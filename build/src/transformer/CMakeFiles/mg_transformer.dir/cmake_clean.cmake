@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_transformer.dir/config.cc.o"
+  "CMakeFiles/mg_transformer.dir/config.cc.o.d"
+  "CMakeFiles/mg_transformer.dir/layer.cc.o"
+  "CMakeFiles/mg_transformer.dir/layer.cc.o.d"
+  "CMakeFiles/mg_transformer.dir/runner.cc.o"
+  "CMakeFiles/mg_transformer.dir/runner.cc.o.d"
+  "CMakeFiles/mg_transformer.dir/workload.cc.o"
+  "CMakeFiles/mg_transformer.dir/workload.cc.o.d"
+  "libmg_transformer.a"
+  "libmg_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

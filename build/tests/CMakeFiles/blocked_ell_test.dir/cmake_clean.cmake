@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_ell_test.dir/blocked_ell_test.cc.o"
+  "CMakeFiles/blocked_ell_test.dir/blocked_ell_test.cc.o.d"
+  "blocked_ell_test"
+  "blocked_ell_test.pdb"
+  "blocked_ell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_ell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunked_test.dir/chunked_test.cc.o"
+  "CMakeFiles/chunked_test.dir/chunked_test.cc.o.d"
+  "chunked_test"
+  "chunked_test.pdb"
+  "chunked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/patterns_test.cc" "tests/CMakeFiles/patterns_test.dir/patterns_test.cc.o" "gcc" "tests/CMakeFiles/patterns_test.dir/patterns_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transformer/CMakeFiles/mg_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mg_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/mg_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mg_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/mg_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
