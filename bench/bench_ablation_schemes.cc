@@ -74,6 +74,10 @@ ablation_sddmm_scheme()
                 .span(phase::kSddmm);
         std::printf("%-8s | %12.1f %12.1f | %8s\n", label.c_str(), t_rs,
                     t_td, bench::fmt_speedup(t_td / t_rs).c_str());
+        bench::report_row("ablation.fine_sddmm_scheme")
+            .label("pattern", label)
+            .metric("rowsplit_us", t_rs)
+            .metric("tiling1d_us", t_td);
     }
 }
 
@@ -97,6 +101,10 @@ ablation_multistream()
         std::printf("%-8s | %12.1f %12.1f | %8s\n", label.c_str(), t_multi,
                     t_single,
                     bench::fmt_speedup(t_single / t_multi).c_str());
+        bench::report_row("ablation.multistream")
+            .label("pattern", label)
+            .metric("multi_us", t_multi)
+            .metric("single_us", t_single);
     }
 }
 
@@ -127,6 +135,10 @@ ablation_global_routing()
             total_us(pattern, fine, SliceMode::kMultigrain);
         std::printf("%-8s | %12.1f %12.1f | %8s\n", label.c_str(), t_dense,
                     t_fine, bench::fmt_speedup(t_fine / t_dense).c_str());
+        bench::report_row("ablation.global_routing")
+            .label("pattern", label)
+            .metric("dense_us", t_dense)
+            .metric("fine_us", t_fine);
     }
 }
 
@@ -153,6 +165,13 @@ ablation_block_size()
                     100.0 *
                         static_cast<double>(plan.coarse_valid_elements()) /
                         static_cast<double>(plan.coarse_stored_elements()));
+        bench::report_row("ablation.block_size")
+            .metric("block", static_cast<double>(block))
+            .metric("attn_us", t)
+            .metric("stored_elements",
+                    static_cast<double>(plan.coarse_stored_elements()))
+            .metric("valid_elements",
+                    static_cast<double>(plan.coarse_valid_elements()));
     }
 }
 
@@ -161,6 +180,7 @@ ablation_block_size()
 int
 main(int argc, char **argv)
 {
+    bench::report_name("ablation_schemes");
     ablation_sddmm_scheme();
     ablation_multistream();
     ablation_global_routing();

@@ -45,10 +45,17 @@ characterize_attention()
         bench::print_title(std::string("Attention kernels, ") +
                            to_string(mode) + " (A100, L+S+G)");
         const AttentionEngine engine(p, config(), mode);
-        const sim::WorkloadReport report = sim::characterize(
-            engine.simulate(sim::DeviceSpec::a100()),
-            sim::DeviceSpec::a100());
+        const sim::SimResult result =
+            engine.simulate(sim::DeviceSpec::a100());
+        const sim::WorkloadReport report =
+            sim::characterize(result, sim::DeviceSpec::a100());
         sim::print_report(report, std::cout, 12);
+        bench::report_row("characterization.attention")
+            .label("mode", to_string(mode))
+            .metric("total_us", result.total_us)
+            .metric("dram_bytes", result.work.dram_bytes())
+            .metric("total_j", report.total_j())
+            .metric("avg_watts", report.average_watts());
     }
 }
 
@@ -71,10 +78,15 @@ end_to_end_energy()
             const TransformerRunner runner(model, mode, sample, 1);
             const EndToEndResult r =
                 runner.simulate(sim::DeviceSpec::a100());
+            const double j =
+                sim::characterize(r.sim, sim::DeviceSpec::a100()).total_j();
             joules[static_cast<int>(mode) == 1   ? 0
                    : static_cast<int>(mode) == 2 ? 1
-                                                 : 2] =
-                sim::characterize(r.sim, sim::DeviceSpec::a100()).total_j();
+                                                 : 2] = j;
+            bench::report_row("characterization.energy")
+                .label("model", model.name)
+                .label("mode", to_string(mode))
+                .metric("total_j", j);
         }
         std::printf("%-22s | %12.3f %12.3f %12.3f\n", model.name.c_str(),
                     joules[0], joules[1], joules[2]);
@@ -86,6 +98,7 @@ end_to_end_energy()
 int
 main(int argc, char **argv)
 {
+    bench::report_name("characterization");
     characterize_attention();
     end_to_end_energy();
 

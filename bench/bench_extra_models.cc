@@ -52,6 +52,7 @@ run_model(const ModelConfig &model, const sim::DeviceSpec &device)
 int
 main(int argc, char **argv)
 {
+    bench::report_name("extra_models");
     bench::print_title(
         "Extension — other compound-sparse models (§2.3), end-to-end, "
         "batch 1");
@@ -63,6 +64,12 @@ main(int argc, char **argv)
         for (const ModelConfig &model : {ModelConfig::bigbird_etc_base(),
                                          ModelConfig::poolingformer_base()}) {
             const Row row = run_model(model, device);
+            bench::report_row("extra_models")
+                .label("device", device.name)
+                .label("model", model.name)
+                .metric("triton_us", row.triton_us)
+                .metric("sputnik_us", row.sputnik_us)
+                .metric("multigrain_us", row.multigrain_us);
             std::printf("%-9s %-22s | %9s %9s %9s |   %5s / %-7s\n",
                         device.name.c_str(), model.name.c_str(),
                         bench::fmt_ms(row.triton_us).c_str(),

@@ -50,13 +50,19 @@ softmax_us(const CompoundPattern &pattern, SliceMode mode)
 int
 main(int argc, char **argv)
 {
+    bench::report_name("fig10_spsoftmax");
     std::map<std::string, std::map<int, double>> all;
     for (const auto &[label, pattern] :
          fig9_patterns(kSeqLen, kDensity, 2022)) {
         for (const SliceMode mode :
              {SliceMode::kMultigrain, SliceMode::kCoarseOnly,
               SliceMode::kFineOnly}) {
-            all[label][static_cast<int>(mode)] = softmax_us(pattern, mode);
+            const double us = softmax_us(pattern, mode);
+            all[label][static_cast<int>(mode)] = us;
+            bench::report_row("fig10")
+                .label("pattern", label)
+                .label("mode", to_string(mode))
+                .metric("softmax_us", us);
         }
     }
 

@@ -75,9 +75,17 @@ run_pattern(const CompoundPattern &pattern, index_t batch)
 int
 main(int argc, char **argv)
 {
+    bench::report_name("fig11_coarse_kernel");
     std::map<std::string, OpTimes> all;
     for (const auto &[label, pattern] : fig11_patterns(kSeqLen, 2022)) {
-        all[label] = run_pattern(pattern, 1);
+        const OpTimes t = run_pattern(pattern, 1);
+        all[label] = t;
+        bench::report_row("fig11")
+            .label("pattern", label)
+            .metric("ours_sddmm_us", t.ours_sddmm)
+            .metric("triton_sddmm_us", t.triton_sddmm)
+            .metric("ours_spmm_us", t.ours_spmm)
+            .metric("triton_spmm_us", t.triton_spmm);
     }
 
     bench::print_title(

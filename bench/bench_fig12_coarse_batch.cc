@@ -76,6 +76,7 @@ run_pattern(const CompoundPattern &pattern, index_t batch)
 int
 main(int argc, char **argv)
 {
+    bench::report_name("fig12_coarse_batch");
     bench::print_title(
         "Figure 12 — our coarse kernel speedup over Triton vs batch size "
         "(A100, 4 heads, d_h=64)");
@@ -87,6 +88,11 @@ main(int argc, char **argv)
         for (const index_t batch : kBatches) {
             const Ratios r = run_pattern(pattern, batch);
             all[label][batch] = r;
+            bench::report_row("fig12")
+                .label("pattern", label)
+                .metric("batch", static_cast<double>(batch))
+                .metric("sddmm_vs_triton", r.sddmm)
+                .metric("spmm_vs_triton", r.spmm);
             std::printf("%-15s %6lld | %12s | %12s\n", label.c_str(),
                         static_cast<long long>(batch),
                         bench::fmt_speedup(r.sddmm).c_str(),

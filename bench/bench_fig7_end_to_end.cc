@@ -121,10 +121,19 @@ print_table()
 int
 main(int argc, char **argv)
 {
+    bench::report_name("fig7_end_to_end");
     run_all();
     print_table();
 
     for (const auto &[key, result] : g_results) {
+        bench::report_row("fig7")
+            .label("device", key.device)
+            .label("model", key.model)
+            .label("mode", to_string(static_cast<SliceMode>(key.mode)))
+            .metric("total_us", result.total_us)
+            .metric("attention_us", result.attention_us)
+            .metric("dram_bytes", result.dram_bytes)
+            .metric("attention_dram_bytes", result.attention_dram_bytes);
         const std::string name = "fig7/" + key.device + "/" + key.model +
                                  "/" +
                                  to_string(static_cast<SliceMode>(key.mode));

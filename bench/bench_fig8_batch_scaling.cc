@@ -106,10 +106,17 @@ print_table()
 int
 main(int argc, char **argv)
 {
+    bench::report_name("fig8_batch_scaling");
     run_all();
     print_table();
 
     for (const auto &[key, us] : g_total_us) {
+        bench::report_row("fig8")
+            .label("device", key.device)
+            .label("model", key.model)
+            .label("mode", to_string(static_cast<SliceMode>(key.mode)))
+            .metric("batch", static_cast<double>(key.batch))
+            .metric("total_us", us);
         const std::string name =
             "fig8/" + key.device + "/" + key.model + "/batch" +
             std::to_string(key.batch) + "/" +

@@ -122,6 +122,7 @@ print_table(const std::map<std::string, std::map<int, PhaseTimes>> &all)
 int
 main(int argc, char **argv)
 {
+    bench::report_name("fig9_compound_gemm");
     const auto all = compute_all();
     print_table(*all);
 
@@ -130,6 +131,14 @@ main(int argc, char **argv)
         for (const SliceMode mode :
              {SliceMode::kMultigrain, SliceMode::kCoarseOnly,
               SliceMode::kFineOnly}) {
+            const PhaseTimes &t = all->at(label).at(static_cast<int>(mode));
+            bench::report_row("fig9")
+                .label("pattern", label)
+                .label("mode", to_string(mode))
+                .metric("sddmm_us", t.sddmm_us)
+                .metric("softmax_us", t.softmax_us)
+                .metric("spmm_us", t.spmm_us)
+                .metric("total_us", t.total_us);
             const CompoundPattern pat = pattern;
             const std::string name =
                 std::string("fig9/") + label + "/" + to_string(mode);

@@ -95,6 +95,12 @@ print_row(const char *label, const Row &row)
     std::printf("%-24s | %10.1f | %10.1f (%5.3f GB copies) | %10.1f\n",
                 label, row.multigrain_us, row.chunked_us,
                 row.chunked_copy_gb, row.triton_us);
+    bench::report_row("section24")
+        .label("pattern", label)
+        .metric("multigrain_us", row.multigrain_us)
+        .metric("chunked_us", row.chunked_us)
+        .metric("chunked_copy_gb", row.chunked_copy_gb)
+        .metric("triton_us", row.triton_us);
 }
 
 }  // namespace
@@ -102,6 +108,7 @@ print_row(const char *label, const Row &row)
 int
 main(int argc, char **argv)
 {
+    bench::report_name("section24_chunked");
     bench::print_title(
         "§2.4 — chunked methods vs Multigrain's coarse path "
         "(A100, L=4096, 4 heads, whole attention op)");

@@ -70,6 +70,7 @@ sparse_attention_us(index_t seq, SliceMode mode)
 int
 main(int argc, char **argv)
 {
+    bench::report_name("seq_scaling");
     const std::vector<index_t> lengths = {1024, 2048, 4096, 8192, 16384};
 
     bench::print_title(
@@ -99,6 +100,14 @@ main(int argc, char **argv)
             static_cast<long long>(seq), dense, triton, sputnik, mg,
             bench::fmt_speedup(dense / mg).c_str(),
             bench::fmt_speedup(mem_dense / mem_mg).c_str());
+        bench::report_row("seq_scaling")
+            .metric("seq_len", static_cast<double>(seq))
+            .metric("dense_us", dense)
+            .metric("triton_us", triton)
+            .metric("sputnik_us", sputnik)
+            .metric("multigrain_us", mg)
+            .metric("dense_memory_bytes", mem_dense)
+            .metric("multigrain_memory_bytes", mem_mg);
     }
     std::printf(
         "\n(dense time should ~4x per doubling; Multigrain ~2x, so the\n"

@@ -72,11 +72,25 @@ print_device(const sim::DeviceSpec &d, const Roofline &r)
                 r.stream_gbps);
 }
 
+void
+report_device(const sim::DeviceSpec &d, const Roofline &r)
+{
+    bench::report_row("table1")
+        .label("device", d.name)
+        .metric("dram_gbps", d.dram_gbps)
+        .metric("cuda_tflops", d.cuda_tflops)
+        .metric("tensor_tflops", d.tensor_tflops)
+        .metric("measured_gemm_tflops", r.gemm_tflops)
+        .metric("measured_cuda_tflops", r.cuda_tflops)
+        .metric("measured_stream_gbps", r.stream_gbps);
+}
+
 }  // namespace
 
 int
 main(int argc, char **argv)
 {
+    bench::report_name("table1_devices");
     bench::print_title(
         "Table 1 — device specifications and simulator roofline check");
     std::printf("%-9s | %8s | %8s | %8s | %8s | %6s | %9s | %9s | %9s\n",
@@ -89,6 +103,8 @@ main(int argc, char **argv)
     const Roofline rr = measure(rtx);
     print_device(a100, ra);
     print_device(rtx, rr);
+    report_device(a100, ra);
+    report_device(rtx, rr);
     bench::print_rule(100);
     std::printf(
         "achieved fractions: A100 TC %.0f%%, CUDA %.0f%%, BW %.0f%%; "

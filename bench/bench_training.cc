@@ -36,6 +36,13 @@ run_model(const ModelConfig &model, index_t batch)
             runner.simulate(sim::DeviceSpec::a100()).total_us;
         const EndToEndResult step =
             runner.simulate_training(sim::DeviceSpec::a100());
+        bench::report_row("training")
+            .label("model", model.name)
+            .label("mode", to_string(mode))
+            .metric("batch", static_cast<double>(batch))
+            .metric("forward_us", fwd)
+            .metric("step_us", step.total_us)
+            .metric("attention_us", step.attention_us);
         std::printf("  %-12s fwd %9s ms   step %9s ms   attn %8s ms\n",
                     to_string(mode), bench::fmt_ms(fwd).c_str(),
                     bench::fmt_ms(step.total_us).c_str(),
@@ -55,6 +62,7 @@ run_model(const ModelConfig &model, index_t batch)
 int
 main(int argc, char **argv)
 {
+    bench::report_name("training");
     bench::print_title(
         "Extension — training step (forward + backward) on A100");
     run_model(ModelConfig::qds_base(), 4);

@@ -2,7 +2,16 @@
 #define MULTIGRAIN_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "profiler/export.h"
 
 /// Shared console-table helpers for the benchmark harness. Every bench
 /// binary prints the rows/series its paper table or figure reports, then
@@ -51,6 +60,146 @@ fmt_gb(double bytes)
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.3f", bytes / 1e9);
     return buf;
+}
+
+/// One row of a figure/table series: ordered label and metric cells, all
+/// flattened into one JSON object when the artifact is written.
+class JsonRow {
+  public:
+    explicit JsonRow(std::string series) : series_(std::move(series)) {}
+
+    JsonRow &
+    label(const std::string &key, const std::string &value)
+    {
+        labels_.emplace_back(key, value);
+        return *this;
+    }
+
+    JsonRow &
+    metric(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+        return *this;
+    }
+
+    void
+    write(JsonWriter &w) const
+    {
+        w.begin_object();
+        w.field("series", series_);
+        for (const auto &[key, value] : labels_) {
+            w.field(key, value);
+        }
+        for (const auto &[key, value] : metrics_) {
+            w.field(key, value);
+        }
+        w.end_object();
+    }
+
+  private:
+    std::string series_;
+    std::vector<std::pair<std::string, std::string>> labels_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Process-wide machine-readable artifact. Each bench binary names the
+/// artifact once in main(), appends rows wherever it computes results, and
+/// the file `BENCH_<name>.json` (under $MULTIGRAIN_BENCH_DIR, default cwd)
+/// is written when the process exits — the same rows the console tables
+/// show, in the pinned "mgprof.bench" schema.
+class JsonReport {
+  public:
+    static JsonReport &
+    instance()
+    {
+        static JsonReport *report = new JsonReport;
+        return *report;
+    }
+
+    void
+    set_name(const std::string &name)
+    {
+        name_ = name;
+        std::atexit(&JsonReport::write_at_exit);
+    }
+
+    JsonRow &
+    row(const std::string &series)
+    {
+        rows_.emplace_back(series);
+        return rows_.back();
+    }
+
+    std::string
+    to_json() const
+    {
+        std::ostringstream os;
+        {
+            JsonWriter w(os);
+            w.begin_object();
+            w.field("schema", prof::kBenchSchema);
+            w.field("schema_version", prof::kSchemaVersion);
+            w.field("name", name_);
+            w.key("rows");
+            w.begin_array();
+            for (const JsonRow &r : rows_) {
+                r.write(w);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        return os.str();
+    }
+
+    void
+    write() const
+    {
+        if (name_.empty()) {
+            return;
+        }
+        std::string dir = ".";
+        if (const char *env = std::getenv("MULTIGRAIN_BENCH_DIR")) {
+            if (*env != '\0') {
+                dir = env;
+            }
+        }
+        const std::string path = dir + "/BENCH_" + name_ + ".json";
+        std::ofstream file(path);
+        if (!file.good()) {
+            log_message(LogLevel::kWarn,
+                        "cannot write bench artifact " + path);
+            return;
+        }
+        file << to_json() << "\n";
+        std::fprintf(stderr, "bench: wrote %s (%zu rows)\n", path.c_str(),
+                     rows_.size());
+    }
+
+  private:
+    JsonReport() = default;
+
+    static void
+    write_at_exit()
+    {
+        instance().write();
+    }
+
+    std::string name_;
+    std::vector<JsonRow> rows_;
+};
+
+/// Names this binary's artifact; call once at the top of main().
+inline void
+report_name(const std::string &name)
+{
+    JsonReport::instance().set_name(name);
+}
+
+/// Appends a row to the artifact; chain .label()/.metric() on the result.
+inline JsonRow &
+report_row(const std::string &series)
+{
+    return JsonReport::instance().row(series);
 }
 
 }  // namespace multigrain::bench

@@ -1,12 +1,20 @@
 #include "common/logging.h"
 
 #include <iostream>
+#include <utility>
 
 namespace multigrain {
 
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+
+LogSink &
+sink_slot()
+{
+    static LogSink *sink = new LogSink;  // Leaked: usable during exit.
+    return *sink;
+}
 
 const char *
 level_tag(LogLevel level)
@@ -38,13 +46,27 @@ log_level()
     return g_level;
 }
 
+LogSink
+set_log_sink(LogSink sink)
+{
+    LogSink previous = std::move(sink_slot());
+    sink_slot() = std::move(sink);
+    return previous;
+}
+
 void
 log_message(LogLevel level, const std::string &message)
 {
-    if (static_cast<int>(level) <= static_cast<int>(g_level)) {
-        std::cerr << "[multigrain " << level_tag(level) << "] " << message
-                  << "\n";
+    if (static_cast<int>(level) > static_cast<int>(g_level)) {
+        return;
     }
+    const LogSink &sink = sink_slot();
+    if (sink) {
+        sink(level, message);
+        return;
+    }
+    std::cerr << "[multigrain " << level_tag(level) << "] " << message
+              << "\n";
 }
 
 }  // namespace multigrain

@@ -1,12 +1,15 @@
 #ifndef MULTIGRAIN_COMMON_LOGGING_H_
 #define MULTIGRAIN_COMMON_LOGGING_H_
 
+#include <functional>
 #include <string>
 
 /// Minimal leveled logging to stderr.
 ///
 /// The library itself stays silent at the default level; benches and
 /// examples raise the level to narrate what the simulator is doing.
+/// Tests and mgprof install a sink to capture lines instead of losing
+/// them to stderr.
 namespace multigrain {
 
 enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
@@ -15,7 +18,20 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line to stderr if `level` is at or below the threshold.
+/// Receives every message that passes the threshold. The message is the
+/// raw text, without the "[multigrain LEVEL]" framing the stderr default
+/// adds.
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/// Installs `sink` as the destination for log lines and returns the
+/// previously installed sink (empty when the stderr default was active).
+/// Passing an empty function restores the stderr default. Not
+/// thread-safe with concurrent log_message calls; install sinks at
+/// startup or around single-threaded test sections.
+LogSink set_log_sink(LogSink sink);
+
+/// Emits one line if `level` is at or below the threshold: to the
+/// installed sink, or to stderr when none is set.
 void log_message(LogLevel level, const std::string &message);
 
 }  // namespace multigrain

@@ -1,0 +1,71 @@
+#include "common/timer.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace multigrain {
+
+namespace {
+
+struct Registry {
+    std::mutex mu;
+    std::map<std::string, TimerStat> stats;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry;  // Leaked: usable during exit.
+    return *r;
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now())
+{
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    const auto end = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    add_host_timer_sample(name_, us);
+}
+
+void
+add_host_timer_sample(const std::string &name, double us)
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    TimerStat &stat = r.stats[name];
+    stat.name = name;
+    stat.total_us += us;
+    stat.count += 1;
+}
+
+std::vector<TimerStat>
+host_timer_stats()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<TimerStat> out;
+    out.reserve(r.stats.size());
+    for (const auto &[name, stat] : r.stats) {
+        out.push_back(stat);
+    }
+    return out;
+}
+
+void
+reset_host_timers()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.stats.clear();
+}
+
+}  // namespace multigrain

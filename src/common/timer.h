@@ -1,0 +1,53 @@
+#ifndef MULTIGRAIN_COMMON_TIMER_H_
+#define MULTIGRAIN_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Host-side scoped timers for the offline preprocessing paths.
+///
+/// The paper's §3.1 pitch is that slice-and-dice classification and the
+/// (transposed) metadata builds run "offline, once per input shape"; these
+/// timers put a number on that claim. Every ScopedTimer charges its
+/// lifetime to a process-wide registry keyed by name, which mgprof and the
+/// profiler exporters snapshot next to the simulated device timeline.
+///
+/// The registry is mutex-protected; timers on hot paths should wrap the
+/// once-per-shape work, not per-element loops.
+namespace multigrain {
+
+struct TimerStat {
+    std::string name;
+    double total_us = 0;
+    std::int64_t count = 0;
+};
+
+/// RAII: charges (destruction time - construction time) to `name`.
+class ScopedTimer {
+  public:
+    explicit ScopedTimer(std::string name);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Snapshot of every timer recorded so far, sorted by name.
+std::vector<TimerStat> host_timer_stats();
+
+/// Clears the registry (tests; mgprof before a run it wants isolated).
+void reset_host_timers();
+
+/// Directly charges `us` microseconds to `name` (for call sites that
+/// already measured, e.g. aggregating an external phase).
+void add_host_timer_sample(const std::string &name, double us);
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_COMMON_TIMER_H_

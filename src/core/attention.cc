@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/timer.h"
 #include "formats/convert.h"
 #include "kernels/backward.h"
 #include "kernels/blocked_baseline.h"
@@ -400,6 +401,7 @@ AttentionEngine::fine_transposed() const
 {
     MG_CHECK(plan_.has_fine()) << "no fine part to transpose";
     if (!fine_t_) {
+        const ScopedTimer timer("offline.transpose_fine_metadata");
         fine_t_ = std::make_shared<const CsrLayout>(
             transpose_layout(*plan_.fine));
     }
@@ -411,6 +413,7 @@ AttentionEngine::coarse_transposed() const
 {
     MG_CHECK(plan_.has_coarse()) << "no coarse part to transpose";
     if (!coarse_t_) {
+        const ScopedTimer timer("offline.transpose_coarse_metadata");
         coarse_t_ = std::make_shared<const BsrLayout>(
             transpose_layout(*plan_.coarse));
     }

@@ -622,6 +622,7 @@ GpuSim::run()
         stats.start_us = run.start_t;
         stats.end_us = run.end_t;
         stats.work = node.launch.total_work();
+        stats.deps = node.deps;  // Sorted/deduplicated before simulation.
         stats.avg_concurrency =
             run.end_t > run.start_t
                 ? run.unit_busy / (run.end_t - run.start_t)

@@ -43,6 +43,11 @@ struct KernelStats {
     /// Nsight's achieved-occupancy signal the paper uses for the load
     /// imbalance discussion (§5.2.1).
     double avg_concurrency = 0;
+    /// Indices (into SimResult::kernels) of the kernels this one waited
+    /// for: the previous kernel on its stream plus any join_streams()
+    /// barrier tails. Sorted, deduplicated. Cross-stream entries are the
+    /// edges the trace exporter renders as flow arrows.
+    std::vector<int> deps;
 
     double duration_us() const { return end_us - start_us; }
 };

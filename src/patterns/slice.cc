@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/timer.h"
 #include "formats/convert.h"
 
 namespace multigrain {
@@ -93,6 +94,9 @@ SlicePlan::validate_partition() const
 SlicePlan
 slice_and_dice(const CompoundPattern &pattern, const SliceOptions &options)
 {
+    // The §3.1 "offline, once per input shape" cost: measured so mgprof
+    // can report it next to the simulated device timeline.
+    const ScopedTimer timer("offline.slice_and_dice");
     MG_CHECK(options.block > 0) << "slice block size must be positive";
     MG_CHECK(pattern.seq_len % options.block == 0)
         << "seq_len " << pattern.seq_len

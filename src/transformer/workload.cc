@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/timer.h"
 
 namespace multigrain {
 
@@ -130,6 +131,7 @@ read_workload_sample(std::istream &is)
 CompoundPattern
 build_model_pattern(const ModelConfig &config, const WorkloadSample &sample)
 {
+    const ScopedTimer timer("offline.build_model_pattern");
     MG_CHECK(sample.valid_len > 0 && sample.valid_len <= config.max_seq_len)
         << "sample valid_len " << sample.valid_len
         << " out of range for model cap " << config.max_seq_len;

@@ -5,13 +5,19 @@
 #include <cstdint>
 #include <limits>
 #include <set>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/error.h"
 #include "common/half.h"
+#include "common/json.h"
+#include "common/logging.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "common/util.h"
 
 namespace multigrain {
@@ -315,6 +321,143 @@ TEST(UtilTest, RoundUp)
     EXPECT_EQ(round_up(1, 8), 8);
     EXPECT_EQ(round_up(8, 8), 8);
     EXPECT_EQ(round_up(9, 8), 16);
+}
+
+// ------------------------------------------------------------- logging ----
+
+TEST(LoggingTest, SinkCapturesAndRestores)
+{
+    std::vector<std::pair<LogLevel, std::string>> captured;
+    const LogSink previous = set_log_sink(
+        [&captured](LogLevel level, const std::string &message) {
+            captured.emplace_back(level, message);
+        });
+    EXPECT_FALSE(previous);  // Default stderr sink is the empty function.
+
+    const LogLevel saved_level = log_level();
+    set_log_level(LogLevel::kInfo);
+    log_message(LogLevel::kWarn, "captured line");
+    log_message(LogLevel::kDebug, "below threshold");
+
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+    EXPECT_EQ(captured[0].second, "captured line");
+
+    // Restoring must hand back our sink and detach it.
+    const LogSink mine = set_log_sink(previous);
+    EXPECT_TRUE(mine);
+    log_message(LogLevel::kWarn, "after restore");
+    EXPECT_EQ(captured.size(), 1u);
+    set_log_level(saved_level);
+}
+
+// ---------------------------------------------------------------- json ----
+
+TEST(JsonTest, WriterProducesParseableDocument)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.begin_object();
+        w.field("name", std::string("a \"quoted\" \\ name\n"));
+        w.field("count", std::int64_t{42});
+        w.field("ratio", 0.5);
+        w.field("flag", true);
+        w.key("missing");
+        w.null();
+        w.key("items");
+        w.begin_array();
+        w.value(1);
+        w.value(2.5);
+        w.value("three");
+        w.end_array();
+        w.end_object();
+    }
+    const JsonValue doc = json_parse(os.str());
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.at("name").as_string(), "a \"quoted\" \\ name\n");
+    EXPECT_EQ(doc.at("count").as_number(), 42.0);
+    EXPECT_EQ(doc.at("ratio").as_number(), 0.5);
+    EXPECT_TRUE(doc.at("flag").as_bool());
+    EXPECT_TRUE(doc.at("missing").is_null());
+    ASSERT_EQ(doc.at("items").array.size(), 3u);
+    EXPECT_EQ(doc.at("items").array[2].as_string(), "three");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.begin_object();
+        w.field("inf", std::numeric_limits<double>::infinity());
+        w.field("nan", std::numeric_limits<double>::quiet_NaN());
+        w.end_object();
+    }
+    const JsonValue doc = json_parse(os.str());
+    EXPECT_TRUE(doc.at("inf").is_null());
+    EXPECT_TRUE(doc.at("nan").is_null());
+}
+
+TEST(JsonTest, RoundTripsDoublesExactly)
+{
+    for (const double v : {0.0, -0.0, 1.0 / 3.0, 1e-300, 123456.789,
+                           std::numeric_limits<double>::max()}) {
+        std::ostringstream os;
+        {
+            JsonWriter w(os);
+            w.value(v);
+        }
+        EXPECT_EQ(json_parse(os.str()).as_number(), v) << os.str();
+    }
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(json_parse(""), Error);
+    EXPECT_THROW(json_parse("{"), Error);
+    EXPECT_THROW(json_parse("{\"a\": }"), Error);
+    EXPECT_THROW(json_parse("[1, 2,]"), Error);
+    EXPECT_THROW(json_parse("{} trailing"), Error);
+    EXPECT_THROW(json_parse("\"unterminated"), Error);
+}
+
+TEST(JsonTest, ParserHandlesEscapesAndNesting)
+{
+    const JsonValue doc = json_parse(
+        "{\"a\": [{\"b\": \"x\\u0041\\n\"}, -1.5e3], \"c\": null}");
+    EXPECT_EQ(doc.at("a").array[0].at("b").as_string(), "xA\n");
+    EXPECT_EQ(doc.at("a").array[1].as_number(), -1500.0);
+    EXPECT_TRUE(doc.at("c").is_null());
+    EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+// --------------------------------------------------------------- timer ----
+
+TEST(TimerTest, ScopedTimerAccumulatesByName)
+{
+    reset_host_timers();
+    {
+        const ScopedTimer a("unit_test.alpha");
+        const ScopedTimer b("unit_test.beta");
+    }
+    {
+        const ScopedTimer a("unit_test.alpha");
+    }
+    add_host_timer_sample("unit_test.manual", 12.5);
+
+    const std::vector<TimerStat> stats = host_timer_stats();
+    ASSERT_EQ(stats.size(), 3u);  // Sorted by name.
+    EXPECT_EQ(stats[0].name, "unit_test.alpha");
+    EXPECT_EQ(stats[0].count, 2);
+    EXPECT_GE(stats[0].total_us, 0.0);
+    EXPECT_EQ(stats[1].name, "unit_test.beta");
+    EXPECT_EQ(stats[1].count, 1);
+    EXPECT_EQ(stats[2].name, "unit_test.manual");
+    EXPECT_EQ(stats[2].total_us, 12.5);
+
+    reset_host_timers();
+    EXPECT_TRUE(host_timer_stats().empty());
 }
 
 }  // namespace

@@ -1,0 +1,283 @@
+// mgprof — the repo's Nsight-Compute-style profiling CLI.
+//
+// Runs a preset workload (model x device x processing mode) through the
+// transformer planner and the GPU simulator, then emits, in one shot:
+//   * the per-kernel characterization table (roofline bound, utilization,
+//     energy) and the carved phase table (span / overlap / DRAM /
+//     achieved occupancy per sddmm/softmax/spmm phase, per layer);
+//   * a schema-versioned machine-readable JSON profile (--json);
+//   * a phase/kernel CSV (--csv);
+//   * an enriched Perfetto trace with counter tracks, cross-stream flow
+//     arrows, and phase marker slices (--trace), for ui.perfetto.dev.
+//
+// Every artifact written is re-parsed before exit, so a zero exit status
+// certifies valid JSON — CI leans on this.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gpusim/device.h"
+#include "gpusim/trace.h"
+#include "profiler/export.h"
+#include "profiler/metrics.h"
+#include "transformer/config.h"
+#include "transformer/runner.h"
+#include "transformer/workload.h"
+
+namespace {
+
+using namespace multigrain;
+
+struct Options {
+    std::string model = "longformer";
+    std::string device = "a100";
+    std::string mode = "multigrain";
+    index_t batch = 1;
+    unsigned seed = 2022;
+    bool training = false;
+    bool table = true;
+    int top_kernels = 20;
+    std::string json_path;
+    std::string csv_path;
+    std::string trace_path;
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: mgprof [options]\n"
+          "\n"
+          "  --model M    longformer | qds | bigbird | poolingformer | tiny"
+          " (default longformer)\n"
+          "  --device D   a100 | rtx3090 (default a100)\n"
+          "  --mode P     multigrain | coarse-only | fine-only | dense"
+          " (default multigrain)\n"
+          "  --batch N    batch size (default 1)\n"
+          "  --seed S     workload sampling seed (default 2022)\n"
+          "  --training   profile a training step (fwd + bwd) instead of"
+          " inference\n"
+          "  --json PATH  write the mgprof.profile JSON document\n"
+          "  --csv PATH   write the carved-phase CSV\n"
+          "  --trace PATH write the enriched Perfetto/Chrome trace\n"
+          "  --top N      kernels shown in the console table (default 20)\n"
+          "  --quiet      suppress the console tables\n"
+          "  --verbose    raise the library log level to info\n"
+          "  --help       this text\n";
+}
+
+ModelConfig
+model_by_name(const std::string &name)
+{
+    if (name == "longformer") {
+        return ModelConfig::longformer_large();
+    }
+    if (name == "qds") {
+        return ModelConfig::qds_base();
+    }
+    if (name == "bigbird") {
+        return ModelConfig::bigbird_etc_base();
+    }
+    if (name == "poolingformer") {
+        return ModelConfig::poolingformer_base();
+    }
+    if (name == "tiny") {
+        return ModelConfig::tiny_test();
+    }
+    throw Error("unknown model \"" + name +
+                "\" (longformer|qds|bigbird|poolingformer|tiny)");
+}
+
+sim::DeviceSpec
+device_by_name(const std::string &name)
+{
+    if (name == "a100") {
+        return sim::DeviceSpec::a100();
+    }
+    if (name == "rtx3090") {
+        return sim::DeviceSpec::rtx3090();
+    }
+    throw Error("unknown device \"" + name + "\" (a100|rtx3090)");
+}
+
+SliceMode
+mode_by_name(const std::string &name)
+{
+    if (name == "multigrain") {
+        return SliceMode::kMultigrain;
+    }
+    if (name == "coarse-only" || name == "coarse") {
+        return SliceMode::kCoarseOnly;
+    }
+    if (name == "fine-only" || name == "fine") {
+        return SliceMode::kFineOnly;
+    }
+    if (name == "dense") {
+        return SliceMode::kDense;
+    }
+    throw Error("unknown mode \"" + name +
+                "\" (multigrain|coarse-only|fine-only|dense)");
+}
+
+Options
+parse_args(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            MG_CHECK(i + 1 < argc) << arg << " needs a value";
+            return argv[++i];
+        };
+        if (arg == "--model") {
+            opt.model = next();
+        } else if (arg == "--device") {
+            opt.device = next();
+        } else if (arg == "--mode") {
+            opt.mode = next();
+        } else if (arg == "--batch") {
+            opt.batch = std::stoll(next());
+        } else if (arg == "--seed") {
+            opt.seed = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--training") {
+            opt.training = true;
+        } else if (arg == "--json") {
+            opt.json_path = next();
+        } else if (arg == "--csv") {
+            opt.csv_path = next();
+        } else if (arg == "--trace") {
+            opt.trace_path = next();
+        } else if (arg == "--top") {
+            opt.top_kernels = std::stoi(next());
+        } else if (arg == "--quiet") {
+            opt.table = false;
+        } else if (arg == "--verbose") {
+            set_log_level(LogLevel::kInfo);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else {
+            usage(std::cerr);
+            throw Error("unknown argument \"" + arg + "\"");
+        }
+    }
+    MG_CHECK(opt.batch > 0) << "--batch must be positive";
+    return opt;
+}
+
+/// Reads `path` back and parses it, so a bad artifact fails the run.
+void
+validate_json_file(const std::string &path)
+{
+    std::ifstream file(path);
+    MG_CHECK(file.good()) << "cannot reopen " << path;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const JsonValue doc = json_parse(buffer.str());
+    MG_CHECK(doc.is_object()) << path << ": top level is not an object";
+}
+
+std::vector<sim::PhaseMark>
+phase_marks(const prof::ProfiledRun &run)
+{
+    std::vector<sim::PhaseMark> marks;
+    for (const prof::PhaseStats &p : run.ops) {
+        if (p.kernel_count > 0) {
+            marks.push_back({p.name, p.start_us, p.end_us});
+        }
+    }
+    return marks;
+}
+
+int
+run(const Options &opt)
+{
+    const ModelConfig model = model_by_name(opt.model);
+    const sim::DeviceSpec device = device_by_name(opt.device);
+    const SliceMode mode = mode_by_name(opt.mode);
+
+    Rng rng(opt.seed);
+    const WorkloadSample sample = sample_for_model(rng, model);
+    const TransformerRunner runner(model, mode, sample, opt.batch);
+    const EndToEndResult result =
+        opt.training ? runner.simulate_training(device)
+                     : runner.simulate(device);
+
+    const prof::ProfiledRun profiled = prof::profile(result.sim, device);
+
+    if (opt.table) {
+        std::printf("mgprof: %s | %s | %s | batch %lld%s\n",
+                    model.name.c_str(), device.name.c_str(),
+                    to_string(mode),
+                    static_cast<long long>(opt.batch),
+                    opt.training ? " | training step" : "");
+        std::printf("valid_len %lld, %zu special tokens\n\n",
+                    static_cast<long long>(sample.valid_len),
+                    sample.special_tokens.size());
+
+        prof::print_phases(profiled, std::cout);
+        std::printf("\nper-kernel characterization (top %d by time):\n",
+                    opt.top_kernels);
+        sim::print_report(profiled.report, std::cout, opt.top_kernels);
+
+        if (!profiled.host_timers.empty()) {
+            std::printf("\noffline (host) preprocessing, §3.1 \"once per"
+                        " shape\":\n");
+            for (const TimerStat &t : profiled.host_timers) {
+                std::printf("  %-36s %10.1f us  x%lld\n", t.name.c_str(),
+                            t.total_us, static_cast<long long>(t.count));
+            }
+        }
+    }
+
+    if (!opt.json_path.empty()) {
+        prof::write_text_file(opt.json_path, prof::to_json(profiled));
+        validate_json_file(opt.json_path);
+        std::fprintf(stderr, "mgprof: wrote %s (schema %s v%d)\n",
+                     opt.json_path.c_str(), prof::kProfileSchema,
+                     prof::kSchemaVersion);
+    }
+    if (!opt.csv_path.empty()) {
+        std::ostringstream csv;
+        prof::write_phase_csv(profiled, csv);
+        prof::write_text_file(opt.csv_path, csv.str());
+        std::fprintf(stderr, "mgprof: wrote %s\n", opt.csv_path.c_str());
+    }
+    if (!opt.trace_path.empty()) {
+        sim::TraceOptions trace_options;
+        trace_options.device = &device;
+        trace_options.phases = phase_marks(profiled);
+        sim::write_chrome_trace_file(result.sim, opt.trace_path,
+                                     trace_options);
+        validate_json_file(opt.trace_path);
+        std::fprintf(stderr,
+                     "mgprof: wrote %s (open in ui.perfetto.dev)\n",
+                     opt.trace_path.c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parse_args(argc, argv));
+    } catch (const Error &e) {
+        std::fprintf(stderr, "mgprof: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "mgprof: %s\n", e.what());
+        return 1;
+    }
+}
