@@ -154,5 +154,6 @@ main(int argc, char **argv)
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    bench::report_plan_cache();
     return 0;
 }

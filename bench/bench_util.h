@@ -11,6 +11,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "core/plan_cache.h"
 #include "profiler/export.h"
 
 /// Shared console-table helpers for the benchmark harness. Every bench
@@ -200,6 +201,19 @@ inline JsonRow &
 report_row(const std::string &series)
 {
     return JsonReport::instance().row(series);
+}
+
+/// Appends a "plan_cache" row with the process-wide plan-cache counters —
+/// call at the end of a bench main so the artifact records how much
+/// planning the run amortized through capture/replay.
+inline void
+report_plan_cache()
+{
+    const PlanCacheStats stats = PlanCache::instance().stats();
+    JsonRow &row = report_row("plan_cache");
+    for (const PlanCacheMetricDef &metric : plan_cache_metric_registry()) {
+        row.metric(metric.key, metric.get(stats));
+    }
 }
 
 }  // namespace multigrain::bench

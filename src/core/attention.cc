@@ -1,7 +1,9 @@
 #include "core/attention.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <vector>
 #include <utility>
@@ -18,6 +20,38 @@
 
 namespace multigrain {
 
+namespace {
+
+/// Process-unique ids for stream-binding slots (see GpuSim::stream_binding).
+std::uint64_t
+next_binding_key()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string
+attention_meta_key(std::uint64_t pattern_fp, const AttentionConfig &config,
+                   SliceMode mode)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "attn|fp=%016llx|dh=%lld|nh=%lld|b=%lld|blk=%lld|scale=%.17g"
+        "|fs=%d|ms=%d|gd=%d|mode=%d",
+        static_cast<unsigned long long>(pattern_fp),
+        static_cast<long long>(config.head_dim),
+        static_cast<long long>(config.num_heads),
+        static_cast<long long>(config.batch),
+        static_cast<long long>(config.block), config.scale,
+        static_cast<int>(config.fine_scheme),
+        config.multi_stream ? 1 : 0, config.route_global_to_dense ? 1 : 0,
+        static_cast<int>(mode));
+    return buf;
+}
+
+}  // namespace
+
 double
 AttentionConfig::effective_scale() const
 {
@@ -30,16 +64,25 @@ AttentionConfig::effective_scale() const
 AttentionEngine::AttentionEngine(const CompoundPattern &pattern,
                                  const AttentionConfig &config,
                                  SliceMode mode)
-    : config_(config)
+    : config_(config),
+      pattern_fp_(pattern.fingerprint()),
+      replay_key_(next_binding_key()),
+      direct_key_(next_binding_key())
 {
     MG_CHECK(config.head_dim > 0 && config.num_heads > 0 &&
              config.batch > 0)
         << "attention config needs positive dims";
-    SliceOptions options;
-    options.block = config.block;
-    options.mode = mode;
-    options.route_global_to_dense = config.route_global_to_dense;
-    plan_ = slice_and_dice(pattern, options);
+    meta_key_ = attention_meta_key(pattern_fp_, config_, mode);
+    state_ = PlanCache::instance().get_or_build<CachedPlanState>(
+        meta_key_, [&] {
+            SliceOptions options;
+            options.block = config_.block;
+            options.mode = mode;
+            options.route_global_to_dense = config_.route_global_to_dense;
+            return std::make_shared<const CachedPlanState>(
+                slice_and_dice(pattern, options));
+        });
+    plan_ = state_->plan();
 }
 
 HalfMatrix
@@ -157,41 +200,46 @@ AttentionEngine::run(const HalfMatrix &q, const HalfMatrix &k,
     return out;
 }
 
-void
-AttentionEngine::plan_into(sim::GpuSim &sim,
-                           const std::string &name_prefix) const
-{
-    plan_sddmm_phase(sim, name_prefix);
-    sim.join_streams();
-    plan_softmax_phase(sim, name_prefix);
-    sim.join_streams();
-    plan_spmm_phase(sim, name_prefix);
-    sim.join_streams();
-}
+// ---------------------------------------------------------------------------
+// Stream assignment.
 
-void
-AttentionEngine::bind_streams(sim::GpuSim &sim) const
+AttentionEngine::Streams
+AttentionEngine::capture_streams(LaunchSink &sink) const
 {
-    if (bound_sim_id_ == sim.id()) {
-        return;
-    }
-    bound_sim_id_ = sim.id();
     // Each engine gets its own streams so several engines' phases can
     // co-schedule (heterogeneous batches). Baselines and the single-stream
-    // ablation use one stream; Multigrain uses three (§3.1).
-    stream_coarse_ = sim.create_stream();
+    // ablation use one stream; Multigrain uses three (§3.1). Creation
+    // order (coarse, fine, special) is part of the replay contract: it is
+    // what makes replayed stream numbering match the direct path's.
+    Streams s;
+    s.coarse = sink.create_stream();
     const bool multi = plan_.mode == SliceMode::kMultigrain &&
                        config_.multi_stream;
-    stream_fine_ = multi ? sim.create_stream() : stream_coarse_;
-    stream_special_ = multi ? sim.create_stream() : stream_coarse_;
+    s.fine = multi ? sink.create_stream() : s.coarse;
+    s.special = multi ? sink.create_stream() : s.coarse;
+    return s;
 }
 
-void
-AttentionEngine::plan_sddmm_phase(sim::GpuSim &sim,
-                                  const std::string &name_prefix) const
+AttentionEngine::Streams
+AttentionEngine::direct_streams(sim::GpuSim &sim) const
 {
-    bind_streams(sim);
-    const sim::DeviceSpec &dev = sim.device();
+    std::vector<int> &binding = sim.stream_binding(direct_key_);
+    if (binding.empty()) {
+        GpuSimSink sink(sim);
+        const Streams s = capture_streams(sink);
+        binding = {s.coarse, s.fine, s.special};
+    }
+    return Streams{binding[0], binding[1], binding[2]};
+}
+
+// ---------------------------------------------------------------------------
+// Phase bodies, written once over LaunchSink.
+
+void
+AttentionEngine::build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
+                             const Streams &streams,
+                             const std::string &name_prefix) const
+{
     const index_t dh = config_.head_dim;
     const index_t replicas = config_.batch * config_.num_heads;
     const index_t g = static_cast<index_t>(plan_.global_rows.size());
@@ -203,53 +251,52 @@ AttentionEngine::plan_sddmm_phase(sim::GpuSim &sim,
       case SliceMode::kCoarseOnly: {
         // SDDMM uses BCOO while SpMM uses BSR (§2.4's format duplication).
         const BcooLayout bcoo = bcoo_from_bsr(*plan_.coarse);
-        sim.launch(stream_coarse_,
-                   kernels::plan_triton_sddmm(dev, bcoo, dh, replicas,
-                                              named("sddmm.triton")));
+        sink.launch(streams.coarse,
+                    kernels::plan_triton_sddmm(dev, bcoo, dh, replicas,
+                                               named("sddmm.triton")));
         return;
       }
       case SliceMode::kFineOnly:
-        sim.launch(stream_coarse_,
-                   kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
-                                            config_.fine_scheme,
-                                            named("sddmm.sputnik")));
+        sink.launch(streams.coarse,
+                    kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
+                                             config_.fine_scheme,
+                                             named("sddmm.sputnik")));
         return;
       case SliceMode::kDense:
-        sim.launch(stream_coarse_,
-                   kernels::plan_dense_gemm(dev, plan_.seq_len,
-                                            plan_.seq_len, dh, replicas,
-                                            named("sddmm.dense")));
+        sink.launch(streams.coarse,
+                    kernels::plan_dense_gemm(dev, plan_.seq_len,
+                                             plan_.seq_len, dh, replicas,
+                                             named("sddmm.dense")));
         return;
       case SliceMode::kMultigrain:
         break;
     }
 
     if (plan_.has_coarse()) {
-        sim.launch(stream_coarse_,
-                   kernels::plan_coarse_sddmm(dev, *plan_.coarse, dh,
-                                              replicas,
-                                              named("sddmm.coarse")));
+        sink.launch(streams.coarse,
+                    kernels::plan_coarse_sddmm(dev, *plan_.coarse, dh,
+                                               replicas,
+                                               named("sddmm.coarse")));
     }
     if (plan_.has_fine()) {
-        sim.launch(stream_fine_,
-                   kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
-                                            config_.fine_scheme,
-                                            named("sddmm.fine")));
+        sink.launch(streams.fine,
+                    kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
+                                             config_.fine_scheme,
+                                             named("sddmm.fine")));
     }
     if (plan_.has_special()) {
-        sim.launch(stream_special_,
-                   kernels::plan_dense_gemm(dev, g, plan_.valid_len, dh,
-                                            replicas,
-                                            named("sddmm.global")));
+        sink.launch(streams.special,
+                    kernels::plan_dense_gemm(dev, g, plan_.valid_len, dh,
+                                             replicas,
+                                             named("sddmm.global")));
     }
 }
 
 void
-AttentionEngine::plan_softmax_phase(sim::GpuSim &sim,
-                                    const std::string &name_prefix) const
+AttentionEngine::build_softmax(LaunchSink &sink, const sim::DeviceSpec &dev,
+                               const Streams &streams,
+                               const std::string &name_prefix) const
 {
-    bind_streams(sim);
-    const sim::DeviceSpec &dev = sim.device();
     const index_t replicas = config_.batch * config_.num_heads;
     const index_t g = static_cast<index_t>(plan_.global_rows.size());
     const auto named = [&name_prefix](const char *base) {
@@ -258,25 +305,26 @@ AttentionEngine::plan_softmax_phase(sim::GpuSim &sim,
 
     switch (plan_.mode) {
       case SliceMode::kCoarseOnly:
-        sim.launch(stream_coarse_,
-                   kernels::plan_triton_softmax(dev, *plan_.coarse, replicas,
-                                                named("softmax.triton")));
+        sink.launch(streams.coarse,
+                    kernels::plan_triton_softmax(dev, *plan_.coarse,
+                                                 replicas,
+                                                 named("softmax.triton")));
         return;
       case SliceMode::kFineOnly:
-        sim.launch(stream_coarse_,
-                   kernels::plan_fine_softmax(dev, *plan_.fine, replicas,
-                                              named("softmax.sputnik")));
+        sink.launch(streams.coarse,
+                    kernels::plan_fine_softmax(dev, *plan_.fine, replicas,
+                                               named("softmax.sputnik")));
         return;
       case SliceMode::kDense:
         // Additive-mask pass (read S + mask, write S), then dense softmax.
-        sim.launch(stream_coarse_,
-                   kernels::plan_elementwise(
-                       dev, plan_.seq_len * plan_.seq_len * replicas, 2,
-                       2.0, named("softmax.dense.mask")));
-        sim.launch(stream_coarse_,
-                   kernels::plan_dense_softmax(dev, plan_.seq_len,
-                                               plan_.seq_len, replicas,
-                                               named("softmax.dense")));
+        sink.launch(streams.coarse,
+                    kernels::plan_elementwise(
+                        dev, plan_.seq_len * plan_.seq_len * replicas, 2,
+                        2.0, named("softmax.dense.mask")));
+        sink.launch(streams.coarse,
+                    kernels::plan_dense_softmax(dev, plan_.seq_len,
+                                                plan_.seq_len, replicas,
+                                                named("softmax.dense")));
         return;
       case SliceMode::kMultigrain:
         break;
@@ -285,26 +333,26 @@ AttentionEngine::plan_softmax_phase(sim::GpuSim &sim,
     // One compound softmax across coarse+fine (the denominator couples
     // them, §3.3) ∥ dense softmax for the independent global rows.
     if (plan_.has_coarse() || plan_.has_fine()) {
-        sim.launch(stream_coarse_,
-                   kernels::plan_compound_softmax(
-                       dev, plan_.has_coarse() ? plan_.coarse.get() : nullptr,
-                       plan_.has_fine() ? plan_.fine.get() : nullptr,
-                       replicas, named("softmax.compound")));
+        sink.launch(
+            streams.coarse,
+            kernels::plan_compound_softmax(
+                dev, plan_.has_coarse() ? plan_.coarse.get() : nullptr,
+                plan_.has_fine() ? plan_.fine.get() : nullptr, replicas,
+                named("softmax.compound")));
     }
     if (plan_.has_special()) {
-        sim.launch(stream_special_,
-                   kernels::plan_dense_softmax(dev, g, plan_.valid_len,
-                                               replicas,
-                                               named("softmax.global")));
+        sink.launch(streams.special,
+                    kernels::plan_dense_softmax(dev, g, plan_.valid_len,
+                                                replicas,
+                                                named("softmax.global")));
     }
 }
 
 void
-AttentionEngine::plan_spmm_phase(sim::GpuSim &sim,
-                                 const std::string &name_prefix) const
+AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
+                            const Streams &streams,
+                            const std::string &name_prefix) const
 {
-    bind_streams(sim);
-    const sim::DeviceSpec &dev = sim.device();
     const index_t dh = config_.head_dim;
     const index_t replicas = config_.batch * config_.num_heads;
     const index_t g = static_cast<index_t>(plan_.global_rows.size());
@@ -314,43 +362,328 @@ AttentionEngine::plan_spmm_phase(sim::GpuSim &sim,
 
     switch (plan_.mode) {
       case SliceMode::kCoarseOnly:
-        sim.launch(stream_coarse_,
-                   kernels::plan_triton_spmm(dev, *plan_.coarse, dh,
-                                             replicas,
-                                             named("spmm.triton")));
+        sink.launch(streams.coarse,
+                    kernels::plan_triton_spmm(dev, *plan_.coarse, dh,
+                                              replicas,
+                                              named("spmm.triton")));
         return;
       case SliceMode::kFineOnly:
-        sim.launch(stream_coarse_,
-                   kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
-                                           named("spmm.sputnik")));
+        sink.launch(streams.coarse,
+                    kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
+                                            named("spmm.sputnik")));
         return;
       case SliceMode::kDense:
-        sim.launch(stream_coarse_,
-                   kernels::plan_dense_gemm(dev, plan_.seq_len, dh,
-                                            plan_.seq_len, replicas,
-                                            named("spmm.dense")));
+        sink.launch(streams.coarse,
+                    kernels::plan_dense_gemm(dev, plan_.seq_len, dh,
+                                             plan_.seq_len, replicas,
+                                             named("spmm.dense")));
         return;
       case SliceMode::kMultigrain:
         break;
     }
 
     if (plan_.has_coarse()) {
-        sim.launch(stream_coarse_,
-                   kernels::plan_coarse_spmm(dev, *plan_.coarse, dh,
-                                             replicas,
-                                             named("spmm.coarse")));
+        sink.launch(streams.coarse,
+                    kernels::plan_coarse_spmm(dev, *plan_.coarse, dh,
+                                              replicas,
+                                              named("spmm.coarse")));
     }
     if (plan_.has_fine()) {
-        sim.launch(stream_fine_,
-                   kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
-                                           named("spmm.fine")));
+        sink.launch(streams.fine,
+                    kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
+                                            named("spmm.fine")));
     }
     if (plan_.has_special()) {
-        sim.launch(stream_special_,
-                   kernels::plan_dense_gemm(dev, g, dh, plan_.valid_len,
-                                            replicas,
-                                            named("spmm.global")));
+        sink.launch(streams.special,
+                    kernels::plan_dense_gemm(dev, g, dh, plan_.valid_len,
+                                             replicas,
+                                             named("spmm.global")));
     }
+}
+
+void
+AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
+                                const Streams &streams,
+                                const std::string &name_prefix) const
+{
+    const index_t dh = config_.head_dim;
+    const index_t replicas = config_.batch * config_.num_heads;
+    const index_t g = static_cast<index_t>(plan_.global_rows.size());
+    const auto named = [&name_prefix](const char *base) {
+        return name_prefix + base;
+    };
+
+    if (plan_.mode == SliceMode::kDense) {
+        const index_t L = plan_.seq_len;
+        sink.launch(streams.coarse,
+                    kernels::plan_dense_gemm(dev, L, L, dh, replicas,
+                                             named("bwd.sddmm.dp.dense")));
+        sink.launch(streams.coarse,
+                    kernels::plan_dense_gemm(dev, L, dh, L, replicas,
+                                             named("bwd.spmm_t.dv.dense")));
+        sink.join_streams();
+        sink.launch(streams.coarse,
+                    kernels::plan_elementwise(dev, L * L * replicas, 2, 6.0,
+                                              named("bwd.softmax.dense")));
+        sink.join_streams();
+        sink.launch(streams.coarse,
+                    kernels::plan_dense_gemm(dev, L, dh, L, replicas,
+                                             named("bwd.spmm.dq.dense")));
+        sink.launch(streams.coarse,
+                    kernels::plan_dense_gemm(dev, L, dh, L, replicas,
+                                             named("bwd.spmm_t.dk.dense")));
+        sink.join_streams();
+        return;
+    }
+
+    const bool coarse_only = plan_.mode == SliceMode::kCoarseOnly;
+    const bool has_coarse = plan_.has_coarse();
+    const bool has_fine = plan_.has_fine();
+
+    // ---- Phase B1: dP SDDMMs and the dV transposed SpMMs.
+    if (has_coarse) {
+        if (coarse_only) {
+            const BcooLayout bcoo = bcoo_from_bsr(*plan_.coarse);
+            sink.launch(streams.coarse,
+                        kernels::plan_triton_sddmm(dev, bcoo, dh, replicas,
+                                                   named("bwd.sddmm.dp")));
+            sink.launch(streams.coarse,
+                        kernels::plan_triton_spmm(dev, coarse_transposed(),
+                                                  dh, replicas,
+                                                  named("bwd.spmm_t.dv")));
+        } else {
+            sink.launch(streams.coarse,
+                        kernels::plan_coarse_sddmm(dev, *plan_.coarse, dh,
+                                                   replicas,
+                                                   named("bwd.sddmm.dp")));
+            sink.launch(streams.coarse,
+                        kernels::plan_coarse_spmm(dev, coarse_transposed(),
+                                                  dh, replicas,
+                                                  named("bwd.spmm_t.dv")));
+        }
+    }
+    if (has_fine) {
+        sink.launch(streams.fine,
+                    kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
+                                             config_.fine_scheme,
+                                             named("bwd.sddmm.dp.fine")));
+        sink.launch(streams.fine,
+                    kernels::plan_fine_spmm(dev, fine_transposed(), dh,
+                                            replicas,
+                                            named("bwd.spmm_t.dv.fine")));
+    }
+    if (plan_.has_special()) {
+        sink.launch(streams.special,
+                    kernels::plan_dense_gemm(dev, g, plan_.valid_len, dh,
+                                             replicas,
+                                             named("bwd.sddmm.dp.global")));
+        sink.launch(streams.special,
+                    kernels::plan_dense_gemm(dev, plan_.valid_len, dh, g,
+                                             replicas,
+                                             named("bwd.spmm_t.dv.global")));
+    }
+    sink.join_streams();
+
+    // ---- Phase B2: fused softmax backward (plus the dense global rows).
+    if (has_coarse || has_fine) {
+        sink.launch(streams.coarse,
+                    kernels::plan_compound_softmax_backward(
+                        dev, has_coarse ? plan_.coarse.get() : nullptr,
+                        has_fine ? plan_.fine.get() : nullptr, replicas,
+                        named("bwd.softmax.compound")));
+    }
+    if (plan_.has_special()) {
+        sink.launch(streams.special,
+                    kernels::plan_dense_softmax(dev, g, plan_.valid_len,
+                                                replicas,
+                                                named("bwd.softmax.global")));
+    }
+    sink.join_streams();
+
+    // ---- Phase B3: dQ SpMMs and the dK transposed SpMMs.
+    if (has_coarse) {
+        if (coarse_only) {
+            sink.launch(streams.coarse,
+                        kernels::plan_triton_spmm(dev, *plan_.coarse, dh,
+                                                  replicas,
+                                                  named("bwd.spmm.dq")));
+            sink.launch(streams.coarse,
+                        kernels::plan_triton_spmm(dev, coarse_transposed(),
+                                                  dh, replicas,
+                                                  named("bwd.spmm_t.dk")));
+        } else {
+            sink.launch(streams.coarse,
+                        kernels::plan_coarse_spmm(dev, *plan_.coarse, dh,
+                                                  replicas,
+                                                  named("bwd.spmm.dq")));
+            sink.launch(streams.coarse,
+                        kernels::plan_coarse_spmm(dev, coarse_transposed(),
+                                                  dh, replicas,
+                                                  named("bwd.spmm_t.dk")));
+        }
+    }
+    if (has_fine) {
+        sink.launch(streams.fine,
+                    kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
+                                            named("bwd.spmm.dq.fine")));
+        sink.launch(streams.fine,
+                    kernels::plan_fine_spmm(dev, fine_transposed(), dh,
+                                            replicas,
+                                            named("bwd.spmm_t.dk.fine")));
+    }
+    if (plan_.has_special()) {
+        sink.launch(streams.special,
+                    kernels::plan_dense_gemm(dev, g, dh, plan_.valid_len,
+                                             replicas,
+                                             named("bwd.spmm.dq.global")));
+        sink.launch(streams.special,
+                    kernels::plan_dense_gemm(dev, plan_.valid_len, dh, g,
+                                             replicas,
+                                             named("bwd.spmm_t.dk.global")));
+    }
+    sink.join_streams();
+}
+
+// ---------------------------------------------------------------------------
+// Capture: graphs built once per (plan key, device), served from the cache.
+
+std::shared_ptr<const AttentionEngine::AttentionGraphs>
+AttentionEngine::forward_graphs(const sim::DeviceSpec &device) const
+{
+    const std::string key = meta_key_ + "|fwd|" + device_plan_key(device);
+    return PlanCache::instance().get_or_build<AttentionGraphs>(key, [&] {
+        const ScopedTimer timer("plan.capture");
+        auto graphs = std::make_shared<AttentionGraphs>();
+        {
+            const Streams s = capture_streams(graphs->sddmm);
+            build_sddmm(graphs->sddmm, device, s, "");
+        }
+        {
+            const Streams s = capture_streams(graphs->softmax);
+            build_softmax(graphs->softmax, device, s, "");
+        }
+        {
+            const Streams s = capture_streams(graphs->spmm);
+            build_spmm(graphs->spmm, device, s, "");
+        }
+        {
+            const Streams s = capture_streams(graphs->forward);
+            build_sddmm(graphs->forward, device, s, "");
+            graphs->forward.join_streams();
+            build_softmax(graphs->forward, device, s, "");
+            graphs->forward.join_streams();
+            build_spmm(graphs->forward, device, s, "");
+            graphs->forward.join_streams();
+        }
+        return graphs;
+    });
+}
+
+std::shared_ptr<const LaunchGraph>
+AttentionEngine::backward_graph(const sim::DeviceSpec &device) const
+{
+    const std::string key = meta_key_ + "|bwd|" + device_plan_key(device);
+    return PlanCache::instance().get_or_build<LaunchGraph>(key, [&] {
+        const ScopedTimer timer("plan.capture");
+        auto graph = std::make_shared<LaunchGraph>();
+        const Streams s = capture_streams(*graph);
+        build_backward(*graph, device, s, "");
+        return graph;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Replay wrappers — the public planning API.
+
+void
+AttentionEngine::plan_into(sim::GpuSim &sim,
+                           const std::string &name_prefix) const
+{
+    forward_graphs(sim.device())
+        ->forward.replay_into(sim, sim.stream_binding(replay_key_),
+                              name_prefix);
+}
+
+void
+AttentionEngine::plan_sddmm_phase(sim::GpuSim &sim,
+                                  const std::string &name_prefix) const
+{
+    forward_graphs(sim.device())
+        ->sddmm.replay_into(sim, sim.stream_binding(replay_key_),
+                            name_prefix);
+}
+
+void
+AttentionEngine::plan_softmax_phase(sim::GpuSim &sim,
+                                    const std::string &name_prefix) const
+{
+    forward_graphs(sim.device())
+        ->softmax.replay_into(sim, sim.stream_binding(replay_key_),
+                              name_prefix);
+}
+
+void
+AttentionEngine::plan_spmm_phase(sim::GpuSim &sim,
+                                 const std::string &name_prefix) const
+{
+    forward_graphs(sim.device())
+        ->spmm.replay_into(sim, sim.stream_binding(replay_key_),
+                           name_prefix);
+}
+
+void
+AttentionEngine::plan_backward_into(sim::GpuSim &sim,
+                                    const std::string &name_prefix) const
+{
+    backward_graph(sim.device())
+        ->replay_into(sim, sim.stream_binding(replay_key_), name_prefix);
+}
+
+// ---------------------------------------------------------------------------
+// Direct (pre-IR) path: the replay-equivalence reference.
+
+void
+AttentionEngine::plan_into_direct(sim::GpuSim &sim,
+                                  const std::string &name_prefix) const
+{
+    plan_sddmm_phase_direct(sim, name_prefix);
+    sim.join_streams();
+    plan_softmax_phase_direct(sim, name_prefix);
+    sim.join_streams();
+    plan_spmm_phase_direct(sim, name_prefix);
+    sim.join_streams();
+}
+
+void
+AttentionEngine::plan_sddmm_phase_direct(sim::GpuSim &sim,
+                                         const std::string &name_prefix) const
+{
+    GpuSimSink sink(sim);
+    build_sddmm(sink, sim.device(), direct_streams(sim), name_prefix);
+}
+
+void
+AttentionEngine::plan_softmax_phase_direct(
+    sim::GpuSim &sim, const std::string &name_prefix) const
+{
+    GpuSimSink sink(sim);
+    build_softmax(sink, sim.device(), direct_streams(sim), name_prefix);
+}
+
+void
+AttentionEngine::plan_spmm_phase_direct(sim::GpuSim &sim,
+                                        const std::string &name_prefix) const
+{
+    GpuSimSink sink(sim);
+    build_spmm(sink, sim.device(), direct_streams(sim), name_prefix);
+}
+
+void
+AttentionEngine::plan_backward_into_direct(
+    sim::GpuSim &sim, const std::string &name_prefix) const
+{
+    GpuSimSink sink(sim);
+    build_backward(sink, sim.device(), direct_streams(sim), name_prefix);
 }
 
 double
@@ -399,25 +732,13 @@ AttentionEngine::attention_memory_bytes() const
 const CsrLayout &
 AttentionEngine::fine_transposed() const
 {
-    MG_CHECK(plan_.has_fine()) << "no fine part to transpose";
-    if (!fine_t_) {
-        const ScopedTimer timer("offline.transpose_fine_metadata");
-        fine_t_ = std::make_shared<const CsrLayout>(
-            transpose_layout(*plan_.fine));
-    }
-    return *fine_t_;
+    return state_->fine_transposed();
 }
 
 const BsrLayout &
 AttentionEngine::coarse_transposed() const
 {
-    MG_CHECK(plan_.has_coarse()) << "no coarse part to transpose";
-    if (!coarse_t_) {
-        const ScopedTimer timer("offline.transpose_coarse_metadata");
-        coarse_t_ = std::make_shared<const BsrLayout>(
-            transpose_layout(*plan_.coarse));
-    }
-    return *coarse_t_;
+    return state_->coarse_transposed();
 }
 
 AttentionEngine::Grads
@@ -547,150 +868,6 @@ AttentionEngine::run_backward(const HalfMatrix &q, const HalfMatrix &k,
         }
     }
     return grads;
-}
-
-void
-AttentionEngine::plan_backward_into(sim::GpuSim &sim,
-                                    const std::string &name_prefix) const
-{
-    bind_streams(sim);
-    const sim::DeviceSpec &dev = sim.device();
-    const index_t dh = config_.head_dim;
-    const index_t replicas = config_.batch * config_.num_heads;
-    const index_t g = static_cast<index_t>(plan_.global_rows.size());
-    const auto named = [&name_prefix](const char *base) {
-        return name_prefix + base;
-    };
-
-    if (plan_.mode == SliceMode::kDense) {
-        const index_t L = plan_.seq_len;
-        sim.launch(stream_coarse_,
-                   kernels::plan_dense_gemm(dev, L, L, dh, replicas,
-                                            named("bwd.sddmm.dp.dense")));
-        sim.launch(stream_coarse_,
-                   kernels::plan_dense_gemm(dev, L, dh, L, replicas,
-                                            named("bwd.spmm_t.dv.dense")));
-        sim.join_streams();
-        sim.launch(stream_coarse_,
-                   kernels::plan_elementwise(dev, L * L * replicas, 2, 6.0,
-                                             named("bwd.softmax.dense")));
-        sim.join_streams();
-        sim.launch(stream_coarse_,
-                   kernels::plan_dense_gemm(dev, L, dh, L, replicas,
-                                            named("bwd.spmm.dq.dense")));
-        sim.launch(stream_coarse_,
-                   kernels::plan_dense_gemm(dev, L, dh, L, replicas,
-                                            named("bwd.spmm_t.dk.dense")));
-        sim.join_streams();
-        return;
-    }
-
-    const bool coarse_only = plan_.mode == SliceMode::kCoarseOnly;
-    const bool has_coarse = plan_.has_coarse();
-    const bool has_fine = plan_.has_fine();
-
-    // ---- Phase B1: dP SDDMMs and the dV transposed SpMMs.
-    if (has_coarse) {
-        if (coarse_only) {
-            const BcooLayout bcoo = bcoo_from_bsr(*plan_.coarse);
-            sim.launch(stream_coarse_,
-                       kernels::plan_triton_sddmm(dev, bcoo, dh, replicas,
-                                                  named("bwd.sddmm.dp")));
-            sim.launch(stream_coarse_,
-                       kernels::plan_triton_spmm(dev, coarse_transposed(),
-                                                 dh, replicas,
-                                                 named("bwd.spmm_t.dv")));
-        } else {
-            sim.launch(stream_coarse_,
-                       kernels::plan_coarse_sddmm(dev, *plan_.coarse, dh,
-                                                  replicas,
-                                                  named("bwd.sddmm.dp")));
-            sim.launch(stream_coarse_,
-                       kernels::plan_coarse_spmm(dev, coarse_transposed(),
-                                                 dh, replicas,
-                                                 named("bwd.spmm_t.dv")));
-        }
-    }
-    if (has_fine) {
-        sim.launch(stream_fine_,
-                   kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
-                                            config_.fine_scheme,
-                                            named("bwd.sddmm.dp.fine")));
-        sim.launch(stream_fine_,
-                   kernels::plan_fine_spmm(dev, fine_transposed(), dh,
-                                           replicas,
-                                           named("bwd.spmm_t.dv.fine")));
-    }
-    if (plan_.has_special()) {
-        sim.launch(stream_special_,
-                   kernels::plan_dense_gemm(dev, g, plan_.valid_len, dh,
-                                            replicas,
-                                            named("bwd.sddmm.dp.global")));
-        sim.launch(stream_special_,
-                   kernels::plan_dense_gemm(dev, plan_.valid_len, dh, g,
-                                            replicas,
-                                            named("bwd.spmm_t.dv.global")));
-    }
-    sim.join_streams();
-
-    // ---- Phase B2: fused softmax backward (plus the dense global rows).
-    if (has_coarse || has_fine) {
-        sim.launch(stream_coarse_,
-                   kernels::plan_compound_softmax_backward(
-                       dev, has_coarse ? plan_.coarse.get() : nullptr,
-                       has_fine ? plan_.fine.get() : nullptr, replicas,
-                       named("bwd.softmax.compound")));
-    }
-    if (plan_.has_special()) {
-        sim.launch(stream_special_,
-                   kernels::plan_dense_softmax(dev, g, plan_.valid_len,
-                                               replicas,
-                                               named("bwd.softmax.global")));
-    }
-    sim.join_streams();
-
-    // ---- Phase B3: dQ SpMMs and the dK transposed SpMMs.
-    if (has_coarse) {
-        if (coarse_only) {
-            sim.launch(stream_coarse_,
-                       kernels::plan_triton_spmm(dev, *plan_.coarse, dh,
-                                                 replicas,
-                                                 named("bwd.spmm.dq")));
-            sim.launch(stream_coarse_,
-                       kernels::plan_triton_spmm(dev, coarse_transposed(),
-                                                 dh, replicas,
-                                                 named("bwd.spmm_t.dk")));
-        } else {
-            sim.launch(stream_coarse_,
-                       kernels::plan_coarse_spmm(dev, *plan_.coarse, dh,
-                                                 replicas,
-                                                 named("bwd.spmm.dq")));
-            sim.launch(stream_coarse_,
-                       kernels::plan_coarse_spmm(dev, coarse_transposed(),
-                                                 dh, replicas,
-                                                 named("bwd.spmm_t.dk")));
-        }
-    }
-    if (has_fine) {
-        sim.launch(stream_fine_,
-                   kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
-                                           named("bwd.spmm.dq.fine")));
-        sim.launch(stream_fine_,
-                   kernels::plan_fine_spmm(dev, fine_transposed(), dh,
-                                           replicas,
-                                           named("bwd.spmm_t.dk.fine")));
-    }
-    if (plan_.has_special()) {
-        sim.launch(stream_special_,
-                   kernels::plan_dense_gemm(dev, g, dh, plan_.valid_len,
-                                            replicas,
-                                            named("bwd.spmm.dq.global")));
-        sim.launch(stream_special_,
-                   kernels::plan_dense_gemm(dev, plan_.valid_len, dh, g,
-                                            replicas,
-                                            named("bwd.spmm_t.dk.global")));
-    }
-    sim.join_streams();
 }
 
 sim::SimResult

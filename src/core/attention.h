@@ -1,9 +1,12 @@
 #ifndef MULTIGRAIN_CORE_ATTENTION_H_
 #define MULTIGRAIN_CORE_ATTENTION_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
+#include "core/launch_graph.h"
+#include "core/plan_cache.h"
 #include "formats/matrix.h"
 #include "gpusim/engine.h"
 #include "kernels/fine.h"
@@ -25,6 +28,15 @@
 ///  * plan_into(): records the method's exact kernel sequence — including
 ///    the multi-stream coarse ∥ fine ∥ special overlap — into a GpuSim for
 ///    timing and DRAM-traffic measurement.
+///
+/// Planning is capture-then-replay: the kernel sequence for a given
+/// (pattern fingerprint, config, mode, device) is captured once into
+/// LaunchGraphs held by the process-wide PlanCache, and every plan_*()
+/// call replays the cached graph into the target simulator. Slice-and-dice
+/// metadata is likewise memoized: two engines over the same pattern/config
+/// share one CachedPlanState. The pre-IR imperative path survives as the
+/// plan_*_direct() methods, which the replay-equivalence tests pin the
+/// capture/replay machinery against.
 namespace multigrain {
 
 struct AttentionConfig {
@@ -56,7 +68,9 @@ inline constexpr const char *kSpmm = "spmm.";
 
 class AttentionEngine {
   public:
-    /// Slices `pattern` for `mode` under `config`. Throws on malformed
+    /// Slices `pattern` for `mode` under `config` — or, when an engine
+    /// with the same (pattern fingerprint, config, mode) has been built
+    /// before, reuses its metadata from the PlanCache. Throws on malformed
     /// patterns (see slice_and_dice).
     AttentionEngine(const CompoundPattern &pattern,
                     const AttentionConfig &config, SliceMode mode);
@@ -64,6 +78,14 @@ class AttentionEngine {
     const SlicePlan &plan() const { return plan_; }
     const AttentionConfig &config() const { return config_; }
     SliceMode mode() const { return plan_.mode; }
+
+    /// Content hash of the pattern this engine was built from; the
+    /// pattern-identity component of every plan-cache key.
+    std::uint64_t pattern_fingerprint() const { return pattern_fp_; }
+    /// The device-independent plan-cache key: pattern fingerprint +
+    /// AttentionConfig + SliceMode. Device-specific graph keys append a
+    /// device component to this.
+    const std::string &plan_key() const { return meta_key_; }
 
     /// Functional single-head attention; q/k/v are seq_len x head_dim.
     /// Rows with no attended positions (zero padding) come out all-zero.
@@ -102,13 +124,48 @@ class AttentionEngine {
     /// metadata): launch one phase of every engine, then join once.
     /// plan_into() is exactly sddmm; join; softmax; join; spmm; join.
     /// Streams are allocated lazily per engine on first use and reused by
-    /// later phases.
+    /// later phases (the logical→real map lives in the simulator's
+    /// stream-binding slot, so one engine can plan into two simulators
+    /// concurrently).
     void plan_sddmm_phase(sim::GpuSim &sim,
                           const std::string &name_prefix = "") const;
     void plan_softmax_phase(sim::GpuSim &sim,
                             const std::string &name_prefix = "") const;
     void plan_spmm_phase(sim::GpuSim &sim,
                          const std::string &name_prefix = "") const;
+
+    /// The captured execution plans for `device`, built (and PlanCache'd)
+    /// on first use. Callers that compose several engines into one graph
+    /// (TransformerRunner) append these with per-engine stream maps.
+    struct AttentionGraphs {
+        LaunchGraph sddmm;    ///< One phase, no trailing join.
+        LaunchGraph softmax;  ///< One phase, no trailing join.
+        LaunchGraph spmm;     ///< One phase, no trailing join.
+        /// sddmm; join; softmax; join; spmm; join — what plan_into replays.
+        LaunchGraph forward;
+    };
+    std::shared_ptr<const AttentionGraphs>
+    forward_graphs(const sim::DeviceSpec &device) const;
+    /// The captured backward plan (internally joined phases B1–B3).
+    /// Built lazily so forward-only workloads never pay for transposed
+    /// metadata.
+    std::shared_ptr<const LaunchGraph>
+    backward_graph(const sim::DeviceSpec &device) const;
+
+    /// The pre-LaunchGraph imperative planning path: records kernels
+    /// straight into `sim` with no capture, no replay, and no plan cache.
+    /// Kept as the reference the replay-equivalence tests compare
+    /// against; semantically identical to the non-_direct methods.
+    void plan_into_direct(sim::GpuSim &sim,
+                          const std::string &name_prefix = "") const;
+    void plan_backward_into_direct(sim::GpuSim &sim,
+                                   const std::string &name_prefix = "") const;
+    void plan_sddmm_phase_direct(sim::GpuSim &sim,
+                                 const std::string &name_prefix = "") const;
+    void plan_softmax_phase_direct(
+        sim::GpuSim &sim, const std::string &name_prefix = "") const;
+    void plan_spmm_phase_direct(sim::GpuSim &sim,
+                                const std::string &name_prefix = "") const;
 
     /// Convenience: fresh simulator, one attention, run it.
     sim::SimResult simulate(const sim::DeviceSpec &device) const;
@@ -121,25 +178,53 @@ class AttentionEngine {
     double attention_memory_bytes() const;
 
   private:
-    /// Allocates (or reuses) this engine's streams on `sim`.
-    void bind_streams(sim::GpuSim &sim) const;
+    /// The method's stream assignment: coarse ∥ fine ∥ special for
+    /// multi-stream Multigrain, one shared stream otherwise.
+    struct Streams {
+        int coarse = 0;
+        int fine = 0;
+        int special = 0;
+    };
+    /// Allocates the method's streams on a capture sink (logical streams,
+    /// created eagerly in coarse → fine → special order so replay stream
+    /// numbering matches the imperative path's).
+    Streams capture_streams(LaunchSink &sink) const;
+    /// Allocates (or reuses, via the simulator's stream-binding slot) this
+    /// engine's real streams on `sim` — the direct path's analogue of the
+    /// replay binding.
+    Streams direct_streams(sim::GpuSim &sim) const;
 
-    /// Transposed metadata for the backward SpMMs, built on first use
-    /// (offline in the §3.1 sense: once per input shape).
+    /// The phase bodies, written once over LaunchSink so capture and the
+    /// direct reference path share one definition.
+    void build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
+                     const Streams &streams,
+                     const std::string &name_prefix) const;
+    void build_softmax(LaunchSink &sink, const sim::DeviceSpec &dev,
+                       const Streams &streams,
+                       const std::string &name_prefix) const;
+    void build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
+                    const Streams &streams,
+                    const std::string &name_prefix) const;
+    void build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
+                        const Streams &streams,
+                        const std::string &name_prefix) const;
+
+    /// Transposed metadata for the backward SpMMs, shared through the
+    /// cached plan state (offline in the §3.1 sense: once per input
+    /// shape, not once per engine).
     const CsrLayout &fine_transposed() const;
     const BsrLayout &coarse_transposed() const;
 
     AttentionConfig config_;
-    SlicePlan plan_;
-    mutable std::shared_ptr<const CsrLayout> fine_t_;
-    mutable std::shared_ptr<const BsrLayout> coarse_t_;
-    // Stream binding is per-simulator planning state, not logical engine
-    // state; engines are logically const while planning. Keyed by the
-    // simulator's unique id (0 = unbound).
-    mutable std::uint64_t bound_sim_id_ = 0;
-    mutable int stream_coarse_ = 0;
-    mutable int stream_fine_ = 0;
-    mutable int stream_special_ = 0;
+    SlicePlan plan_;  ///< Copy of state_->plan(); layouts are shared.
+    std::shared_ptr<const CachedPlanState> state_;
+    std::uint64_t pattern_fp_ = 0;
+    std::string meta_key_;
+    /// Process-unique ids naming this engine's stream-binding slots in
+    /// target simulators (one for replay, one for the direct path, so the
+    /// two never alias inside one simulator).
+    std::uint64_t replay_key_ = 0;
+    std::uint64_t direct_key_ = 0;
 };
 
 }  // namespace multigrain

@@ -1,0 +1,174 @@
+#include "core/launch_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace multigrain {
+
+int
+LaunchGraph::create_stream()
+{
+    stream_tail_.push_back(-1);
+    return num_streams_++;
+}
+
+void
+LaunchGraph::launch(int stream, sim::KernelLaunch launch)
+{
+    MG_CHECK(stream >= 0 && stream < num_streams_)
+        << "unknown logical stream " << stream;
+
+    LaunchGraphNode node;
+    node.launch = std::move(launch);
+    node.stream = stream;
+    if (stream_tail_[static_cast<std::size_t>(stream)] >= 0) {
+        node.deps.push_back(stream_tail_[static_cast<std::size_t>(stream)]);
+    }
+    if (static_cast<std::size_t>(stream) >= join_applied_.size()) {
+        join_applied_.resize(static_cast<std::size_t>(num_streams_), false);
+    }
+    if (!join_set_.empty() &&
+        !join_applied_[static_cast<std::size_t>(stream)]) {
+        node.deps.insert(node.deps.end(), join_set_.begin(),
+                         join_set_.end());
+        join_applied_[static_cast<std::size_t>(stream)] = true;
+    }
+    std::sort(node.deps.begin(), node.deps.end());
+    node.deps.erase(std::unique(node.deps.begin(), node.deps.end()),
+                    node.deps.end());
+
+    const int id = static_cast<int>(nodes_.size());
+    ops_.push_back(id);
+    stream_tail_[static_cast<std::size_t>(stream)] = id;
+    nodes_.push_back(std::move(node));
+}
+
+void
+LaunchGraph::join_streams()
+{
+    join_set_.clear();
+    for (int s = 0; s < num_streams_; ++s) {
+        if (stream_tail_[static_cast<std::size_t>(s)] >= 0) {
+            join_set_.push_back(stream_tail_[static_cast<std::size_t>(s)]);
+        }
+    }
+    join_applied_.assign(static_cast<std::size_t>(num_streams_), false);
+    ops_.push_back(kJoin);
+}
+
+sim::TbWork
+LaunchGraph::total_work() const
+{
+    sim::TbWork work;
+    for (const LaunchGraphNode &node : nodes_) {
+        work += node.launch.total_work();
+    }
+    return work;
+}
+
+void
+LaunchGraph::validate() const
+{
+    std::size_t seen = 0;
+    for (const int op : ops_) {
+        if (op == kJoin) {
+            continue;
+        }
+        MG_CHECK(op >= 0 && static_cast<std::size_t>(op) == seen)
+            << "op stream out of order at node " << op;
+        ++seen;
+    }
+    MG_CHECK(seen == nodes_.size())
+        << "op stream covers " << seen << " of " << nodes_.size()
+        << " nodes";
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const LaunchGraphNode &node = nodes_[i];
+        MG_CHECK(node.stream >= 0 && node.stream < num_streams_)
+            << "node " << i << " on unknown stream " << node.stream;
+        for (const int dep : node.deps) {
+            MG_CHECK(dep >= 0 && static_cast<std::size_t>(dep) < i)
+                << "node " << i << " depends on non-older node " << dep;
+        }
+        MG_CHECK(std::is_sorted(node.deps.begin(), node.deps.end()))
+            << "node " << i << " has unsorted deps";
+    }
+}
+
+void
+LaunchGraph::append(const LaunchGraph &other,
+                    const std::string &name_prefix,
+                    const std::vector<int> *stream_map)
+{
+    MG_CHECK(&other != this) << "cannot append a LaunchGraph to itself";
+    std::vector<int> map;
+    if (stream_map != nullptr) {
+        MG_CHECK(static_cast<int>(stream_map->size()) >=
+                 other.num_streams_)
+            << "stream map covers " << stream_map->size() << " of "
+            << other.num_streams_ << " logical streams";
+        map = *stream_map;
+    } else {
+        map.push_back(0);
+        while (static_cast<int>(map.size()) < other.num_streams_) {
+            map.push_back(create_stream());
+        }
+    }
+    for (const int op : other.ops_) {
+        if (op == kJoin) {
+            join_streams();
+            continue;
+        }
+        const LaunchGraphNode &node =
+            other.nodes_[static_cast<std::size_t>(op)];
+        sim::KernelLaunch launch = node.launch;
+        if (!name_prefix.empty()) {
+            launch.name = name_prefix + launch.name;
+        }
+        this->launch(map[static_cast<std::size_t>(node.stream)],
+                     std::move(launch));
+    }
+}
+
+void
+LaunchGraph::replay_into(sim::GpuSim &sim, std::vector<int> &binding,
+                         const std::string &name_prefix) const
+{
+    const ScopedTimer timer("plan.replay");
+    if (binding.empty()) {
+        binding.push_back(0);  // Logical stream 0 == the sim's stream 0.
+    }
+    // Allocate real streams for every logical stream up front, in logical
+    // order, so the instantiated stream numbering is independent of which
+    // streams the graph's nodes happen to touch first (and matches the
+    // eager allocation the imperative path performed).
+    while (static_cast<int>(binding.size()) < num_streams_) {
+        binding.push_back(sim.create_stream());
+    }
+    for (const int op : ops_) {
+        if (op == kJoin) {
+            sim.join_streams();
+            continue;
+        }
+        const LaunchGraphNode &node =
+            nodes_[static_cast<std::size_t>(op)];
+        sim::KernelLaunch launch = node.launch;
+        if (!name_prefix.empty()) {
+            launch.name = name_prefix + launch.name;
+        }
+        sim.launch(binding[static_cast<std::size_t>(node.stream)],
+                   std::move(launch));
+    }
+}
+
+void
+LaunchGraph::replay_into(sim::GpuSim &sim,
+                         const std::string &name_prefix) const
+{
+    std::vector<int> binding;
+    replay_into(sim, binding, name_prefix);
+}
+
+}  // namespace multigrain

@@ -1,0 +1,150 @@
+#ifndef MULTIGRAIN_CORE_PLAN_CACHE_H_
+#define MULTIGRAIN_CORE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "formats/bsr.h"
+#include "formats/csr.h"
+#include "gpusim/device.h"
+#include "patterns/slice.h"
+
+/// The keyed plan cache behind capture/replay planning.
+///
+/// Slice-and-dice metadata and captured LaunchGraphs are pure functions of
+/// (pattern fingerprint, AttentionConfig, SliceMode[, device]), so they
+/// are built once and memoized here instead of being re-derived per layer,
+/// per batch replica, per bench iteration — the §3.1 "offline, once per
+/// input shape" amortization made explicit. Entries are immutable and
+/// handed out as shared_ptr, so eviction never invalidates a live user.
+///
+/// Keys are opaque strings assembled by the planning layers (see
+/// core/attention.cc and transformer/runner.cc); every key embeds the
+/// CompoundPattern::fingerprint() plus whatever else the cached artifact
+/// depends on. Hit/miss/eviction counters feed the plan-cache metric
+/// registry, which mgprof and the bench harness surface.
+namespace multigrain {
+
+struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+
+    double hit_rate() const
+    {
+        const double total =
+            static_cast<double>(hits) + static_cast<double>(misses);
+        return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+/// Immutable slice-and-dice metadata shared by every engine with the same
+/// (pattern fingerprint, config, mode) key. The transposed layouts the
+/// backward pass needs are built lazily — once per entry, not once per
+/// engine — under an internal mutex, preserving the forward-only paths'
+/// "never transpose" behavior.
+class CachedPlanState {
+  public:
+    explicit CachedPlanState(SlicePlan plan) : plan_(std::move(plan)) {}
+
+    const SlicePlan &plan() const { return plan_; }
+    /// Throws Error when the plan has no fine/coarse part to transpose.
+    const CsrLayout &fine_transposed() const;
+    const BsrLayout &coarse_transposed() const;
+
+  private:
+    SlicePlan plan_;
+    mutable std::mutex mutex_;
+    mutable std::shared_ptr<const CsrLayout> fine_t_;
+    mutable std::shared_ptr<const BsrLayout> coarse_t_;
+};
+
+/// Bounded LRU cache of immutable planning artifacts, keyed by opaque
+/// strings. Thread-safe; builds run outside the lock (two racing builders
+/// may both build, last insert wins — entries are pure so both are
+/// correct).
+class PlanCache {
+  public:
+    static constexpr std::size_t kDefaultCapacity = 256;
+
+    explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+
+    /// The process-wide cache every AttentionEngine and TransformerRunner
+    /// consults.
+    static PlanCache &instance();
+
+    /// Returns the cached value for `key`, building (and inserting) it on
+    /// a miss. The builder returns shared_ptr<T> or shared_ptr<const T>.
+    template <typename T, typename Build>
+    std::shared_ptr<const T> get_or_build(const std::string &key,
+                                          Build &&build)
+    {
+        if (std::shared_ptr<const void> hit = lookup(key, typeid(T))) {
+            return std::static_pointer_cast<const T>(std::move(hit));
+        }
+        std::shared_ptr<const T> built = std::forward<Build>(build)();
+        insert(key, built, typeid(T));
+        return built;
+    }
+
+    /// Counts a hit or a miss; returns null on miss or type mismatch
+    /// (a mismatch would mean two artifact kinds share a key — checked).
+    std::shared_ptr<const void> lookup(const std::string &key,
+                                       std::type_index type);
+    void insert(const std::string &key, std::shared_ptr<const void> value,
+                std::type_index type);
+
+    PlanCacheStats stats() const;
+    /// Shrinking below the current size evicts least-recently-used
+    /// entries (counted as evictions).
+    void set_capacity(std::size_t capacity);
+    /// Drops every entry and resets the counters (tests).
+    void clear();
+
+  private:
+    struct Entry {
+        std::string key;
+        std::shared_ptr<const void> value;
+        std::type_index type = std::type_index(typeid(void));
+    };
+
+    void evict_to_capacity_locked();
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::list<Entry> lru_;  ///< Front = most recently used.
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+/// Stable cache-key component for a device: its name plus a content hash
+/// of every model constant, so two specs that merely share a name do not
+/// alias.
+std::string device_plan_key(const sim::DeviceSpec &device);
+
+/// One plan-cache counter, in the same enumerable style as
+/// prof::phase_metric_registry() — how mgprof and the exporters surface
+/// cache behavior without hand-maintaining column lists.
+struct PlanCacheMetricDef {
+    const char *key;
+    const char *unit;
+    const char *description;
+    double (*get)(const PlanCacheStats &);
+};
+
+const std::vector<PlanCacheMetricDef> &plan_cache_metric_registry();
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_CORE_PLAN_CACHE_H_

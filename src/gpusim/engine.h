@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gpusim/device.h"
@@ -97,6 +98,18 @@ class GpuSim {
     /// Simulates everything submitted so far. May be called once.
     SimResult run();
 
+    /// Stream-binding slot for capture/replay clients (core/launch_graph):
+    /// the logical→real stream map a client (keyed by an arbitrary id, e.g.
+    /// an AttentionEngine's replay key) uses when instantiating graphs into
+    /// *this* simulator. The binding lives with the simulator, so a
+    /// logically-const client can plan into two sims concurrently without
+    /// mutable per-sim state of its own aliasing between them. Returns an
+    /// empty vector on first use; the replay path fills it.
+    std::vector<int> &stream_binding(std::uint64_t client_key)
+    {
+        return stream_bindings_[client_key];
+    }
+
   private:
     struct KernelNode {
         KernelLaunch launch;
@@ -113,6 +126,7 @@ class GpuSim {
     std::vector<int> join_set_;     ///< Stream tails the last join covers.
     std::vector<bool> join_applied_;  ///< Per stream: join already waited.
     std::vector<KernelNode> kernels_;
+    std::unordered_map<std::uint64_t, std::vector<int>> stream_bindings_;
     bool ran_ = false;
 };
 

@@ -323,6 +323,47 @@ AtomicPattern::describe() const
     return os.str();
 }
 
+namespace {
+
+/// FNV-1a, the same folding for every field so the hash does not depend
+/// on struct layout or platform integer widths.
+struct Fnv64 {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+
+    void mix(std::uint64_t v)
+    {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xffu;
+            h *= 0x100000001b3ull;
+        }
+    }
+};
+
+}  // namespace
+
+std::uint64_t
+CompoundPattern::fingerprint() const
+{
+    Fnv64 fnv;
+    fnv.mix(static_cast<std::uint64_t>(seq_len));
+    fnv.mix(static_cast<std::uint64_t>(valid_len));
+    fnv.mix(causal ? 1 : 0);
+    fnv.mix(static_cast<std::uint64_t>(atoms.size()));
+    for (const AtomicPattern &atom : atoms) {
+        fnv.mix(static_cast<std::uint64_t>(atom.kind));
+        fnv.mix(static_cast<std::uint64_t>(atom.window));
+        fnv.mix(static_cast<std::uint64_t>(atom.stride));
+        fnv.mix(static_cast<std::uint64_t>(atom.count));
+        fnv.mix(static_cast<std::uint64_t>(atom.block));
+        fnv.mix(atom.seed);
+        fnv.mix(static_cast<std::uint64_t>(atom.tokens.size()));
+        for (const index_t token : atom.tokens) {
+            fnv.mix(static_cast<std::uint64_t>(token));
+        }
+    }
+    return fnv.h;
+}
+
 std::string
 CompoundPattern::describe() const
 {

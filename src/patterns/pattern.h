@@ -101,6 +101,15 @@ struct CompoundPattern {
         return valid_len == 0 ? seq_len : valid_len;
     }
 
+    /// Stable 64-bit content hash over everything that determines the
+    /// pattern's part layouts: seq_len, valid_len, causal, and every field
+    /// of every atom (including random seeds, so two patterns fingerprint
+    /// equal iff their materialized layouts are equal). Deterministic
+    /// across processes — the PlanCache key for slice-and-dice metadata
+    /// and captured LaunchGraphs, and what mgprof prints to identify a
+    /// workload's plan.
+    std::uint64_t fingerprint() const;
+
     std::string describe() const;
 };
 

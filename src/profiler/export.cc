@@ -188,6 +188,17 @@ write_json(const ProfiledRun &run, std::ostream &os)
         w.end_object();
     }
     w.end_array();
+
+    w.key("counters");
+    w.begin_array();
+    for (const ProfiledRun::Counter &c : run.counters) {
+        w.begin_object();
+        w.field("name", c.name);
+        w.field("unit", c.unit);
+        w.field("value", c.value);
+        w.end_object();
+    }
+    w.end_array();
     w.end_object();
 }
 

@@ -75,6 +75,15 @@ struct ProfiledRun {
     sim::WorkloadReport report;
     /// Snapshot of the §3.1 offline-preprocessing timers.
     std::vector<TimerStat> host_timers;
+    /// Named scalar counters attached by the caller — e.g. mgprof's
+    /// plan-cache hit/miss/eviction statistics. profile() leaves this
+    /// empty; the profiler stays independent of where counters come from.
+    struct Counter {
+        std::string name;
+        std::string unit;
+        double value = 0;
+    };
+    std::vector<Counter> counters;
 
     const PhaseStats *find_op(const std::string &name) const;
     const PhaseStats *find_subphase(const std::string &name) const;

@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "common/timer.h"
+#include "core/plan_cache.h"
 #include "kernels/dense.h"
 
 namespace multigrain {
@@ -22,6 +24,16 @@ make_attention_config(const ModelConfig &model, index_t batch,
     config.batch = batch;
     config.block = model.block;
     return config;
+}
+
+const char *
+layer_kind_tag(int kind)
+{
+    switch (kind) {
+      case 0: return "infer";
+      case 1: return "train_fwd";
+      default: return "train_bwd";
+    }
 }
 
 }  // namespace
@@ -53,65 +65,171 @@ TransformerRunner::TransformerRunner(
     }
 }
 
-EndToEndResult
-TransformerRunner::simulate(const sim::DeviceSpec &device) const
+LaunchGraph
+TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
+                                     LayerKind kind) const
 {
-    sim::GpuSim sim(device);
+    const ScopedTimer timer("plan.capture.layer");
     const index_t seq = model_.max_seq_len;
     const index_t d = model_.d_model;
     const index_t ffn = model_.ffn_dim;
     const index_t elems = seq * d * batch_;
 
-    for (index_t layer = 0; layer < model_.num_layers; ++layer) {
-        char prefix[16];
-        std::snprintf(prefix, sizeof prefix, "L%02d.",
-                      static_cast<int>(layer));
-        const std::string p(prefix);
+    LaunchGraph graph;
 
+    // Every engine gets its own logical-stream block, allocated upfront in
+    // engine order — the same order the imperative path created real
+    // streams in — so replayed stream numbering is byte-identical to it.
+    // One map serves all of an engine's phase graphs (and its backward
+    // graph): capture_streams gives them identical logical numbering.
+    std::vector<std::shared_ptr<const AttentionEngine::AttentionGraphs>>
+        attn;
+    std::vector<std::shared_ptr<const LaunchGraph>> bwd;
+    std::vector<std::vector<int>> maps;
+    for (const auto &engine : engines_) {
+        attn.push_back(engine->forward_graphs(device));
+        if (kind == LayerKind::kTrainBackward) {
+            bwd.push_back(engine->backward_graph(device));
+        }
+        const int streams = kind == LayerKind::kTrainBackward
+                                ? bwd.back()->num_streams()
+                                : attn.back()->sddmm.num_streams();
+        std::vector<int> map = {0};
+        while (static_cast<int>(map.size()) < streams) {
+            map.push_back(graph.create_stream());
+        }
+        maps.push_back(std::move(map));
+    }
+
+    const auto append_phase =
+        [&](const LaunchGraph AttentionEngine::AttentionGraphs::*phase) {
+            for (std::size_t i = 0; i < engines_.size(); ++i) {
+                graph.append((*attn[i]).*phase, "attn.", &maps[i]);
+            }
+            graph.join_streams();
+        };
+
+    // The training dense block: flop_scale 1 = forward; 2 = backward
+    // (dX and dW GEMMs).
+    const auto dense_layer = [&](double flop_scale) {
+        for (double rep = 0; rep < flop_scale; ++rep) {
+            const std::string suffix =
+                flop_scale > 1 ? (rep == 0 ? ".dx" : ".dw") : "";
+            graph.launch(0, kernels::plan_dense_gemm(
+                                device, seq, 3 * d, d, batch_,
+                                "gemm.qkv" + suffix));
+            graph.launch(0, kernels::plan_dense_gemm(
+                                device, seq, d, d, batch_,
+                                "gemm.attn_out" + suffix));
+            graph.launch(0, kernels::plan_dense_gemm(
+                                device, seq, ffn, d, batch_,
+                                "gemm.ffn1" + suffix));
+            graph.launch(0, kernels::plan_dense_gemm(
+                                device, seq, d, ffn, batch_,
+                                "gemm.ffn2" + suffix));
+        }
+        graph.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                  "ew.ln"));
+        graph.launch(0, kernels::plan_elementwise(device,
+                                                  seq * ffn * batch_, 1,
+                                                  12.0, "ew.gelu"));
+    };
+
+    switch (kind) {
+      case LayerKind::kInference:
         // Fused QKV projection: one L x 3D x D GEMM per batch element.
-        sim.launch(0, kernels::plan_dense_gemm(device, seq, 3 * d, d,
-                                               batch_, p + "gemm.qkv"));
-        sim.join_streams();
-
+        graph.launch(0, kernels::plan_dense_gemm(device, seq, 3 * d, d,
+                                                 batch_, "gemm.qkv"));
+        graph.join_streams();
         // Attention: every engine's phase co-schedules before each join,
         // so a heterogeneous batch behaves like one batched launch over
         // per-sample metadata.
-        for (const auto &engine : engines_) {
-            engine->plan_sddmm_phase(sim, p + "attn.");
-        }
-        sim.join_streams();
-        for (const auto &engine : engines_) {
-            engine->plan_softmax_phase(sim, p + "attn.");
-        }
-        sim.join_streams();
-        for (const auto &engine : engines_) {
-            engine->plan_spmm_phase(sim, p + "attn.");
-        }
-        sim.join_streams();
+        append_phase(&AttentionEngine::AttentionGraphs::sddmm);
+        append_phase(&AttentionEngine::AttentionGraphs::softmax);
+        append_phase(&AttentionEngine::AttentionGraphs::spmm);
+        graph.launch(0, kernels::plan_dense_gemm(device, seq, d, d, batch_,
+                                                 "gemm.attn_out"));
+        graph.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                  "ew.ln1"));
+        graph.launch(0, kernels::plan_dense_gemm(device, seq, ffn, d,
+                                                 batch_, "gemm.ffn1"));
+        graph.launch(0, kernels::plan_elementwise(device,
+                                                  seq * ffn * batch_, 1,
+                                                  12.0, "ew.gelu"));
+        graph.launch(0, kernels::plan_dense_gemm(device, seq, d, ffn,
+                                                 batch_, "gemm.ffn2"));
+        graph.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                  "ew.ln2"));
+        graph.join_streams();
+        break;
 
-        sim.launch(0, kernels::plan_dense_gemm(device, seq, d, d, batch_,
-                                               p + "gemm.attn_out"));
-        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
-                                                p + "ew.ln1"));
-        sim.launch(0, kernels::plan_dense_gemm(device, seq, ffn, d, batch_,
-                                               p + "gemm.ffn1"));
-        sim.launch(0, kernels::plan_elementwise(device, seq * ffn * batch_,
-                                                1, 12.0, p + "ew.gelu"));
-        sim.launch(0, kernels::plan_dense_gemm(device, seq, d, ffn, batch_,
-                                               p + "gemm.ffn2"));
-        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
-                                                p + "ew.ln2"));
-        sim.join_streams();
+      case LayerKind::kTrainForward:
+        dense_layer(1.0);
+        graph.join_streams();
+        append_phase(&AttentionEngine::AttentionGraphs::sddmm);
+        append_phase(&AttentionEngine::AttentionGraphs::softmax);
+        append_phase(&AttentionEngine::AttentionGraphs::spmm);
+        break;
+
+      case LayerKind::kTrainBackward:
+        // Backward graphs join internally after each of their phases.
+        for (std::size_t i = 0; i < engines_.size(); ++i) {
+            graph.append(*bwd[i], "attn.", &maps[i]);
+        }
+        dense_layer(2.0);
+        graph.join_streams();
+        break;
+    }
+    return graph;
+}
+
+std::shared_ptr<const LaunchGraph>
+TransformerRunner::layer_graph(const sim::DeviceSpec &device,
+                               LayerKind kind) const
+{
+    char dims[128];
+    std::snprintf(dims, sizeof(dims), "|seq=%lld|d=%lld|ffn=%lld|b=%lld",
+                  static_cast<long long>(model_.max_seq_len),
+                  static_cast<long long>(model_.d_model),
+                  static_cast<long long>(model_.ffn_dim),
+                  static_cast<long long>(batch_));
+    std::string key = "runner|";
+    key += layer_kind_tag(static_cast<int>(kind));
+    key += dims;
+    for (const auto &engine : engines_) {
+        key += '|';
+        key += engine->plan_key();
+    }
+    key += '|';
+    key += device_plan_key(device);
+    return PlanCache::instance().get_or_build<LaunchGraph>(key, [&] {
+        return std::make_shared<const LaunchGraph>(
+            build_layer_graph(device, kind));
+    });
+}
+
+EndToEndResult
+TransformerRunner::simulate(const sim::DeviceSpec &device) const
+{
+    sim::GpuSim sim(device);
+    const std::shared_ptr<const LaunchGraph> layer =
+        layer_graph(device, LayerKind::kInference);
+    std::vector<int> binding;
+    for (index_t l = 0; l < model_.num_layers; ++l) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "L%02d.",
+                      static_cast<int>(l));
+        layer->replay_into(sim, binding, prefix);
     }
 
     EndToEndResult result;
     result.sim = sim.run();
     result.total_us = result.sim.total_us;
     result.dram_bytes = result.sim.work.dram_bytes();
-    for (index_t layer = 0; layer < model_.num_layers; ++layer) {
+    for (index_t l = 0; l < model_.num_layers; ++l) {
         char prefix[16];
         std::snprintf(prefix, sizeof prefix, "L%02d.attn.",
-                      static_cast<int>(layer));
+                      static_cast<int>(l));
         result.attention_us += result.sim.span(prefix);
         result.attention_dram_bytes += result.sim.dram_bytes_for(prefix);
     }
@@ -123,77 +241,38 @@ EndToEndResult
 TransformerRunner::simulate_training(const sim::DeviceSpec &device) const
 {
     sim::GpuSim sim(device);
-    const index_t seq = model_.max_seq_len;
-    const index_t d = model_.d_model;
-    const index_t ffn = model_.ffn_dim;
-    const index_t elems = seq * d * batch_;
-
-    const auto dense_layer = [&](const std::string &p, double flop_scale) {
-        // flop_scale 1 = forward; 2 = backward (dX and dW GEMMs).
-        for (double rep = 0; rep < flop_scale; ++rep) {
-            const std::string suffix =
-                flop_scale > 1 ? (rep == 0 ? ".dx" : ".dw") : "";
-            sim.launch(0, kernels::plan_dense_gemm(
-                              device, seq, 3 * d, d, batch_,
-                              p + "gemm.qkv" + suffix));
-            sim.launch(0, kernels::plan_dense_gemm(
-                              device, seq, d, d, batch_,
-                              p + "gemm.attn_out" + suffix));
-            sim.launch(0, kernels::plan_dense_gemm(
-                              device, seq, ffn, d, batch_,
-                              p + "gemm.ffn1" + suffix));
-            sim.launch(0, kernels::plan_dense_gemm(
-                              device, seq, d, ffn, batch_,
-                              p + "gemm.ffn2" + suffix));
-        }
-        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
-                                                p + "ew.ln"));
-        sim.launch(0, kernels::plan_elementwise(device, seq * ffn * batch_,
-                                                1, 12.0, p + "ew.gelu"));
-    };
+    const std::shared_ptr<const LaunchGraph> fwd =
+        layer_graph(device, LayerKind::kTrainForward);
+    const std::shared_ptr<const LaunchGraph> bwd =
+        layer_graph(device, LayerKind::kTrainBackward);
+    // Both layer kinds share one logical-stream layout (stream 0 + the
+    // per-engine blocks), so one binding keeps every layer and both
+    // sweeps on the same real streams.
+    std::vector<int> binding;
 
     // Forward sweep.
-    for (index_t layer = 0; layer < model_.num_layers; ++layer) {
+    for (index_t l = 0; l < model_.num_layers; ++l) {
         char prefix[16];
         std::snprintf(prefix, sizeof prefix, "F%02d.",
-                      static_cast<int>(layer));
-        const std::string p(prefix);
-        dense_layer(p, 1.0);
-        sim.join_streams();
-        for (const auto &engine : engines_) {
-            engine->plan_sddmm_phase(sim, p + "attn.");
-        }
-        sim.join_streams();
-        for (const auto &engine : engines_) {
-            engine->plan_softmax_phase(sim, p + "attn.");
-        }
-        sim.join_streams();
-        for (const auto &engine : engines_) {
-            engine->plan_spmm_phase(sim, p + "attn.");
-        }
-        sim.join_streams();
+                      static_cast<int>(l));
+        fwd->replay_into(sim, binding, prefix);
     }
     // Backward sweep (reverse layer order).
-    for (index_t layer = model_.num_layers; layer-- > 0;) {
+    for (index_t l = model_.num_layers; l-- > 0;) {
         char prefix[16];
         std::snprintf(prefix, sizeof prefix, "B%02d.",
-                      static_cast<int>(layer));
-        const std::string p(prefix);
-        for (const auto &engine : engines_) {
-            engine->plan_backward_into(sim, p + "attn.");
-        }
-        dense_layer(p, 2.0);
-        sim.join_streams();
+                      static_cast<int>(l));
+        bwd->replay_into(sim, binding, prefix);
     }
 
     EndToEndResult result;
     result.sim = sim.run();
     result.total_us = result.sim.total_us;
     result.dram_bytes = result.sim.work.dram_bytes();
-    for (index_t layer = 0; layer < model_.num_layers; ++layer) {
+    for (index_t l = 0; l < model_.num_layers; ++l) {
         char f[16], b[16];
-        std::snprintf(f, sizeof f, "F%02d.attn.", static_cast<int>(layer));
-        std::snprintf(b, sizeof b, "B%02d.attn.", static_cast<int>(layer));
+        std::snprintf(f, sizeof f, "F%02d.attn.", static_cast<int>(l));
+        std::snprintf(b, sizeof b, "B%02d.attn.", static_cast<int>(l));
         result.attention_us += result.sim.span(f) + result.sim.span(b);
         result.attention_dram_bytes += result.sim.dram_bytes_for(f) +
                                        result.sim.dram_bytes_for(b);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/attention.h"
+#include "core/launch_graph.h"
 #include "gpusim/engine.h"
 #include "patterns/slice.h"
 #include "transformer/config.h"
@@ -60,6 +61,18 @@ class TransformerRunner {
     EndToEndResult simulate_training(const sim::DeviceSpec &device) const;
 
   private:
+    /// The three per-layer op streams a pass is assembled from. A layer's
+    /// kernel sequence is identical across layers up to its name prefix,
+    /// so each kind is captured once per device — dense ops on logical
+    /// stream 0, every engine's phase graphs appended with its own
+    /// logical-stream block — PlanCache'd, and replayed once per layer
+    /// with the "L%02d."/"F%02d."/"B%02d." prefix.
+    enum class LayerKind { kInference, kTrainForward, kTrainBackward };
+    std::shared_ptr<const LaunchGraph>
+    layer_graph(const sim::DeviceSpec &device, LayerKind kind) const;
+    LaunchGraph build_layer_graph(const sim::DeviceSpec &device,
+                                  LayerKind kind) const;
+
     ModelConfig model_;
     index_t batch_ = 1;
     std::vector<std::unique_ptr<AttentionEngine>> engines_;

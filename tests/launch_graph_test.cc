@@ -1,0 +1,511 @@
+// LaunchGraph capture/replay tests. The load-bearing property: replaying
+// a captured graph into a GpuSim must produce a SimResult byte-identical
+// to the pre-IR imperative path (the engine's *_direct methods) — same
+// kernel names, same stream assignments, same dependency edges, same
+// per-kernel times — for every SliceMode, forward and backward, with
+// multi-stream on and off, and through TransformerRunner's per-layer
+// graph composition.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/attention.h"
+#include "core/launch_graph.h"
+#include "gpusim/device.h"
+#include "gpusim/engine.h"
+#include "kernels/dense.h"
+#include "transformer/config.h"
+#include "transformer/runner.h"
+#include "transformer/workload.h"
+
+namespace multigrain {
+namespace {
+
+sim::KernelLaunch
+toy_launch(const std::string &name, double flops)
+{
+    sim::KernelLaunch launch;
+    launch.name = name;
+    sim::TbWork work;
+    work.tensor_flops = flops;
+    work.dram_read_bytes = 1024;
+    launch.add_tb(work, 4);
+    return launch;
+}
+
+void
+expect_identical(const sim::SimResult &direct, const sim::SimResult &replay)
+{
+    EXPECT_EQ(direct.total_us, replay.total_us);
+    ASSERT_EQ(direct.kernels.size(), replay.kernels.size());
+    for (std::size_t i = 0; i < direct.kernels.size(); ++i) {
+        const sim::KernelStats &a = direct.kernels[i];
+        const sim::KernelStats &b = replay.kernels[i];
+        EXPECT_EQ(a.name, b.name) << "kernel " << i;
+        EXPECT_EQ(a.stream, b.stream) << a.name;
+        EXPECT_EQ(a.deps, b.deps) << a.name;
+        EXPECT_EQ(a.num_tbs, b.num_tbs) << a.name;
+        EXPECT_EQ(a.occupancy_per_sm, b.occupancy_per_sm) << a.name;
+        EXPECT_EQ(a.ready_us, b.ready_us) << a.name;
+        EXPECT_EQ(a.start_us, b.start_us) << a.name;
+        EXPECT_EQ(a.end_us, b.end_us) << a.name;
+        EXPECT_EQ(a.avg_concurrency, b.avg_concurrency) << a.name;
+        EXPECT_EQ(a.work.tensor_flops, b.work.tensor_flops) << a.name;
+        EXPECT_EQ(a.work.cuda_flops, b.work.cuda_flops) << a.name;
+        EXPECT_EQ(a.work.dram_read_bytes, b.work.dram_read_bytes) << a.name;
+        EXPECT_EQ(a.work.dram_write_bytes, b.work.dram_write_bytes)
+            << a.name;
+        EXPECT_EQ(a.work.l2_bytes, b.work.l2_bytes) << a.name;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capture semantics.
+
+TEST(LaunchGraphTest, CapturesStreamOrderAndJoinEdges)
+{
+    LaunchGraph graph;
+    graph.launch(0, toy_launch("a", 1e6));
+    const int s1 = graph.create_stream();
+    EXPECT_EQ(s1, 1);
+    graph.launch(s1, toy_launch("b", 1e6));
+    graph.join_streams();
+    graph.launch(0, toy_launch("c", 1e6));
+    graph.launch(0, toy_launch("d", 1e6));
+
+    ASSERT_EQ(graph.size(), 4u);
+    EXPECT_EQ(graph.num_streams(), 2);
+    EXPECT_TRUE(graph.nodes()[0].deps.empty());
+    EXPECT_TRUE(graph.nodes()[1].deps.empty());
+    // c waits on the join set {a, b}; d only on c (stream order).
+    EXPECT_EQ(graph.nodes()[2].deps, (std::vector<int>{0, 1}));
+    EXPECT_EQ(graph.nodes()[3].deps, (std::vector<int>{2}));
+    // Op stream: a, b, JOIN, c, d.
+    EXPECT_EQ(graph.ops(),
+              (std::vector<int>{0, 1, LaunchGraph::kJoin, 2, 3}));
+    graph.validate();
+    EXPECT_EQ(graph.total_work().tensor_flops, 4 * 4e6);
+}
+
+TEST(LaunchGraphTest, AppendPrefixesNamesAndMapsStreams)
+{
+    LaunchGraph inner;
+    const int s1 = inner.create_stream();
+    inner.launch(0, toy_launch("x", 1e6));
+    inner.launch(s1, toy_launch("y", 1e6));
+    inner.join_streams();
+
+    LaunchGraph outer;
+    outer.launch(0, toy_launch("pre", 1e6));
+    outer.append(inner, "g1.");
+    outer.append(inner, "g2.");
+    outer.validate();
+
+    ASSERT_EQ(outer.size(), 5u);
+    EXPECT_EQ(outer.nodes()[1].launch.name, "g1.x");
+    EXPECT_EQ(outer.nodes()[2].launch.name, "g1.y");
+    EXPECT_EQ(outer.nodes()[3].launch.name, "g2.x");
+    // Null stream map: inner stream 0 -> outer stream 0, inner stream 1
+    // gets a fresh outer stream per append.
+    EXPECT_EQ(outer.nodes()[1].stream, 0);
+    EXPECT_EQ(outer.nodes()[2].stream, 1);
+    EXPECT_EQ(outer.nodes()[4].stream, 2);
+    // g1.x serializes after "pre" on stream 0 (context edge recomputed).
+    EXPECT_EQ(outer.nodes()[1].deps, (std::vector<int>{0}));
+    // g2.x waits on g1's join set.
+    EXPECT_EQ(outer.nodes()[3].deps, (std::vector<int>{1, 2}));
+}
+
+TEST(LaunchGraphTest, AppendWithExplicitStreamMap)
+{
+    LaunchGraph inner;
+    const int s1 = inner.create_stream();
+    inner.launch(s1, toy_launch("k", 1e6));
+
+    LaunchGraph outer;
+    const int a = outer.create_stream();
+    const int b = outer.create_stream();
+    const std::vector<int> map = {0, b};
+    outer.append(inner, "", &map);
+    EXPECT_EQ(outer.nodes()[0].stream, b);
+    EXPECT_NE(outer.nodes()[0].stream, a);
+
+    const std::vector<int> short_map = {0};
+    EXPECT_THROW(outer.append(inner, "", &short_map), Error);
+}
+
+TEST(LaunchGraphTest, ReplayAfterExistingWorkSerializesOnStreamZero)
+{
+    LaunchGraph graph;
+    graph.launch(0, toy_launch("g", 1e6));
+
+    sim::GpuSim sim(sim::DeviceSpec::a100());
+    sim.launch(0, toy_launch("before", 1e6));
+    graph.replay_into(sim, "step.");
+    const sim::SimResult result = sim.run();
+    ASSERT_EQ(result.kernels.size(), 2u);
+    EXPECT_EQ(result.kernels[1].name, "step.g");
+    // The replayed kernel lands on real stream 0 behind the existing one.
+    EXPECT_EQ(result.kernels[1].stream, 0);
+    EXPECT_EQ(result.kernels[1].deps, (std::vector<int>{0}));
+}
+
+TEST(LaunchGraphTest, BindingReuseKeepsStreamsStableAcrossReplays)
+{
+    LaunchGraph graph;
+    const int s1 = graph.create_stream();
+    graph.launch(s1, toy_launch("k", 1e6));
+    graph.join_streams();
+
+    sim::GpuSim sim(sim::DeviceSpec::a100());
+    std::vector<int> binding;
+    graph.replay_into(sim, binding, "r0.");
+    const std::vector<int> first = binding;
+    graph.replay_into(sim, binding, "r1.");
+    EXPECT_EQ(binding, first);
+
+    const sim::SimResult result = sim.run();
+    ASSERT_EQ(result.kernels.size(), 2u);
+    EXPECT_EQ(result.kernels[0].stream, result.kernels[1].stream);
+}
+
+// ---------------------------------------------------------------------------
+// Replay equivalence against the pre-IR imperative path.
+
+AttentionConfig
+small_config(bool multi_stream)
+{
+    AttentionConfig c;
+    c.head_dim = 16;
+    c.block = 16;
+    c.num_heads = 2;
+    c.multi_stream = multi_stream;
+    return c;
+}
+
+CompoundPattern
+compound(index_t seq)
+{
+    CompoundPattern p;
+    p.seq_len = seq;
+    p.atoms.push_back(AtomicPattern::local(4));
+    p.atoms.push_back(AtomicPattern::selected({1, seq / 3}));
+    p.atoms.push_back(AtomicPattern::global({1, seq / 3}));
+    p.atoms.push_back(AtomicPattern::random(3, 21));
+    return p;
+}
+
+class ReplayEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<SliceMode, bool /*multi_stream*/, bool /*backward*/>> {
+};
+
+TEST_P(ReplayEquivalenceTest, ReplayMatchesDirectPath)
+{
+    const auto [mode, multi_stream, backward] = GetParam();
+    const AttentionEngine engine(compound(64), small_config(multi_stream),
+                                 mode);
+    const sim::DeviceSpec device = sim::DeviceSpec::a100();
+
+    sim::GpuSim direct(device);
+    sim::GpuSim replay(device);
+    if (backward) {
+        engine.plan_backward_into_direct(direct, "T00.attn.");
+        engine.plan_backward_into(replay, "T00.attn.");
+    } else {
+        engine.plan_into_direct(direct, "T00.attn.");
+        engine.plan_into(replay, "T00.attn.");
+    }
+    expect_identical(direct.run(), replay.run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ReplayEquivalenceTest,
+    ::testing::Combine(::testing::Values(SliceMode::kMultigrain,
+                                         SliceMode::kCoarseOnly,
+                                         SliceMode::kFineOnly,
+                                         SliceMode::kDense),
+                       ::testing::Bool(), ::testing::Bool()));
+
+TEST(ReplayPhaseTest, CoScheduledPhasesMatchDirectPath)
+{
+    // Two engines with different metadata, phases interleaved the way the
+    // heterogeneous-batch runner does it.
+    const AttentionEngine e1(compound(64), small_config(true),
+                             SliceMode::kMultigrain);
+    CompoundPattern other = compound(64);
+    other.atoms.push_back(AtomicPattern::local(8));
+    const AttentionEngine e2(other, small_config(true),
+                             SliceMode::kMultigrain);
+    const sim::DeviceSpec device = sim::DeviceSpec::a100();
+
+    sim::GpuSim direct(device);
+    sim::GpuSim replay(device);
+    for (int phase = 0; phase < 3; ++phase) {
+        for (const AttentionEngine *e : {&e1, &e2}) {
+            switch (phase) {
+              case 0:
+                e->plan_sddmm_phase_direct(direct, "attn.");
+                break;
+              case 1:
+                e->plan_softmax_phase_direct(direct, "attn.");
+                break;
+              default:
+                e->plan_spmm_phase_direct(direct, "attn.");
+            }
+        }
+        direct.join_streams();
+        for (const AttentionEngine *e : {&e1, &e2}) {
+            switch (phase) {
+              case 0:
+                e->plan_sddmm_phase(replay, "attn.");
+                break;
+              case 1:
+                e->plan_softmax_phase(replay, "attn.");
+                break;
+              default:
+                e->plan_spmm_phase(replay, "attn.");
+            }
+        }
+        replay.join_streams();
+    }
+    expect_identical(direct.run(), replay.run());
+}
+
+TEST(ReplayPhaseTest, OneEngineCanPlanIntoTwoSimsConcurrently)
+{
+    // Stream bindings live with the simulator, not the engine, so
+    // interleaving one engine's phases across two simulators must give
+    // each simulator exactly what a dedicated engine would have planned.
+    const AttentionEngine engine(compound(64), small_config(true),
+                                 SliceMode::kMultigrain);
+    const sim::DeviceSpec device = sim::DeviceSpec::a100();
+
+    sim::GpuSim a(device);
+    sim::GpuSim b(device);
+    engine.plan_sddmm_phase(a);
+    engine.plan_sddmm_phase(b);
+    a.join_streams();
+    b.join_streams();
+    engine.plan_softmax_phase(a);
+    engine.plan_softmax_phase(b);
+    a.join_streams();
+    b.join_streams();
+    engine.plan_spmm_phase(a);
+    engine.plan_spmm_phase(b);
+    a.join_streams();
+    b.join_streams();
+
+    sim::GpuSim reference(device);
+    engine.plan_into_direct(reference);
+    const sim::SimResult ref = reference.run();
+    expect_identical(ref, a.run());
+    expect_identical(ref, b.run());
+}
+
+// ---------------------------------------------------------------------------
+// Runner composition: per-layer graphs replayed per layer must equal the
+// seed's imperative per-layer loop (reconstructed here over the _direct
+// reference path).
+
+TEST(RunnerComposedReplayTest, InferencePassMatchesImperativeLoop)
+{
+    const ModelConfig model = ModelConfig::tiny_test();
+    Rng rng(2022);
+    const WorkloadSample sample = sample_for_model(rng, model);
+    const index_t batch = 2;
+    const sim::DeviceSpec device = sim::DeviceSpec::a100();
+
+    const TransformerRunner runner(model, SliceMode::kMultigrain, sample,
+                                   batch);
+    const EndToEndResult composed = runner.simulate(device);
+
+    AttentionConfig config;
+    config.head_dim = model.head_dim();
+    config.num_heads = model.num_heads;
+    config.batch = batch;
+    config.block = model.block;
+    const AttentionEngine engine(build_model_pattern(model, sample), config,
+                                 SliceMode::kMultigrain);
+
+    sim::GpuSim sim(device);
+    const index_t seq = model.max_seq_len;
+    const index_t d = model.d_model;
+    const index_t ffn = model.ffn_dim;
+    const index_t elems = seq * d * batch;
+    for (index_t layer = 0; layer < model.num_layers; ++layer) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "L%02d.",
+                      static_cast<int>(layer));
+        const std::string p(prefix);
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, 3 * d, d,
+                                               batch, p + "gemm.qkv"));
+        sim.join_streams();
+        engine.plan_sddmm_phase_direct(sim, p + "attn.");
+        sim.join_streams();
+        engine.plan_softmax_phase_direct(sim, p + "attn.");
+        sim.join_streams();
+        engine.plan_spmm_phase_direct(sim, p + "attn.");
+        sim.join_streams();
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, d, d, batch,
+                                               p + "gemm.attn_out"));
+        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                p + "ew.ln1"));
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, ffn, d, batch,
+                                               p + "gemm.ffn1"));
+        sim.launch(0, kernels::plan_elementwise(device, seq * ffn * batch,
+                                                1, 12.0, p + "ew.gelu"));
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, d, ffn, batch,
+                                               p + "gemm.ffn2"));
+        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                p + "ew.ln2"));
+        sim.join_streams();
+    }
+    expect_identical(sim.run(), composed.sim);
+}
+
+TEST(RunnerComposedReplayTest, TrainingPassMatchesImperativeLoop)
+{
+    const ModelConfig model = ModelConfig::tiny_test();
+    Rng rng(7);
+    const WorkloadSample sample = sample_for_model(rng, model);
+    const sim::DeviceSpec device = sim::DeviceSpec::a100();
+
+    const TransformerRunner runner(model, SliceMode::kMultigrain, sample,
+                                   /*batch=*/1);
+    const EndToEndResult composed = runner.simulate_training(device);
+
+    AttentionConfig config;
+    config.head_dim = model.head_dim();
+    config.num_heads = model.num_heads;
+    config.batch = 1;
+    config.block = model.block;
+    const AttentionEngine engine(build_model_pattern(model, sample), config,
+                                 SliceMode::kMultigrain);
+
+    sim::GpuSim sim(device);
+    const index_t seq = model.max_seq_len;
+    const index_t d = model.d_model;
+    const index_t ffn = model.ffn_dim;
+    const index_t elems = seq * d;
+    const auto dense_layer = [&](const std::string &p, double flop_scale) {
+        for (double rep = 0; rep < flop_scale; ++rep) {
+            const std::string suffix =
+                flop_scale > 1 ? (rep == 0 ? ".dx" : ".dw") : "";
+            sim.launch(0, kernels::plan_dense_gemm(device, seq, 3 * d, d, 1,
+                                                   p + "gemm.qkv" + suffix));
+            sim.launch(0,
+                       kernels::plan_dense_gemm(
+                           device, seq, d, d, 1, p + "gemm.attn_out" + suffix));
+            sim.launch(0, kernels::plan_dense_gemm(device, seq, ffn, d, 1,
+                                                   p + "gemm.ffn1" + suffix));
+            sim.launch(0, kernels::plan_dense_gemm(device, seq, d, ffn, 1,
+                                                   p + "gemm.ffn2" + suffix));
+        }
+        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                p + "ew.ln"));
+        sim.launch(0, kernels::plan_elementwise(device, seq * ffn, 1, 12.0,
+                                                p + "ew.gelu"));
+    };
+    for (index_t layer = 0; layer < model.num_layers; ++layer) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "F%02d.",
+                      static_cast<int>(layer));
+        const std::string p(prefix);
+        dense_layer(p, 1.0);
+        sim.join_streams();
+        engine.plan_sddmm_phase_direct(sim, p + "attn.");
+        sim.join_streams();
+        engine.plan_softmax_phase_direct(sim, p + "attn.");
+        sim.join_streams();
+        engine.plan_spmm_phase_direct(sim, p + "attn.");
+        sim.join_streams();
+    }
+    for (index_t layer = model.num_layers; layer-- > 0;) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "B%02d.",
+                      static_cast<int>(layer));
+        const std::string p(prefix);
+        engine.plan_backward_into_direct(sim, p + "attn.");
+        dense_layer(p, 2.0);
+        sim.join_streams();
+    }
+    expect_identical(sim.run(), composed.sim);
+}
+
+TEST(RunnerComposedReplayTest, HeterogeneousBatchMatchesImperativeLoop)
+{
+    const ModelConfig model = ModelConfig::tiny_test();
+    Rng rng(5);
+    std::vector<WorkloadSample> samples;
+    samples.push_back(sample_for_model(rng, model));
+    samples.push_back(sample_for_model(rng, model));
+    const sim::DeviceSpec device = sim::DeviceSpec::a100();
+
+    const TransformerRunner runner(model, SliceMode::kMultigrain, samples);
+    const EndToEndResult composed = runner.simulate(device);
+
+    AttentionConfig config;
+    config.head_dim = model.head_dim();
+    config.num_heads = model.num_heads;
+    config.batch = 1;
+    config.block = model.block;
+    std::vector<std::unique_ptr<AttentionEngine>> engines;
+    for (const WorkloadSample &sample : samples) {
+        engines.push_back(std::make_unique<AttentionEngine>(
+            build_model_pattern(model, sample), config,
+            SliceMode::kMultigrain));
+    }
+
+    sim::GpuSim sim(device);
+    const index_t batch = static_cast<index_t>(samples.size());
+    const index_t seq = model.max_seq_len;
+    const index_t d = model.d_model;
+    const index_t ffn = model.ffn_dim;
+    const index_t elems = seq * d * batch;
+    for (index_t layer = 0; layer < model.num_layers; ++layer) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "L%02d.",
+                      static_cast<int>(layer));
+        const std::string p(prefix);
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, 3 * d, d,
+                                               batch, p + "gemm.qkv"));
+        sim.join_streams();
+        for (const auto &engine : engines) {
+            engine->plan_sddmm_phase_direct(sim, p + "attn.");
+        }
+        sim.join_streams();
+        for (const auto &engine : engines) {
+            engine->plan_softmax_phase_direct(sim, p + "attn.");
+        }
+        sim.join_streams();
+        for (const auto &engine : engines) {
+            engine->plan_spmm_phase_direct(sim, p + "attn.");
+        }
+        sim.join_streams();
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, d, d, batch,
+                                               p + "gemm.attn_out"));
+        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                p + "ew.ln1"));
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, ffn, d, batch,
+                                               p + "gemm.ffn1"));
+        sim.launch(0, kernels::plan_elementwise(device, seq * ffn * batch,
+                                                1, 12.0, p + "ew.gelu"));
+        sim.launch(0, kernels::plan_dense_gemm(device, seq, d, ffn, batch,
+                                               p + "gemm.ffn2"));
+        sim.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                p + "ew.ln2"));
+        sim.join_streams();
+    }
+    expect_identical(sim.run(), composed.sim);
+}
+
+}  // namespace
+}  // namespace multigrain

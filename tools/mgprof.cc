@@ -26,6 +26,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/plan_cache.h"
 #include "gpusim/device.h"
 #include "gpusim/trace.h"
 #include "profiler/export.h"
@@ -46,6 +47,8 @@ struct Options {
     unsigned seed = 2022;
     bool training = false;
     bool table = true;
+    bool plan_cache_stats = false;
+    int steps = 1;
     int top_kernels = 20;
     std::string json_path;
     std::string csv_path;
@@ -66,6 +69,13 @@ usage(std::ostream &os)
           "  --seed S     workload sampling seed (default 2022)\n"
           "  --training   profile a training step (fwd + bwd) instead of"
           " inference\n"
+          "  --steps N    plan + simulate the workload N times; steps after"
+          " the first\n"
+          "               replay cached execution plans (default 1)\n"
+          "  --plan-cache-stats\n"
+          "               print plan-cache hit/miss/eviction counters and"
+          " the pattern\n"
+          "               fingerprint (also embedded in --json output)\n"
           "  --json PATH  write the mgprof.profile JSON document\n"
           "  --csv PATH   write the carved-phase CSV\n"
           "  --trace PATH write the enriched Perfetto/Chrome trace\n"
@@ -150,6 +160,10 @@ parse_args(int argc, char **argv)
             opt.seed = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--training") {
             opt.training = true;
+        } else if (arg == "--steps") {
+            opt.steps = std::stoi(next());
+        } else if (arg == "--plan-cache-stats") {
+            opt.plan_cache_stats = true;
         } else if (arg == "--json") {
             opt.json_path = next();
         } else if (arg == "--csv") {
@@ -171,6 +185,7 @@ parse_args(int argc, char **argv)
         }
     }
     MG_CHECK(opt.batch > 0) << "--batch must be positive";
+    MG_CHECK(opt.steps > 0) << "--steps must be positive";
     return opt;
 }
 
@@ -207,12 +222,26 @@ run(const Options &opt)
 
     Rng rng(opt.seed);
     const WorkloadSample sample = sample_for_model(rng, model);
-    const TransformerRunner runner(model, mode, sample, opt.batch);
-    const EndToEndResult result =
-        opt.training ? runner.simulate_training(device)
-                     : runner.simulate(device);
 
-    const prof::ProfiledRun profiled = prof::profile(result.sim, device);
+    // Each step builds the runner from scratch, the way repeated inference
+    // steps (or a hyperparameter sweep over the same shapes) would: steps
+    // after the first find their slice metadata and captured LaunchGraphs
+    // in the plan cache and only pay for replay.
+    EndToEndResult result;
+    std::uint64_t pattern_fp = 0;
+    for (int step = 0; step < opt.steps; ++step) {
+        const TransformerRunner runner(model, mode, sample, opt.batch);
+        pattern_fp = runner.attention().pattern_fingerprint();
+        result = opt.training ? runner.simulate_training(device)
+                              : runner.simulate(device);
+    }
+
+    prof::ProfiledRun profiled = prof::profile(result.sim, device);
+    const PlanCacheStats cache_stats = PlanCache::instance().stats();
+    for (const PlanCacheMetricDef &metric : plan_cache_metric_registry()) {
+        profiled.counters.push_back(
+            {metric.key, metric.unit, metric.get(cache_stats)});
+    }
 
     if (opt.table) {
         std::printf("mgprof: %s | %s | %s | batch %lld%s\n",
@@ -236,6 +265,18 @@ run(const Options &opt)
                 std::printf("  %-36s %10.1f us  x%lld\n", t.name.c_str(),
                             t.total_us, static_cast<long long>(t.count));
             }
+        }
+    }
+
+    if (opt.plan_cache_stats) {
+        std::printf("\nplan cache (pattern fingerprint %016llx, %d step%s):"
+                    "\n",
+                    static_cast<unsigned long long>(pattern_fp), opt.steps,
+                    opt.steps == 1 ? "" : "s");
+        for (const PlanCacheMetricDef &metric :
+             plan_cache_metric_registry()) {
+            std::printf("  %-24s %12.4g  %s\n", metric.key,
+                        metric.get(cache_stats), metric.unit);
         }
     }
 
