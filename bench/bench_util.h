@@ -11,13 +11,30 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "core/attention.h"
 #include "core/plan_cache.h"
+#include "formats/convert.h"
+#include "gpusim/device.h"
+#include "kernels/blocked_baseline.h"
+#include "kernels/coarse.h"
+#include "patterns/presets.h"
+#include "patterns/slice.h"
 #include "profiler/export.h"
+#include "profiler/history.h"
+#include "transformer/config.h"
+#include "transformer/runner.h"
+#include "transformer/workload.h"
 
 /// Shared console-table helpers for the benchmark harness. Every bench
 /// binary prints the rows/series its paper table or figure reports, then
 /// registers the same runs with google-benchmark (simulated time reported
 /// as manual time).
+///
+/// This header also hosts the lightweight bench-preset registry mgperf
+/// runs its regression gate over: reduced, deterministic in-process
+/// versions of the headline figures (one dataset sample instead of the
+/// binaries' averaged three), parameterized by device so baselines exist
+/// per (preset, device) pair.
 namespace multigrain::bench {
 
 inline void
@@ -139,8 +156,12 @@ class JsonReport {
             JsonWriter w(os);
             w.begin_object();
             w.field("schema", prof::kBenchSchema);
-            w.field("schema_version", prof::kSchemaVersion);
+            w.field("schema_version", prof::kBenchSchemaVersion);
             w.field("name", name_);
+            // Schema v2: every artifact carries its provenance, so the
+            // history corpus can pin any number to a commit.
+            w.key("manifest");
+            prof::write_manifest(w, prof::RunManifest::collect());
             w.key("rows");
             w.begin_array();
             for (const JsonRow &r : rows_) {
@@ -214,6 +235,211 @@ report_plan_cache()
     for (const PlanCacheMetricDef &metric : plan_cache_metric_registry()) {
         row.metric(metric.key, metric.get(stats));
     }
+}
+
+// ---- Bench-preset registry (the mgperf gate's workload table) -----------
+
+/// One registered preset: a deterministic in-process benchmark whose rows
+/// the regression gate tracks per device.
+struct BenchPreset {
+    const char *name;
+    const char *description;
+    prof::BenchRun (*run)(const sim::DeviceSpec &device);
+};
+
+namespace detail {
+
+inline prof::BenchRow &
+preset_row(prof::BenchRun &run, const std::string &series)
+{
+    run.rows.emplace_back();
+    run.rows.back().series = series;
+    return run.rows.back();
+}
+
+/// Figure 7 preset: end-to-end inference of Longformer-large and
+/// QDS-Transformer-base under the three processing modes, one dataset
+/// sample (the binaries average three; the gate wants speed and
+/// determinism, not averaging).
+inline prof::BenchRun
+preset_fig7(const sim::DeviceSpec &device)
+{
+    prof::BenchRun run;
+    for (const char *model_name : {"longformer", "qds"}) {
+        const ModelConfig model = model_config_by_name(model_name);
+        Rng rng(2022);
+        const WorkloadSample sample = sample_for_model(rng, model);
+        for (const SliceMode mode :
+             {SliceMode::kMultigrain, SliceMode::kCoarseOnly,
+              SliceMode::kFineOnly}) {
+            const TransformerRunner runner(model, mode, sample, 1);
+            const EndToEndResult r = runner.simulate(device);
+            prof::BenchRow &row = preset_row(run, "fig7");
+            row.labels.emplace_back("model", model.name);
+            row.labels.emplace_back("mode", to_string(mode));
+            row.metrics.emplace_back("total_us", r.total_us);
+            row.metrics.emplace_back("attention_us", r.attention_us);
+            row.metrics.emplace_back("dram_bytes", r.dram_bytes);
+            row.metrics.emplace_back("attention_dram_bytes",
+                                     r.attention_dram_bytes);
+        }
+    }
+    return run;
+}
+
+/// Figure 9 preset: the compound sparse GEMM phases across the five
+/// compound patterns under the three processing modes.
+inline prof::BenchRun
+preset_fig9(const sim::DeviceSpec &device)
+{
+    constexpr index_t kSeqLen = 4096;
+    constexpr double kDensity = 0.05;
+    AttentionConfig config;
+    config.head_dim = 64;
+    config.num_heads = 4;
+    config.batch = 1;
+    config.block = 64;
+
+    prof::BenchRun run;
+    for (const auto &[label, pattern] :
+         fig9_patterns(kSeqLen, kDensity, 2022)) {
+        for (const SliceMode mode :
+             {SliceMode::kMultigrain, SliceMode::kCoarseOnly,
+              SliceMode::kFineOnly}) {
+            const AttentionEngine engine(pattern, config, mode);
+            const sim::SimResult r = engine.simulate(device);
+            prof::BenchRow &row = preset_row(run, "fig9");
+            row.labels.emplace_back("pattern", label);
+            row.labels.emplace_back("mode", to_string(mode));
+            row.metrics.emplace_back("sddmm_us", r.span(phase::kSddmm));
+            row.metrics.emplace_back("softmax_us",
+                                     r.span(phase::kSoftmax));
+            row.metrics.emplace_back("spmm_us", r.span(phase::kSpmm));
+            row.metrics.emplace_back("total_us", r.total_us);
+        }
+    }
+    return run;
+}
+
+/// Figure 11 preset: our coarse kernels vs the Triton-style blocked
+/// kernels on the pure coarse patterns.
+inline prof::BenchRun
+preset_fig11(const sim::DeviceSpec &device)
+{
+    constexpr index_t kSeqLen = 4096;
+    constexpr index_t kHeadDim = 64;
+    constexpr index_t kHeads = 4;
+    const auto simulate_one = [&device](sim::KernelLaunch launch) {
+        sim::GpuSim sim(device);
+        sim.launch(0, std::move(launch));
+        return sim.run().total_us;
+    };
+
+    prof::BenchRun run;
+    for (const auto &[label, pattern] : fig11_patterns(kSeqLen, 2022)) {
+        SliceOptions options;
+        options.block = 64;
+        options.mode = SliceMode::kCoarseOnly;
+        const SlicePlan plan = slice_and_dice(pattern, options);
+        const BsrLayout &bsr = *plan.coarse;
+        const BcooLayout bcoo = bcoo_from_bsr(bsr);
+        prof::BenchRow &row = preset_row(run, "fig11");
+        row.labels.emplace_back("pattern", label);
+        row.metrics.emplace_back(
+            "ours_sddmm_us",
+            simulate_one(
+                kernels::plan_coarse_sddmm(device, bsr, kHeadDim, kHeads)));
+        row.metrics.emplace_back(
+            "triton_sddmm_us",
+            simulate_one(
+                kernels::plan_triton_sddmm(device, bcoo, kHeadDim,
+                                           kHeads)));
+        row.metrics.emplace_back(
+            "ours_spmm_us",
+            simulate_one(
+                kernels::plan_coarse_spmm(device, bsr, kHeadDim, kHeads)));
+        row.metrics.emplace_back(
+            "triton_spmm_us",
+            simulate_one(
+                kernels::plan_triton_spmm(device, bsr, kHeadDim, kHeads)));
+    }
+    return run;
+}
+
+/// Tiny preset: the tiny test model end to end — cheap enough for the
+/// gate's perturbation self-test to run on every CI invocation.
+inline prof::BenchRun
+preset_tiny(const sim::DeviceSpec &device)
+{
+    prof::BenchRun run;
+    const ModelConfig model = model_config_by_name("tiny");
+    Rng rng(2022);
+    const WorkloadSample sample = sample_for_model(rng, model);
+    for (const SliceMode mode :
+         {SliceMode::kMultigrain, SliceMode::kDense}) {
+        const TransformerRunner runner(model, mode, sample, 1);
+        const EndToEndResult r = runner.simulate(device);
+        prof::BenchRow &row = preset_row(run, "tiny");
+        row.labels.emplace_back("mode", to_string(mode));
+        row.metrics.emplace_back("total_us", r.total_us);
+        row.metrics.emplace_back("attention_us", r.attention_us);
+        row.metrics.emplace_back("dram_bytes", r.dram_bytes);
+    }
+    return run;
+}
+
+}  // namespace detail
+
+/// The registered presets, in baseline-file order.
+inline const std::vector<BenchPreset> &
+bench_presets()
+{
+    static const std::vector<BenchPreset> presets = {
+        {"fig7", "end-to-end inference (Longformer + QDS, 3 modes)",
+         &detail::preset_fig7},
+        {"fig9", "compound sparse GEMM phases (5 patterns, 3 modes)",
+         &detail::preset_fig9},
+        {"fig11", "coarse kernels vs Triton-style blocked kernels",
+         &detail::preset_fig11},
+        {"tiny", "tiny model end-to-end (gate self-test workload)",
+         &detail::preset_tiny},
+    };
+    return presets;
+}
+
+/// nullptr when no preset has that name.
+inline const BenchPreset *
+find_bench_preset(const std::string &name)
+{
+    for (const BenchPreset &preset : bench_presets()) {
+        if (name == preset.name) {
+            return &preset;
+        }
+    }
+    return nullptr;
+}
+
+/// Runs `preset` on the device named by its CLI name ("a100"/"rtx3090")
+/// and returns the manifest-stamped run named "<preset>@<device>". The
+/// process-wide plan cache is cleared first so the appended "plan_cache"
+/// row is a per-preset delta, reproducible regardless of what ran before
+/// — a fingerprint change that kills cache reuse fails the gate next to
+/// the latency it costs.
+inline prof::BenchRun
+run_bench_preset(const BenchPreset &preset,
+                 const std::string &device_name)
+{
+    const sim::DeviceSpec device = sim::device_spec_by_name(device_name);
+    PlanCache::instance().clear();
+    prof::BenchRun run = preset.run(device);
+    run.name = std::string(preset.name) + "@" + device_name;
+    run.manifest = prof::RunManifest::collect(device_name);
+    const PlanCacheStats stats = PlanCache::instance().stats();
+    prof::BenchRow &row = detail::preset_row(run, "plan_cache");
+    for (const PlanCacheMetricDef &metric : plan_cache_metric_registry()) {
+        row.metrics.emplace_back(metric.key, metric.get(stats));
+    }
+    return run;
 }
 
 }  // namespace multigrain::bench

@@ -1,0 +1,93 @@
+#include "common/gitinfo.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace multigrain {
+
+namespace {
+
+/// Runs `command`, returning its first output line (trimmed) or "" when
+/// the command fails or prints nothing.
+std::string
+first_line_of(const char *command)
+{
+#if defined(_WIN32)
+    (void)command;
+    return "";
+#else
+    std::FILE *pipe = ::popen(command, "r");
+    if (pipe == nullptr) {
+        return "";
+    }
+    char buffer[256];
+    std::string line;
+    if (std::fgets(buffer, sizeof buffer, pipe) != nullptr) {
+        line = buffer;
+    }
+    const int status = ::pclose(pipe);
+    if (status != 0) {
+        return "";
+    }
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r' ||
+                             line.back() == ' ')) {
+        line.pop_back();
+    }
+    return line;
+#endif
+}
+
+bool
+looks_like_sha(const std::string &s)
+{
+    if (s.size() < 7 || s.size() > 64) {
+        return false;
+    }
+    for (const char c : s) {
+        if (std::strchr("0123456789abcdefABCDEF", c) == nullptr) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+GitInfo
+resolve_git_info()
+{
+    GitInfo info;
+    if (const char *sha = std::getenv("MULTIGRAIN_GIT_SHA");
+        sha != nullptr && *sha != '\0') {
+        info.sha = sha;
+        info.known = true;
+        if (const char *dirty = std::getenv("MULTIGRAIN_GIT_DIRTY")) {
+            info.dirty = std::strcmp(dirty, "0") != 0 && *dirty != '\0';
+        }
+        return info;
+    }
+
+    const std::string sha =
+        first_line_of("git rev-parse HEAD 2>/dev/null");
+    if (!looks_like_sha(sha)) {
+        return info;  // The graceful "unknown" fallback.
+    }
+    info.sha = sha;
+    info.known = true;
+    // Any tracked-file change marks the run dirty; untracked files (build
+    // outputs, artifacts) do not.
+    const std::string status = first_line_of(
+        "git status --porcelain --untracked-files=no 2>/dev/null");
+    info.dirty = !status.empty();
+    return info;
+}
+
+const GitInfo &
+git_info()
+{
+    static const GitInfo info = resolve_git_info();
+    return info;
+}
+
+}  // namespace multigrain

@@ -1,0 +1,34 @@
+#ifndef MULTIGRAIN_COMMON_GITINFO_H_
+#define MULTIGRAIN_COMMON_GITINFO_H_
+
+#include <string>
+
+/// Best-effort identification of the source revision a binary was run
+/// from, so benchmark artifacts can be pinned to a commit (the mgperf
+/// RunManifest). Resolution order:
+///
+///   1. `MULTIGRAIN_GIT_SHA` / `MULTIGRAIN_GIT_DIRTY` environment
+///      variables (CI and tests set these to pin or fake a revision);
+///   2. `git rev-parse HEAD` + `git status --porcelain` run in the
+///      process working directory;
+///   3. the graceful fallback: sha "unknown", not dirty, known == false.
+///
+/// The lookup runs once per process and is cached; it never throws.
+namespace multigrain {
+
+struct GitInfo {
+    std::string sha = "unknown";
+    bool dirty = false;
+    /// False when neither the env override nor git could name a revision.
+    bool known = false;
+};
+
+/// The cached process-wide revision info (first call resolves it).
+const GitInfo &git_info();
+
+/// Uncached resolution (tests that flip the env overrides).
+GitInfo resolve_git_info();
+
+}  // namespace multigrain
+
+#endif  // MULTIGRAIN_COMMON_GITINFO_H_

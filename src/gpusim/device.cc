@@ -1,5 +1,10 @@
 #include "gpusim/device.h"
 
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.h"
+
 namespace multigrain::sim {
 
 namespace {
@@ -53,6 +58,7 @@ DeviceSpec::a100()
     d.pj_per_dram_byte = 40.0;   // HBM2e.
     d.pj_per_l2_byte = 6.0;
     d.static_watts = 90.0;
+    apply_perturbation(d, env_perturbation());
     return d;
 }
 
@@ -85,7 +91,92 @@ DeviceSpec::rtx3090()
     d.pj_per_dram_byte = 65.0;   // GDDR6X.
     d.pj_per_l2_byte = 7.0;
     d.static_watts = 80.0;
+    apply_perturbation(d, env_perturbation());
     return d;
+}
+
+DeviceSpec
+device_spec_by_name(const std::string &name)
+{
+    if (name == "a100") {
+        return DeviceSpec::a100();
+    }
+    if (name == "rtx3090") {
+        return DeviceSpec::rtx3090();
+    }
+    throw Error("unknown device \"" + name + "\" (a100|rtx3090)");
+}
+
+bool
+DevicePerturbation::identity() const
+{
+    return dram == 1.0 && tensor == 1.0 && cuda == 1.0 && l2 == 1.0 &&
+           launch == 1.0;
+}
+
+DevicePerturbation
+DevicePerturbation::parse(const std::string &spec)
+{
+    DevicePerturbation p;
+    std::istringstream is(spec);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty()) {
+            continue;
+        }
+        const std::size_t eq = item.find('=');
+        MG_CHECK(eq != std::string::npos)
+            << "perturbation term \"" << item << "\" is not key=scale";
+        const std::string key = item.substr(0, eq);
+        double scale = 0;
+        try {
+            scale = std::stod(item.substr(eq + 1));
+        } catch (const std::exception &) {
+            throw Error("perturbation scale in \"" + item +
+                        "\" is not a number");
+        }
+        MG_CHECK(scale > 0) << "perturbation scale must be positive: "
+                            << item;
+        if (key == "dram") {
+            p.dram = scale;
+        } else if (key == "tensor") {
+            p.tensor = scale;
+        } else if (key == "cuda") {
+            p.cuda = scale;
+        } else if (key == "l2") {
+            p.l2 = scale;
+        } else if (key == "launch") {
+            p.launch = scale;
+        } else {
+            throw Error("unknown perturbation key \"" + key +
+                        "\" (dram|tensor|cuda|l2|launch)");
+        }
+    }
+    return p;
+}
+
+void
+apply_perturbation(DeviceSpec &spec, const DevicePerturbation &p)
+{
+    if (p.identity()) {
+        return;
+    }
+    spec.dram_gbps *= p.dram;
+    spec.tensor_tflops *= p.tensor;
+    spec.cuda_tflops *= p.cuda;
+    spec.l2_gbps *= p.l2;
+    spec.kernel_launch_us *= p.launch;
+    spec.tb_overhead_us *= p.launch;
+}
+
+DevicePerturbation
+env_perturbation()
+{
+    const char *spec = std::getenv("MULTIGRAIN_PERTURB");
+    if (spec == nullptr || *spec == '\0') {
+        return {};
+    }
+    return DevicePerturbation::parse(spec);
 }
 
 }  // namespace multigrain::sim

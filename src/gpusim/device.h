@@ -98,6 +98,39 @@ struct DeviceSpec {
     static DeviceSpec rtx3090();
 };
 
+/// Looks a device up by its CLI name ("a100" | "rtx3090"); throws Error
+/// on anything else. Shared by mgprof, mgperf, and the bench presets.
+DeviceSpec device_spec_by_name(const std::string &name);
+
+/// Test-only multiplicative perturbation of a DeviceSpec, used to
+/// self-test the mgperf regression gate end-to-end: scaling DRAM
+/// bandwidth down by 10 % must make the committed baselines fail. The
+/// multipliers apply to the timing model only (peaks and latencies), not
+/// to capacities or occupancy limits, so plans stay structurally
+/// identical and only the simulated times move.
+struct DevicePerturbation {
+    double dram = 1.0;    ///< Scales dram_gbps.
+    double tensor = 1.0;  ///< Scales tensor_tflops.
+    double cuda = 1.0;    ///< Scales cuda_tflops.
+    double l2 = 1.0;      ///< Scales l2_gbps.
+    double launch = 1.0;  ///< Scales kernel_launch_us and tb_overhead_us.
+
+    bool identity() const;
+
+    /// Parses "dram=0.9,tensor=1.1"-style specs (keys above, any order).
+    /// Throws Error on unknown keys or non-positive scales.
+    static DevicePerturbation parse(const std::string &spec);
+};
+
+/// Applies `p` to `spec` in place.
+void apply_perturbation(DeviceSpec &spec, const DevicePerturbation &p);
+
+/// The perturbation named by the MULTIGRAIN_PERTURB environment variable
+/// (identity when unset/empty). Re-read on every call so tests can flip
+/// it; the DeviceSpec factories apply it, which is what lets the mgperf
+/// gate be exercised against any binary without rebuilding.
+DevicePerturbation env_perturbation();
+
 }  // namespace multigrain::sim
 
 #endif  // MULTIGRAIN_GPUSIM_DEVICE_H_

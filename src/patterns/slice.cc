@@ -24,6 +24,25 @@ to_string(SliceMode mode)
     return "?";
 }
 
+SliceMode
+slice_mode_by_name(const std::string &name)
+{
+    if (name == "multigrain") {
+        return SliceMode::kMultigrain;
+    }
+    if (name == "coarse-only" || name == "coarse") {
+        return SliceMode::kCoarseOnly;
+    }
+    if (name == "fine-only" || name == "fine") {
+        return SliceMode::kFineOnly;
+    }
+    if (name == "dense") {
+        return SliceMode::kDense;
+    }
+    throw Error("unknown mode \"" + name +
+                "\" (multigrain|coarse-only|fine-only|dense)");
+}
+
 void
 SlicePlan::validate_partition() const
 {

@@ -2,6 +2,7 @@
 #define MULTIGRAIN_PATTERNS_SLICE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "formats/bsr.h"
@@ -34,6 +35,11 @@ enum class SliceMode {
 };
 
 const char *to_string(SliceMode mode);
+
+/// Inverse of to_string, accepting the CLI spellings ("multigrain" |
+/// "coarse-only"/"coarse" | "fine-only"/"fine" | "dense"); throws Error
+/// on anything else. Shared by mgprof, mgperf, and the bench presets.
+SliceMode slice_mode_by_name(const std::string &name);
 
 struct SliceOptions {
     index_t block = 64;

@@ -27,6 +27,17 @@ inline constexpr const char *kReportSchema = "mgprof.report";
 inline constexpr const char *kProfileSchema = "mgprof.profile";
 inline constexpr const char *kBenchSchema = "mgprof.bench";
 
+/// The bench schema has its own version: v2 added the RunManifest header
+/// ("manifest" object: git sha/dirty, device, timestamp) to every
+/// artifact. The row schema is unchanged from v1, and v1 documents (no
+/// manifest) are still readable — prof::bench_run_from_json substitutes
+/// an "unknown" manifest.
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// mgperf's regression-report document ("mgperf.report").
+inline constexpr const char *kRegressionSchema = "mgperf.report";
+inline constexpr int kRegressionSchemaVersion = 1;
+
 // ---- JSON ---------------------------------------------------------------
 
 void write_json(const sim::SimResult &result, std::ostream &os);

@@ -1,0 +1,123 @@
+#ifndef MULTIGRAIN_PROFILER_REGRESS_H_
+#define MULTIGRAIN_PROFILER_REGRESS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "profiler/history.h"
+
+/// The direction-aware benchmark comparator behind the mgperf gate:
+/// diffs a current BenchRun against its committed baseline, row by row
+/// (keyed by series + labels) and metric by metric, and classifies each
+/// delta as ok / improved / regressed under a per-metric policy.
+///
+/// gpusim is deterministic, so the default tolerances are tight — 2 %
+/// relative on times, exact on plan-cache counters — far tighter than
+/// real-GPU CI could gate on. "Worse" depends on the metric: latency and
+/// DRAM traffic regress upward, speedups and hit rates regress downward,
+/// and bookkeeping values (cache capacity) never gate at all.
+namespace multigrain::prof {
+
+enum class Direction {
+    kLowerIsBetter,   ///< Times, bytes, energy, misses.
+    kHigherIsBetter,  ///< Speedups, throughput, hit rates.
+    kInformational,   ///< Recorded but never gates (capacity, counts of
+                      ///< configuration rather than performance).
+};
+
+const char *to_string(Direction direction);
+
+/// How one metric is judged: its better-direction plus the allowed
+/// worse-direction slack, max(abs_tol, rel_tol * |baseline|).
+struct MetricPolicy {
+    Direction direction = Direction::kLowerIsBetter;
+    double rel_tol = 0.02;
+    double abs_tol = 0.0;
+};
+
+/// The default policy for a metric key, by naming convention: "_us" /
+/// "_bytes" / "_j" suffixes are lower-is-better, "speedup" / "gflops" /
+/// "hit_rate" / "overlap" are higher-is-better, plan-cache counters are
+/// exact (the simulator is deterministic, so a single extra miss is a
+/// real fingerprint/keying change), and plan_cache.entries/capacity are
+/// informational. Unknown keys default to lower-is-better at 2 %.
+MetricPolicy default_metric_policy(const std::string &key);
+
+enum class DeltaStatus {
+    kOk,
+    kImproved,
+    kRegressed,
+    kMissingMetric,  ///< In the baseline row, absent from the current row.
+    kNewMetric,      ///< In the current row, absent from the baseline row.
+};
+
+const char *to_string(DeltaStatus status);
+
+struct MetricDelta {
+    std::string metric;
+    double baseline = 0;
+    double current = 0;
+    /// Signed (current - baseline) / |baseline|; 0 when baseline is 0.
+    double rel_change = 0;
+    MetricPolicy policy;
+    DeltaStatus status = DeltaStatus::kOk;
+};
+
+enum class RowStatus {
+    kMatched,          ///< Present on both sides; see metric deltas.
+    kMissingInCurrent, ///< Baseline row the current run no longer emits —
+                       ///< lost coverage fails the gate.
+    kNewInCurrent,     ///< Current row with no baseline — reported, does
+                       ///< not fail (refresh baselines to start gating).
+};
+
+struct RowDelta {
+    std::string row_key;
+    RowStatus status = RowStatus::kMatched;
+    std::vector<MetricDelta> metrics;
+};
+
+struct CompareOptions {
+    /// Multiplies every policy's rel_tol/abs_tol (CLI --tol-scale).
+    double tol_scale = 1.0;
+};
+
+/// The diff of one preset against its baseline, plus rollup counters.
+struct RegressionReport {
+    std::string name;
+    RunManifest baseline_manifest;
+    RunManifest current_manifest;
+    std::vector<RowDelta> rows;
+
+    int regressed = 0;
+    int improved = 0;
+    int ok = 0;
+    int new_rows = 0;
+    int missing_rows = 0;
+    int missing_metrics = 0;
+
+    /// The gate verdict: any regressed metric, vanished row, or vanished
+    /// metric fails.
+    bool gate_failed() const
+    {
+        return regressed > 0 || missing_rows > 0 || missing_metrics > 0;
+    }
+};
+
+RegressionReport compare_runs(const BenchRun &baseline,
+                              const BenchRun &current,
+                              const CompareOptions &options = {});
+
+/// Markdown-table report: a summary line per preset and a table of every
+/// non-ok delta (all deltas when `verbose`).
+void print_report(const RegressionReport &report, std::ostream &os,
+                  bool verbose = false);
+
+/// One report object inside the "mgperf.report" document.
+void write_report_json(JsonWriter &w, const RegressionReport &report);
+
+}  // namespace multigrain::prof
+
+#endif  // MULTIGRAIN_PROFILER_REGRESS_H_

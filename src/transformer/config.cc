@@ -1,5 +1,7 @@
 #include "transformer/config.h"
 
+#include "common/error.h"
+
 namespace multigrain {
 
 const char *
@@ -104,6 +106,28 @@ ModelConfig::tiny_test()
     c.has_global_rows = true;
     c.family = PatternFamily::kLongformer;
     return c;
+}
+
+ModelConfig
+model_config_by_name(const std::string &name)
+{
+    if (name == "longformer") {
+        return ModelConfig::longformer_large();
+    }
+    if (name == "qds") {
+        return ModelConfig::qds_base();
+    }
+    if (name == "bigbird") {
+        return ModelConfig::bigbird_etc_base();
+    }
+    if (name == "poolingformer") {
+        return ModelConfig::poolingformer_base();
+    }
+    if (name == "tiny") {
+        return ModelConfig::tiny_test();
+    }
+    throw Error("unknown model \"" + name +
+                "\" (longformer|qds|bigbird|poolingformer|tiny)");
 }
 
 }  // namespace multigrain

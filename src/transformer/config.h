@@ -62,6 +62,11 @@ struct ModelConfig {
     static ModelConfig tiny_test();
 };
 
+/// Looks a model up by its CLI name ("longformer" | "qds" | "bigbird" |
+/// "poolingformer" | "tiny"); throws Error on anything else. This is the
+/// workload table mgprof, mgperf, and the bench presets share.
+ModelConfig model_config_by_name(const std::string &name);
+
 }  // namespace multigrain
 
 #endif  // MULTIGRAIN_TRANSFORMER_CONFIG_H_

@@ -1,0 +1,164 @@
+// End-to-end self-test of the mgperf regression gate: the perturbation
+// hook (gpusim/device.h) must move simulated times, and a perturbed run
+// diffed against an unperturbed baseline must fail the gate — the same
+// loop CI's scheduled self-test step runs through the mgperf binary.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "gpusim/device.h"
+#include "profiler/history.h"
+#include "profiler/regress.h"
+
+namespace multigrain {
+namespace {
+
+/// Scoped MULTIGRAIN_PERTURB setting; restores the previous value.
+class ScopedPerturb {
+  public:
+    explicit ScopedPerturb(const char *spec)
+    {
+        if (const char *old = std::getenv("MULTIGRAIN_PERTURB")) {
+            saved_ = old;
+            had_ = true;
+        }
+        ::setenv("MULTIGRAIN_PERTURB", spec, 1);
+    }
+    ~ScopedPerturb()
+    {
+        if (had_) {
+            ::setenv("MULTIGRAIN_PERTURB", saved_.c_str(), 1);
+        } else {
+            ::unsetenv("MULTIGRAIN_PERTURB");
+        }
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST(PerturbTest, ParseAndIdentity)
+{
+    EXPECT_TRUE(sim::DevicePerturbation{}.identity());
+
+    const sim::DevicePerturbation p =
+        sim::DevicePerturbation::parse("dram=0.9,tensor=1.1,launch=2");
+    EXPECT_FALSE(p.identity());
+    EXPECT_DOUBLE_EQ(p.dram, 0.9);
+    EXPECT_DOUBLE_EQ(p.tensor, 1.1);
+    EXPECT_DOUBLE_EQ(p.cuda, 1.0);
+    EXPECT_DOUBLE_EQ(p.launch, 2.0);
+
+    EXPECT_TRUE(sim::DevicePerturbation::parse("").identity());
+    EXPECT_THROW(sim::DevicePerturbation::parse("warp=2"), Error);
+    EXPECT_THROW(sim::DevicePerturbation::parse("dram"), Error);
+    EXPECT_THROW(sim::DevicePerturbation::parse("dram=0"), Error);
+    EXPECT_THROW(sim::DevicePerturbation::parse("dram=x"), Error);
+}
+
+TEST(PerturbTest, EnvHookScalesDeviceFactories)
+{
+    ::unsetenv("MULTIGRAIN_PERTURB");
+    const sim::DeviceSpec base = sim::DeviceSpec::a100();
+    {
+        ScopedPerturb perturb("dram=0.5,launch=2");
+        const sim::DeviceSpec scaled = sim::DeviceSpec::a100();
+        EXPECT_DOUBLE_EQ(scaled.dram_gbps, base.dram_gbps * 0.5);
+        EXPECT_DOUBLE_EQ(scaled.kernel_launch_us,
+                         base.kernel_launch_us * 2);
+        EXPECT_DOUBLE_EQ(scaled.tb_overhead_us, base.tb_overhead_us * 2);
+        // Structure-affecting fields stay put: plans must not change.
+        EXPECT_EQ(scaled.num_sms, base.num_sms);
+        EXPECT_EQ(scaled.max_tb_per_sm, base.max_tb_per_sm);
+    }
+    // Restored after scope exit.
+    EXPECT_DOUBLE_EQ(sim::DeviceSpec::a100().dram_gbps, base.dram_gbps);
+}
+
+TEST(PerturbTest, DeviceLookupByCliName)
+{
+    EXPECT_EQ(sim::device_spec_by_name("a100").name, "A100");
+    EXPECT_EQ(sim::device_spec_by_name("rtx3090").name, "RTX3090");
+    EXPECT_THROW(sim::device_spec_by_name("h100"), Error);
+}
+
+TEST(GateTest, PresetRegistryListsTheGatedFigures)
+{
+    EXPECT_NE(bench::find_bench_preset("fig7"), nullptr);
+    EXPECT_NE(bench::find_bench_preset("fig9"), nullptr);
+    EXPECT_NE(bench::find_bench_preset("fig11"), nullptr);
+    EXPECT_NE(bench::find_bench_preset("tiny"), nullptr);
+    EXPECT_EQ(bench::find_bench_preset("fig99"), nullptr);
+}
+
+TEST(GateTest, PresetRunsAreDeterministicAndStamped)
+{
+    ::unsetenv("MULTIGRAIN_PERTURB");
+    const bench::BenchPreset *tiny = bench::find_bench_preset("tiny");
+    ASSERT_NE(tiny, nullptr);
+    const prof::BenchRun a = bench::run_bench_preset(*tiny, "a100");
+    const prof::BenchRun b = bench::run_bench_preset(*tiny, "a100");
+
+    EXPECT_EQ(a.name, "tiny@a100");
+    EXPECT_EQ(a.manifest.device, "a100");
+    EXPECT_EQ(a.manifest.schema_version, prof::kBenchSchemaVersion);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        ASSERT_EQ(a.rows[i].key(), b.rows[i].key());
+        ASSERT_EQ(a.rows[i].metrics.size(), b.rows[i].metrics.size());
+        for (std::size_t j = 0; j < a.rows[i].metrics.size(); ++j) {
+            EXPECT_EQ(a.rows[i].metrics[j].second,
+                      b.rows[i].metrics[j].second)
+                << a.rows[i].key() << "." << a.rows[i].metrics[j].first;
+        }
+    }
+
+    // The plan-cache row rides along (satellite: cache regressions gate
+    // with latency) and is a per-preset delta — identical across the two
+    // runs because run_bench_preset clears the process-wide cache.
+    const prof::BenchRow *cache_row = nullptr;
+    for (const prof::BenchRow &row : a.rows) {
+        if (row.series == "plan_cache") {
+            cache_row = &row;
+        }
+    }
+    ASSERT_NE(cache_row, nullptr);
+    ASSERT_NE(cache_row->find_metric("plan_cache.misses"), nullptr);
+    EXPECT_GT(*cache_row->find_metric("plan_cache.misses"), 0);
+}
+
+TEST(GateTest, PerturbedRunFailsAgainstCleanBaseline)
+{
+    ::unsetenv("MULTIGRAIN_PERTURB");
+    const bench::BenchPreset *tiny = bench::find_bench_preset("tiny");
+    ASSERT_NE(tiny, nullptr);
+    const prof::BenchRun baseline =
+        bench::run_bench_preset(*tiny, "a100");
+
+    prof::BenchRun perturbed;
+    {
+        // A 40 % DRAM-bandwidth cut is far outside every tolerance.
+        ScopedPerturb perturb("dram=0.6");
+        perturbed = bench::run_bench_preset(*tiny, "a100");
+    }
+
+    const prof::RegressionReport report =
+        prof::compare_runs(baseline, perturbed);
+    EXPECT_TRUE(report.gate_failed());
+    EXPECT_GT(report.regressed, 0);
+    EXPECT_EQ(report.missing_rows, 0);
+
+    // And the clean re-run still passes — the hook leaves no residue.
+    const prof::BenchRun clean = bench::run_bench_preset(*tiny, "a100");
+    const prof::RegressionReport clean_report =
+        prof::compare_runs(baseline, clean);
+    EXPECT_FALSE(clean_report.gate_failed());
+    EXPECT_EQ(clean_report.regressed, 0);
+}
+
+}  // namespace
+}  // namespace multigrain

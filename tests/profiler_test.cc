@@ -168,6 +168,10 @@ TEST(ProfilerTest, SchemaVersionIsPinned)
     EXPECT_STREQ(kReportSchema, "mgprof.report");
     EXPECT_STREQ(kProfileSchema, "mgprof.profile");
     EXPECT_STREQ(kBenchSchema, "mgprof.bench");
+    // Bench v2 added the RunManifest header (docs/benchmarking.md).
+    EXPECT_EQ(kBenchSchemaVersion, 2);
+    EXPECT_STREQ(kRegressionSchema, "mgperf.report");
+    EXPECT_EQ(kRegressionSchemaVersion, 1);
 }
 
 TEST(ProfilerTest, SimResultJsonRoundTrip)

@@ -1,0 +1,264 @@
+// Tests for the mgperf comparator (profiler/regress.h): direction-aware
+// thresholds, zero-baseline handling, missing/new rows and metrics, the
+// default per-metric policies, and the report's JSON form.
+
+#include "profiler/regress.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.h"
+#include "profiler/export.h"
+
+namespace multigrain::prof {
+namespace {
+
+BenchRow
+make_row(const std::string &series,
+         std::vector<std::pair<std::string, std::string>> labels,
+         std::vector<std::pair<std::string, double>> metrics)
+{
+    BenchRow row;
+    row.series = series;
+    row.labels = std::move(labels);
+    row.metrics = std::move(metrics);
+    return row;
+}
+
+BenchRun
+one_row_run(const std::string &metric, double value)
+{
+    BenchRun run;
+    run.name = "test@a100";
+    run.rows.push_back(make_row("s", {{"mode", "mg"}}, {{metric, value}}));
+    return run;
+}
+
+TEST(PolicyTest, DefaultDirectionsByNamingConvention)
+{
+    EXPECT_EQ(default_metric_policy("total_us").direction,
+              Direction::kLowerIsBetter);
+    EXPECT_EQ(default_metric_policy("dram_bytes").direction,
+              Direction::kLowerIsBetter);
+    EXPECT_EQ(default_metric_policy("dynamic_j").direction,
+              Direction::kLowerIsBetter);
+    EXPECT_EQ(default_metric_policy("mg_speedup").direction,
+              Direction::kHigherIsBetter);
+    EXPECT_EQ(default_metric_policy("effective_gflops").direction,
+              Direction::kHigherIsBetter);
+    EXPECT_EQ(default_metric_policy("tensor_util").direction,
+              Direction::kHigherIsBetter);
+    EXPECT_EQ(default_metric_policy("overlap").direction,
+              Direction::kHigherIsBetter);
+}
+
+TEST(PolicyTest, PlanCacheCountersAreExactOrInformational)
+{
+    const MetricPolicy hits = default_metric_policy("plan_cache.hits");
+    EXPECT_EQ(hits.direction, Direction::kHigherIsBetter);
+    EXPECT_EQ(hits.rel_tol, 0.0);
+    EXPECT_LT(hits.abs_tol, 1.0);  // A single lost hit must gate.
+
+    const MetricPolicy misses = default_metric_policy("plan_cache.misses");
+    EXPECT_EQ(misses.direction, Direction::kLowerIsBetter);
+    EXPECT_EQ(misses.rel_tol, 0.0);
+
+    EXPECT_EQ(default_metric_policy("plan_cache.entries").direction,
+              Direction::kInformational);
+    EXPECT_EQ(default_metric_policy("plan_cache.capacity").direction,
+              Direction::kInformational);
+    EXPECT_EQ(default_metric_policy("plan_cache.hit_rate").direction,
+              Direction::kHigherIsBetter);
+}
+
+TEST(CompareTest, LowerIsBetterDirections)
+{
+    const BenchRun baseline = one_row_run("total_us", 100.0);
+
+    // +5 % on a lower-is-better metric regresses (default tol 2 %).
+    RegressionReport r =
+        compare_runs(baseline, one_row_run("total_us", 105.0));
+    EXPECT_EQ(r.regressed, 1);
+    EXPECT_TRUE(r.gate_failed());
+    ASSERT_EQ(r.rows.size(), 1u);
+    ASSERT_EQ(r.rows[0].metrics.size(), 1u);
+    EXPECT_EQ(r.rows[0].metrics[0].status, DeltaStatus::kRegressed);
+    EXPECT_NEAR(r.rows[0].metrics[0].rel_change, 0.05, 1e-12);
+
+    // -5 % improves; the gate stays green.
+    r = compare_runs(baseline, one_row_run("total_us", 95.0));
+    EXPECT_EQ(r.improved, 1);
+    EXPECT_FALSE(r.gate_failed());
+
+    // +1 % is inside the default 2 % tolerance.
+    r = compare_runs(baseline, one_row_run("total_us", 101.0));
+    EXPECT_EQ(r.ok, 1);
+    EXPECT_FALSE(r.gate_failed());
+}
+
+TEST(CompareTest, HigherIsBetterDirections)
+{
+    const BenchRun baseline = one_row_run("mg_speedup", 2.0);
+
+    // A speedup drop regresses.
+    RegressionReport r =
+        compare_runs(baseline, one_row_run("mg_speedup", 1.8));
+    EXPECT_EQ(r.regressed, 1);
+
+    // A speedup gain improves.
+    r = compare_runs(baseline, one_row_run("mg_speedup", 2.2));
+    EXPECT_EQ(r.improved, 1);
+    EXPECT_FALSE(r.gate_failed());
+}
+
+TEST(CompareTest, ZeroBaselineUsesAbsoluteToleranceOnly)
+{
+    const BenchRun baseline = one_row_run("extra_us", 0.0);
+
+    // Within the absolute slack (0.05 us for *_us): ok, and rel_change
+    // stays finite (0 by definition).
+    RegressionReport r =
+        compare_runs(baseline, one_row_run("extra_us", 0.04));
+    ASSERT_EQ(r.rows[0].metrics.size(), 1u);
+    EXPECT_EQ(r.rows[0].metrics[0].status, DeltaStatus::kOk);
+    EXPECT_EQ(r.rows[0].metrics[0].rel_change, 0.0);
+
+    // Beyond it: regressed, no division by zero anywhere.
+    r = compare_runs(baseline, one_row_run("extra_us", 10.0));
+    EXPECT_EQ(r.rows[0].metrics[0].status, DeltaStatus::kRegressed);
+    EXPECT_EQ(r.rows[0].metrics[0].rel_change, 0.0);
+}
+
+TEST(CompareTest, TolScaleWidensThresholds)
+{
+    const BenchRun baseline = one_row_run("total_us", 100.0);
+    CompareOptions options;
+    options.tol_scale = 5.0;  // 2 % -> 10 %.
+    const RegressionReport r =
+        compare_runs(baseline, one_row_run("total_us", 105.0), options);
+    EXPECT_EQ(r.ok, 1);
+    EXPECT_FALSE(r.gate_failed());
+}
+
+TEST(CompareTest, MissingBaselineRowIsReportedNotFailed)
+{
+    BenchRun baseline = one_row_run("total_us", 100.0);
+    BenchRun current = baseline;
+    current.rows.push_back(
+        make_row("s", {{"mode", "dense"}}, {{"total_us", 50.0}}));
+
+    const RegressionReport r = compare_runs(baseline, current);
+    EXPECT_EQ(r.new_rows, 1);
+    EXPECT_FALSE(r.gate_failed());
+    bool found = false;
+    for (const RowDelta &rd : r.rows) {
+        if (rd.status == RowStatus::kNewInCurrent) {
+            EXPECT_EQ(rd.row_key, "s|mode=dense");
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CompareTest, VanishedRowFailsTheGate)
+{
+    BenchRun baseline = one_row_run("total_us", 100.0);
+    baseline.rows.push_back(
+        make_row("s", {{"mode", "dense"}}, {{"total_us", 50.0}}));
+    const BenchRun current = one_row_run("total_us", 100.0);
+
+    const RegressionReport r = compare_runs(baseline, current);
+    EXPECT_EQ(r.missing_rows, 1);
+    EXPECT_TRUE(r.gate_failed());
+}
+
+TEST(CompareTest, VanishedMetricFailsTheGate)
+{
+    BenchRun baseline;
+    baseline.name = "t";
+    baseline.rows.push_back(make_row(
+        "s", {}, {{"total_us", 100.0}, {"dram_bytes", 1e9}}));
+    BenchRun current;
+    current.name = "t";
+    current.rows.push_back(make_row("s", {}, {{"total_us", 100.0}}));
+
+    const RegressionReport r = compare_runs(baseline, current);
+    EXPECT_EQ(r.missing_metrics, 1);
+    EXPECT_TRUE(r.gate_failed());
+}
+
+TEST(CompareTest, NewMetricIsRecordedNotFailed)
+{
+    BenchRun baseline;
+    baseline.rows.push_back(make_row("s", {}, {{"total_us", 100.0}}));
+    BenchRun current;
+    current.rows.push_back(make_row(
+        "s", {}, {{"total_us", 100.0}, {"l2_bytes", 5.0}}));
+
+    const RegressionReport r = compare_runs(baseline, current);
+    EXPECT_FALSE(r.gate_failed());
+    ASSERT_EQ(r.rows.size(), 1u);
+    bool saw_new = false;
+    for (const MetricDelta &d : r.rows[0].metrics) {
+        saw_new = saw_new || d.status == DeltaStatus::kNewMetric;
+    }
+    EXPECT_TRUE(saw_new);
+}
+
+TEST(CompareTest, InformationalMetricsNeverGate)
+{
+    const BenchRun baseline = one_row_run("plan_cache.capacity", 256.0);
+    const RegressionReport r =
+        compare_runs(baseline, one_row_run("plan_cache.capacity", 16.0));
+    EXPECT_EQ(r.ok, 1);
+    EXPECT_FALSE(r.gate_failed());
+}
+
+TEST(CompareTest, PlanCacheMissDeltaGates)
+{
+    const BenchRun baseline = one_row_run("plan_cache.misses", 12.0);
+    const RegressionReport r =
+        compare_runs(baseline, one_row_run("plan_cache.misses", 13.0));
+    EXPECT_EQ(r.regressed, 1);
+    EXPECT_TRUE(r.gate_failed());
+}
+
+TEST(RegressReportTest, MarkdownMentionsRegressions)
+{
+    const BenchRun baseline = one_row_run("total_us", 100.0);
+    const RegressionReport r =
+        compare_runs(baseline, one_row_run("total_us", 120.0));
+    std::ostringstream os;
+    print_report(r, os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("FAIL"), std::string::npos);
+    EXPECT_NE(text.find("total_us"), std::string::npos);
+    EXPECT_NE(text.find("+20.00%"), std::string::npos);
+}
+
+TEST(RegressReportTest, JsonFormParses)
+{
+    const BenchRun baseline = one_row_run("total_us", 100.0);
+    const RegressionReport r =
+        compare_runs(baseline, one_row_run("total_us", 120.0));
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        write_report_json(w, r);
+    }
+    const JsonValue doc = json_parse(os.str());
+    EXPECT_TRUE(doc.at("gate_failed").as_bool());
+    EXPECT_EQ(static_cast<int>(doc.at("regressed").as_number()), 1);
+    const JsonValue &rows = doc.at("rows");
+    ASSERT_TRUE(rows.is_array());
+    ASSERT_EQ(rows.array.size(), 1u);
+    const JsonValue &metrics = rows.array[0].at("metrics");
+    ASSERT_EQ(metrics.array.size(), 1u);
+    EXPECT_EQ(metrics.array[0].at("status").as_string(), "regressed");
+    EXPECT_EQ(metrics.array[0].at("direction").as_string(),
+              "lower-is-better");
+}
+
+}  // namespace
+}  // namespace multigrain::prof

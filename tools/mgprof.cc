@@ -11,7 +11,9 @@
 //     arrows, and phase marker slices (--trace), for ui.perfetto.dev.
 //
 // Every artifact written is re-parsed before exit, so a zero exit status
-// certifies valid JSON — CI leans on this.
+// certifies valid JSON — CI leans on this. A failed validation exits
+// with the distinct status 2 and an "artifact validation failed" message
+// so CI can tell a bad artifact from a bad invocation (status 1).
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +41,12 @@ namespace {
 
 using namespace multigrain;
 
+/// A written artifact that failed its read-back validation — reported
+/// distinctly (exit 2) from ordinary errors.
+struct ValidationError : Error {
+    using Error::Error;
+};
+
 struct Options {
     std::string model = "longformer";
     std::string device = "a100";
@@ -47,6 +55,7 @@ struct Options {
     unsigned seed = 2022;
     bool training = false;
     bool table = true;
+    bool notes = true;
     bool plan_cache_stats = false;
     int steps = 1;
     int top_kernels = 20;
@@ -80,62 +89,11 @@ usage(std::ostream &os)
           "  --csv PATH   write the carved-phase CSV\n"
           "  --trace PATH write the enriched Perfetto/Chrome trace\n"
           "  --top N      kernels shown in the console table (default 20)\n"
-          "  --quiet      suppress the console tables\n"
+          "  --quiet      suppress the console tables and the per-artifact"
+          "\n"
+          "               \"wrote ...\" notes (CI logs)\n"
           "  --verbose    raise the library log level to info\n"
           "  --help       this text\n";
-}
-
-ModelConfig
-model_by_name(const std::string &name)
-{
-    if (name == "longformer") {
-        return ModelConfig::longformer_large();
-    }
-    if (name == "qds") {
-        return ModelConfig::qds_base();
-    }
-    if (name == "bigbird") {
-        return ModelConfig::bigbird_etc_base();
-    }
-    if (name == "poolingformer") {
-        return ModelConfig::poolingformer_base();
-    }
-    if (name == "tiny") {
-        return ModelConfig::tiny_test();
-    }
-    throw Error("unknown model \"" + name +
-                "\" (longformer|qds|bigbird|poolingformer|tiny)");
-}
-
-sim::DeviceSpec
-device_by_name(const std::string &name)
-{
-    if (name == "a100") {
-        return sim::DeviceSpec::a100();
-    }
-    if (name == "rtx3090") {
-        return sim::DeviceSpec::rtx3090();
-    }
-    throw Error("unknown device \"" + name + "\" (a100|rtx3090)");
-}
-
-SliceMode
-mode_by_name(const std::string &name)
-{
-    if (name == "multigrain") {
-        return SliceMode::kMultigrain;
-    }
-    if (name == "coarse-only" || name == "coarse") {
-        return SliceMode::kCoarseOnly;
-    }
-    if (name == "fine-only" || name == "fine") {
-        return SliceMode::kFineOnly;
-    }
-    if (name == "dense") {
-        return SliceMode::kDense;
-    }
-    throw Error("unknown mode \"" + name +
-                "\" (multigrain|coarse-only|fine-only|dense)");
 }
 
 Options
@@ -174,6 +132,7 @@ parse_args(int argc, char **argv)
             opt.top_kernels = std::stoi(next());
         } else if (arg == "--quiet") {
             opt.table = false;
+            opt.notes = false;
         } else if (arg == "--verbose") {
             set_log_level(LogLevel::kInfo);
         } else if (arg == "--help" || arg == "-h") {
@@ -189,16 +148,29 @@ parse_args(int argc, char **argv)
     return opt;
 }
 
-/// Reads `path` back and parses it, so a bad artifact fails the run.
+/// Reads `path` back and parses it, so a bad artifact fails the run with
+/// exit status 2. When `expected_schema` is non-empty the document's
+/// "schema" tag must match it too.
 void
-validate_json_file(const std::string &path)
+validate_json_file(const std::string &path,
+                   const std::string &expected_schema = "")
 {
-    std::ifstream file(path);
-    MG_CHECK(file.good()) << "cannot reopen " << path;
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    const JsonValue doc = json_parse(buffer.str());
-    MG_CHECK(doc.is_object()) << path << ": top level is not an object";
+    try {
+        std::ifstream file(path);
+        MG_CHECK(file.good()) << "cannot reopen " << path;
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        const JsonValue doc = json_parse(buffer.str());
+        MG_CHECK(doc.is_object())
+            << path << ": top level is not an object";
+        if (!expected_schema.empty()) {
+            MG_CHECK(doc.at("schema").as_string() == expected_schema)
+                << path << ": schema is not \"" << expected_schema
+                << "\"";
+        }
+    } catch (const Error &e) {
+        throw ValidationError(path + ": " + e.what());
+    }
 }
 
 std::vector<sim::PhaseMark>
@@ -216,9 +188,11 @@ phase_marks(const prof::ProfiledRun &run)
 int
 run(const Options &opt)
 {
-    const ModelConfig model = model_by_name(opt.model);
-    const sim::DeviceSpec device = device_by_name(opt.device);
-    const SliceMode mode = mode_by_name(opt.mode);
+    // The shared workload table (transformer/config, gpusim/device,
+    // patterns/slice) — the same lookups mgperf and the bench presets use.
+    const ModelConfig model = model_config_by_name(opt.model);
+    const sim::DeviceSpec device = sim::device_spec_by_name(opt.device);
+    const SliceMode mode = slice_mode_by_name(opt.mode);
 
     Rng rng(opt.seed);
     const WorkloadSample sample = sample_for_model(rng, model);
@@ -282,16 +256,21 @@ run(const Options &opt)
 
     if (!opt.json_path.empty()) {
         prof::write_text_file(opt.json_path, prof::to_json(profiled));
-        validate_json_file(opt.json_path);
-        std::fprintf(stderr, "mgprof: wrote %s (schema %s v%d)\n",
-                     opt.json_path.c_str(), prof::kProfileSchema,
-                     prof::kSchemaVersion);
+        validate_json_file(opt.json_path, prof::kProfileSchema);
+        if (opt.notes) {
+            std::fprintf(stderr, "mgprof: wrote %s (schema %s v%d)\n",
+                         opt.json_path.c_str(), prof::kProfileSchema,
+                         prof::kSchemaVersion);
+        }
     }
     if (!opt.csv_path.empty()) {
         std::ostringstream csv;
         prof::write_phase_csv(profiled, csv);
         prof::write_text_file(opt.csv_path, csv.str());
-        std::fprintf(stderr, "mgprof: wrote %s\n", opt.csv_path.c_str());
+        if (opt.notes) {
+            std::fprintf(stderr, "mgprof: wrote %s\n",
+                         opt.csv_path.c_str());
+        }
     }
     if (!opt.trace_path.empty()) {
         sim::TraceOptions trace_options;
@@ -300,9 +279,11 @@ run(const Options &opt)
         sim::write_chrome_trace_file(result.sim, opt.trace_path,
                                      trace_options);
         validate_json_file(opt.trace_path);
-        std::fprintf(stderr,
-                     "mgprof: wrote %s (open in ui.perfetto.dev)\n",
-                     opt.trace_path.c_str());
+        if (opt.notes) {
+            std::fprintf(stderr,
+                         "mgprof: wrote %s (open in ui.perfetto.dev)\n",
+                         opt.trace_path.c_str());
+        }
     }
     return 0;
 }
@@ -314,6 +295,10 @@ main(int argc, char **argv)
 {
     try {
         return run(parse_args(argc, argv));
+    } catch (const ValidationError &e) {
+        std::fprintf(stderr, "mgprof: artifact validation failed: %s\n",
+                     e.what());
+        return 2;
     } catch (const Error &e) {
         std::fprintf(stderr, "mgprof: %s\n", e.what());
         return 1;
