@@ -21,6 +21,7 @@
 #include "patterns/slice.h"
 #include "profiler/export.h"
 #include "profiler/history.h"
+#include "serve/server.h"
 #include "transformer/config.h"
 #include "transformer/runner.h"
 #include "transformer/workload.h"
@@ -388,6 +389,22 @@ preset_tiny(const sim::DeviceSpec &device)
     return run;
 }
 
+/// Serving preset: the mgserve "tiny" traffic preset end to end — the
+/// whole serving stack (traffic, admission, continuous batching, plan
+/// reuse) reduced to one deterministic run the gate can diff. Latency
+/// percentiles regress when the device slows down; the exact-policy
+/// counters (rejected, plan_cache.*) regress when scheduling or plan
+/// keying changes behavior.
+inline prof::BenchRun
+preset_serve_tiny(const sim::DeviceSpec &device)
+{
+    serve::Server server(serve::serve_preset_by_name("tiny"), device);
+    const serve::ServeReport report = server.run();
+    prof::BenchRun run;
+    serve::append_serve_rows(run, report);
+    return run;
+}
+
 }  // namespace detail
 
 /// The registered presets, in baseline-file order.
@@ -403,6 +420,8 @@ bench_presets()
          &detail::preset_fig11},
         {"tiny", "tiny model end-to-end (gate self-test workload)",
          &detail::preset_tiny},
+        {"serve_tiny", "mgserve tiny traffic preset (serving-layer gate)",
+         &detail::preset_serve_tiny},
     };
     return presets;
 }

@@ -95,6 +95,18 @@ PlanCache::stats() const
     return s;
 }
 
+PlanCacheStats
+stats_delta(const PlanCacheStats &before, const PlanCacheStats &after)
+{
+    PlanCacheStats d;
+    d.hits = after.hits - before.hits;
+    d.misses = after.misses - before.misses;
+    d.evictions = after.evictions - before.evictions;
+    d.entries = after.entries;
+    d.capacity = after.capacity;
+    return d;
+}
+
 void
 PlanCache::set_capacity(std::size_t capacity)
 {

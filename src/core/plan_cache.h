@@ -47,6 +47,16 @@ struct PlanCacheStats {
     }
 };
 
+/// Counter movement between two snapshots of the same cache: the hits,
+/// misses, and evictions that happened after `before` was taken (entries
+/// and capacity carry the `after` values — they are levels, not counters).
+/// This is how the serving layer attributes cache behavior to one traffic
+/// run without clearing the process-wide cache: bucketed requests hitting
+/// the same (pattern fingerprint, config, mode, device) keys show up as a
+/// hit delta, a keying change that breaks bucket reuse as a miss delta.
+PlanCacheStats stats_delta(const PlanCacheStats &before,
+                           const PlanCacheStats &after);
+
 /// Immutable slice-and-dice metadata shared by every engine with the same
 /// (pattern fingerprint, config, mode) key. The transposed layouts the
 /// backward pass needs are built lazily — once per entry, not once per

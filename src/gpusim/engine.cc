@@ -42,6 +42,18 @@ SimResult::span(const std::string &prefix) const
 }
 
 double
+SimResult::finish_us(const std::string &prefix) const
+{
+    double end = 0;
+    for (const auto &k : kernels) {
+        if (k.name.rfind(prefix, 0) == 0) {
+            end = std::max(end, k.end_us);
+        }
+    }
+    return end;
+}
+
+double
 SimResult::dram_bytes_for(const std::string &prefix) const
 {
     double bytes = 0;

@@ -67,6 +67,11 @@ struct SimResult {
     /// starts with `prefix`; the right metric for a multi-stream phase.
     /// Zero when nothing matches.
     double span(const std::string &prefix) const;
+    /// Absolute completion time (max end since t = 0) over kernels whose
+    /// name starts with `prefix`; zero when nothing matches. This is the
+    /// per-batch finish time the serving layer reads off a round where
+    /// several batches co-schedule on different streams.
+    double finish_us(const std::string &prefix) const;
     /// Aggregate DRAM traffic of kernels whose name starts with `prefix`.
     double dram_bytes_for(const std::string &prefix) const;
     const KernelStats *find(const std::string &name) const;

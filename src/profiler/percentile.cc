@@ -1,0 +1,50 @@
+#include "profiler/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace multigrain::prof {
+
+double
+percentile(std::vector<double> values, double p)
+{
+    MG_CHECK(p >= 0.0 && p <= 100.0) << "percentile " << p
+                                     << " outside [0, 100]";
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1) {
+        return values.front();
+    }
+    const double rank =
+        p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+LatencySummary
+summarize_latencies(std::vector<double> values)
+{
+    LatencySummary s;
+    s.count = values.size();
+    if (values.empty()) {
+        return s;
+    }
+    double sum = 0;
+    for (const double v : values) {
+        sum += v;
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(values.size());
+    s.p50 = percentile(values, 50.0);
+    s.p95 = percentile(values, 95.0);
+    s.p99 = percentile(values, 99.0);
+    return s;
+}
+
+}  // namespace multigrain::prof

@@ -1,0 +1,36 @@
+#ifndef MULTIGRAIN_PROFILER_PERCENTILE_H_
+#define MULTIGRAIN_PROFILER_PERCENTILE_H_
+
+#include <vector>
+
+/// Latency-percentile statistics for the serving layer (ISSUE 4).
+///
+/// Serving systems are judged by their tail, not their mean: an SLO is a
+/// bound on p95/p99 request latency under load. mgserve collects one
+/// latency sample per completed request and reduces them here; the same
+/// summary feeds the mgserve console table, the "mgserve.bench" rows the
+/// mgperf gate diffs, and the per-SLO-class breakdown.
+namespace multigrain::prof {
+
+/// The p-th percentile (p in [0, 100]) of `values` by linear
+/// interpolation between closest ranks (the "exclusive" variant NumPy
+/// calls "linear"): deterministic, exact for the small sample counts a
+/// simulated traffic preset produces. Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double p);
+
+/// One latency distribution, reduced to the numbers a serving dashboard
+/// shows. All values are 0 when count == 0.
+struct LatencySummary {
+    std::size_t count = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double max = 0;
+};
+
+LatencySummary summarize_latencies(std::vector<double> values);
+
+}  // namespace multigrain::prof
+
+#endif  // MULTIGRAIN_PROFILER_PERCENTILE_H_

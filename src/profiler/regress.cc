@@ -102,6 +102,23 @@ default_metric_policy(const std::string &key)
     if (key == "plan_cache.misses" || key == "plan_cache.evictions") {
         return {Direction::kLowerIsBetter, 0.0, 0.25};
     }
+    // Serving counters (mgserve rows): gpusim-backed serving runs are
+    // deterministic, so shed/timeout/deadline counts are exact — one
+    // extra shed request is a real admission or scheduling change.
+    // Volume/shape counters (requests issued, rounds dispatched, queue
+    // high-water mark, mean batch size) describe the workload rather
+    // than a cost and never gate.
+    if (key == "rejected" || key == "timed_out" || key == "deadline_miss") {
+        return {Direction::kLowerIsBetter, 0.0, 0.25};
+    }
+    if (key == "requests" || key == "completed" || key == "admitted" ||
+        key == "rounds" || key == "max_queue_depth" ||
+        key == "avg_batch" || key == "max_batch" || key == "count") {
+        return {Direction::kInformational, 0.0, 0.0};
+    }
+    if (ends_with(key, "_rps") || ends_with(key, "_qps")) {
+        return {Direction::kHigherIsBetter, 0.02, 1e-6};
+    }
     if (contains(key, "speedup") || ends_with(key, "_x")) {
         return {Direction::kHigherIsBetter, 0.02, 0.01};
     }

@@ -1,0 +1,135 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace multigrain::serve {
+
+AdmissionQueue::AdmissionQueue(const AdmissionConfig &config,
+                               std::vector<std::string> tenants)
+    : config_(config), tenant_names_(std::move(tenants))
+{
+    MG_CHECK(config_.queue_capacity > 0) << "queue capacity must be > 0";
+    MG_CHECK(config_.max_queue_wait_us >= 0)
+        << "max queue wait must be non-negative";
+    queues_.resize(tenant_names_.size());
+}
+
+std::size_t
+AdmissionQueue::tenant_index(const std::string &name)
+{
+    for (std::size_t i = 0; i < tenant_names_.size(); ++i) {
+        if (tenant_names_[i] == name) {
+            return i;
+        }
+    }
+    tenant_names_.push_back(name);
+    queues_.emplace_back();
+    return tenant_names_.size() - 1;
+}
+
+void
+AdmissionQueue::note_depth()
+{
+    stats_.max_depth = std::max(stats_.max_depth, depth());
+}
+
+std::size_t
+AdmissionQueue::depth() const
+{
+    std::size_t total = 0;
+    for (const auto &q : queues_) {
+        total += q.size();
+    }
+    return total;
+}
+
+bool
+AdmissionQueue::offer(Request r, double)
+{
+    ++stats_.offered;
+    if (depth() >= config_.queue_capacity) {
+        ++stats_.rejected;
+        return false;
+    }
+    queues_[tenant_index(r.tenant)].push_back(std::move(r));
+    ++stats_.admitted;
+    note_depth();
+    return true;
+}
+
+std::vector<Request>
+AdmissionQueue::expire(double now_us)
+{
+    std::vector<Request> expired;
+    if (config_.max_queue_wait_us <= 0) {
+        return expired;
+    }
+    for (auto &q : queues_) {
+        for (auto it = q.begin(); it != q.end();) {
+            if (now_us - it->arrival_us > config_.max_queue_wait_us) {
+                expired.push_back(std::move(*it));
+                it = q.erase(it);
+                ++stats_.timed_out;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return expired;
+}
+
+std::optional<Request>
+AdmissionQueue::pop_seed()
+{
+    std::size_t best = tenant_names_.size();
+    double best_deadline = 0;
+    // Visit tenants from the cursor so equal deadlines rotate fairly;
+    // strict < keeps the first (cursor-closest) head on ties.
+    for (std::size_t step = 0; step < queues_.size(); ++step) {
+        const std::size_t i = (cursor_ + step) % queues_.size();
+        if (queues_[i].empty()) {
+            continue;
+        }
+        const double deadline = queues_[i].front().deadline_us;
+        if (best == tenant_names_.size() || deadline < best_deadline) {
+            best = i;
+            best_deadline = deadline;
+        }
+    }
+    if (best == tenant_names_.size()) {
+        return std::nullopt;
+    }
+    Request r = std::move(queues_[best].front());
+    queues_[best].pop_front();
+    cursor_ = (best + 1) % queues_.size();
+    ++stats_.dispatched;
+    return r;
+}
+
+std::vector<Request>
+AdmissionQueue::take_matching(
+    const std::function<bool(const Request &)> &pred, std::size_t limit)
+{
+    std::vector<Request> taken;
+    if (limit == 0 || queues_.empty()) {
+        return taken;
+    }
+    for (std::size_t step = 0; step < queues_.size() && taken.size() < limit;
+         ++step) {
+        auto &q = queues_[(cursor_ + step) % queues_.size()];
+        for (auto it = q.begin(); it != q.end() && taken.size() < limit;) {
+            if (pred(*it)) {
+                taken.push_back(std::move(*it));
+                it = q.erase(it);
+                ++stats_.dispatched;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return taken;
+}
+
+}  // namespace multigrain::serve

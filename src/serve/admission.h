@@ -1,0 +1,96 @@
+#ifndef MULTIGRAIN_SERVE_ADMISSION_H_
+#define MULTIGRAIN_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/traffic.h"
+
+/// Admission control and queueing for mgserve (ISSUE 4).
+///
+/// The queue is the loss valve of the serving layer: it is bounded, so
+/// under overload requests are shed at the door (rejected) instead of
+/// growing an unbounded backlog, and optionally aged out (timed out) when
+/// they have waited past a configured bound — both with exact counters,
+/// because a serving system that silently drops work is broken in a way
+/// throughput numbers never show.
+///
+/// Fairness is per tenant: each tenant has its own FIFO, and the
+/// scheduler-facing dequeue methods visit tenants from a rotating cursor,
+/// so one tenant's burst cannot starve the others — it can only fill its
+/// share of the bounded queue. Across tenant heads, dequeue order is
+/// earliest-deadline-first (EDF), which is what makes the scheduler
+/// SLO-aware: an interactive request overtakes queued batch work the
+/// moment its tighter budget makes it more urgent.
+namespace multigrain::serve {
+
+struct AdmissionConfig {
+    /// Global bound on queued requests across all tenants; offers beyond
+    /// it are shed.
+    std::size_t queue_capacity = 64;
+    /// Maximum time a request may wait in the queue before it is dropped
+    /// as timed out; 0 disables aging.
+    double max_queue_wait_us = 0;
+};
+
+struct AdmissionStats {
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;   ///< Shed at admission (queue full).
+    std::uint64_t timed_out = 0;  ///< Aged out waiting.
+    std::uint64_t dispatched = 0; ///< Handed to the scheduler.
+    /// High-water mark of the total queue depth — never exceeds
+    /// queue_capacity (asserted by tests/serve_test.cc through the serve
+    /// metric registry).
+    std::size_t max_depth = 0;
+};
+
+class AdmissionQueue {
+  public:
+    /// `tenants` fixes the fairness rotation order; requests from tenants
+    /// not listed get their own FIFO appended in arrival order.
+    AdmissionQueue(const AdmissionConfig &config,
+                   std::vector<std::string> tenants);
+
+    /// Admits `r` unless the queue is at capacity; false means shed.
+    bool offer(Request r, double now_us);
+    /// Removes and returns every queued request that has waited longer
+    /// than max_queue_wait_us at `now_us` (empty when aging is off).
+    std::vector<Request> expire(double now_us);
+
+    std::size_t depth() const;
+    bool empty() const { return depth() == 0; }
+
+    /// Pops the next batch seed: among the tenant queue heads, the
+    /// request with the earliest deadline, ties broken by the rotating
+    /// tenant cursor (round-robin fairness). FIFO within a tenant.
+    /// Advances the cursor past the chosen tenant. Empty when idle.
+    std::optional<Request> pop_seed();
+    /// Removes up to `limit` queued requests satisfying `pred`, visiting
+    /// tenants from the fairness cursor and FIFO within each tenant —
+    /// how the scheduler fills a batch with requests compatible with its
+    /// seed.
+    std::vector<Request> take_matching(
+        const std::function<bool(const Request &)> &pred,
+        std::size_t limit);
+
+    const AdmissionStats &stats() const { return stats_; }
+
+  private:
+    std::size_t tenant_index(const std::string &name);
+    void note_depth();
+
+    AdmissionConfig config_;
+    std::vector<std::string> tenant_names_;
+    std::vector<std::deque<Request>> queues_;  ///< Parallel to names.
+    std::size_t cursor_ = 0;
+    AdmissionStats stats_;
+};
+
+}  // namespace multigrain::serve
+
+#endif  // MULTIGRAIN_SERVE_ADMISSION_H_

@@ -1,0 +1,480 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "transformer/config.h"
+#include "transformer/workload.h"
+
+namespace multigrain::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// tiny: the gate preset — Poisson traffic over the tiny test model with
+/// three tenants across all SLO classes, sized so batches form (arrival
+/// interval well below the round time) without overflowing the queue.
+ServeConfig
+preset_tiny()
+{
+    ServeConfig c;
+    c.preset = "tiny";
+    c.traffic.arrivals = ArrivalProcess::kPoisson;
+    c.traffic.rate_rps = 20000;
+    c.traffic.num_requests = 64;
+    c.traffic.seed = 2022;
+    c.traffic.models = {"tiny"};
+    c.traffic.min_len = 16;
+    c.traffic.tenants = {{"alice", 2.0, SloClass::kInteractive},
+                         {"bob", 2.0, SloClass::kStandard},
+                         {"carol", 1.0, SloClass::kBatch}};
+    c.traffic.slo_budget_us[static_cast<int>(SloClass::kInteractive)] =
+        600;
+    c.traffic.slo_budget_us[static_cast<int>(SloClass::kStandard)] = 2000;
+    c.admission.queue_capacity = 32;
+    c.scheduler.max_batch = 4;
+    c.scheduler.bucket_granularity = 64;
+    c.scheduler.max_concurrent_batches = 2;
+    return c;
+}
+
+/// steady: QDS-Transformer under moderate open-loop load with mixed
+/// document lengths — the bucket-spread workload (512-token buckets).
+ServeConfig
+preset_steady()
+{
+    ServeConfig c;
+    c.preset = "steady";
+    c.traffic.arrivals = ArrivalProcess::kPoisson;
+    c.traffic.rate_rps = 250;
+    c.traffic.num_requests = 24;
+    c.traffic.seed = 2022;
+    c.traffic.models = {"qds"};
+    c.traffic.min_len = 256;
+    c.traffic.tenants = {{"search", 3.0, SloClass::kInteractive},
+                         {"archive", 1.0, SloClass::kBatch}};
+    c.traffic.slo_budget_us[static_cast<int>(SloClass::kInteractive)] =
+        30000;
+    c.admission.queue_capacity = 64;
+    c.scheduler.max_batch = 2;
+    c.scheduler.bucket_granularity = 512;
+    c.scheduler.max_concurrent_batches = 2;
+    return c;
+}
+
+/// overload: arrivals far beyond service capacity into a tight queue —
+/// the admission-control preset. Must shed (tests assert a nonzero
+/// rejected count and a max depth at the configured bound).
+ServeConfig
+preset_overload()
+{
+    ServeConfig c;
+    c.preset = "overload";
+    c.traffic.arrivals = ArrivalProcess::kPoisson;
+    c.traffic.rate_rps = 100000;
+    c.traffic.num_requests = 60;
+    c.traffic.seed = 2022;
+    c.traffic.models = {"tiny"};
+    c.traffic.min_len = 16;
+    c.traffic.tenants = {{"flood", 4.0, SloClass::kStandard},
+                         {"victim", 1.0, SloClass::kInteractive}};
+    c.traffic.slo_budget_us[static_cast<int>(SloClass::kInteractive)] =
+        400;
+    c.admission.queue_capacity = 8;
+    c.admission.max_queue_wait_us = 1500;
+    c.scheduler.max_batch = 2;
+    c.scheduler.bucket_granularity = 64;
+    c.scheduler.max_concurrent_batches = 1;
+    return c;
+}
+
+/// closed: a closed loop of clients with think time — self-throttling
+/// traffic whose arrival times depend on completions (the feedback path
+/// of TrafficSource::on_completion).
+ServeConfig
+preset_closed()
+{
+    ServeConfig c;
+    c.preset = "closed";
+    c.traffic.arrivals = ArrivalProcess::kClosedLoop;
+    c.traffic.concurrency = 6;
+    c.traffic.think_time_us = 50;
+    c.traffic.num_requests = 36;
+    c.traffic.seed = 2022;
+    c.traffic.models = {"tiny"};
+    c.traffic.min_len = 16;
+    c.traffic.tenants = {{"loop", 1.0, SloClass::kStandard}};
+    c.admission.queue_capacity = 16;
+    c.scheduler.max_batch = 4;
+    c.scheduler.bucket_granularity = 64;
+    c.scheduler.max_concurrent_batches = 2;
+    return c;
+}
+
+}  // namespace
+
+const std::vector<ServePresetInfo> &
+serve_presets()
+{
+    static const std::vector<ServePresetInfo> presets = {
+        {"tiny", "Poisson traffic, tiny model, 3 tenants / 3 SLO classes "
+                 "(the gated preset)"},
+        {"steady", "QDS-Transformer, moderate Poisson load, 512-token "
+                   "buckets"},
+        {"overload", "arrivals beyond capacity into a tight queue — "
+                     "sheds and times out"},
+        {"closed", "closed loop of 6 clients with think time"},
+    };
+    return presets;
+}
+
+ServeConfig
+serve_preset_by_name(const std::string &name)
+{
+    if (name == "tiny") {
+        return preset_tiny();
+    }
+    if (name == "steady") {
+        return preset_steady();
+    }
+    if (name == "overload") {
+        return preset_overload();
+    }
+    if (name == "closed") {
+        return preset_closed();
+    }
+    throw Error("unknown serve preset \"" + name +
+                "\" (tiny|steady|overload|closed)");
+}
+
+Server::Server(ServeConfig config, sim::DeviceSpec device)
+    : config_(std::move(config)), device_(std::move(device))
+{
+}
+
+TransformerRunner &
+Server::runner_for(const Batch &batch)
+{
+    char key[160];
+    std::snprintf(key, sizeof key, "%s|%s|bucket=%lld|batch=%d",
+                  batch.model.c_str(), to_string(batch.mode),
+                  static_cast<long long>(batch.bucket),
+                  batch.planned_batch);
+    std::unique_ptr<TransformerRunner> &slot = runners_[key];
+    if (slot == nullptr) {
+        const ModelConfig bucketed = bucketed_model(
+            model_config_by_name(batch.model), batch.bucket);
+        slot = std::make_unique<TransformerRunner>(
+            bucketed, batch.mode,
+            canonical_bucket_sample(bucketed, batch.bucket),
+            batch.planned_batch);
+    }
+    return *slot;
+}
+
+void
+Server::dispatch_round(double now_us, const Scheduler &scheduler,
+                       AdmissionQueue &queue)
+{
+    std::vector<Batch> round = scheduler.next_round(queue);
+    MG_CHECK(!round.empty()) << "dispatch_round on an empty queue";
+
+    // One simulator per round: every batch replays its cached layer
+    // graphs under its own prefix and a fresh stream binding, so the
+    // round's batches co-schedule across simulated streams.
+    sim::GpuSim sim(device_);
+    std::vector<std::string> prefixes;
+    for (std::size_t j = 0; j < round.size(); ++j) {
+        char prefix[16];
+        std::snprintf(prefix, sizeof prefix, "B%zu.", j);
+        prefixes.emplace_back(prefix);
+        std::vector<int> binding;
+        runner_for(round[j]).plan_inference_into(sim, binding,
+                                                 prefixes[j]);
+    }
+    const sim::SimResult result = sim.run();
+
+    for (std::size_t j = 0; j < round.size(); ++j) {
+        InFlightBatch f;
+        f.batch = std::move(round[j]);
+        f.dispatch_us = now_us;
+        f.finish_us = now_us + result.finish_us(prefixes[j]);
+        in_flight_.push_back(std::move(f));
+    }
+    gpu_busy_ = true;
+    gpu_free_us_ = now_us + result.total_us;
+}
+
+void
+Server::complete_round(ServeReport &report, TrafficSource &source)
+{
+    for (InFlightBatch &f : in_flight_) {
+        report.batch_histogram[f.batch.size()] += 1;
+        for (const Request &r : f.batch.requests) {
+            RequestRecord rec;
+            rec.request = r;
+            rec.outcome = RequestRecord::Outcome::kCompleted;
+            rec.dispatch_us = f.dispatch_us;
+            rec.finish_us = f.finish_us;
+            rec.bucket = f.batch.bucket;
+            rec.batch_size = f.batch.size();
+            rec.deadline_met = f.finish_us <= r.deadline_us;
+            report.records.push_back(std::move(rec));
+            source.on_completion(r, f.finish_us);
+        }
+    }
+    in_flight_.clear();
+    gpu_busy_ = false;
+}
+
+ServeReport
+Server::run()
+{
+    MG_CHECK(!ran_) << "Server::run may be called once";
+    ran_ = true;
+
+    const PlanCacheStats cache_before = PlanCache::instance().stats();
+    TrafficSource source(config_.traffic);
+    std::vector<std::string> tenants;
+    for (const TenantSpec &t : config_.traffic.tenants) {
+        tenants.push_back(t.name);
+    }
+    AdmissionQueue queue(config_.admission, std::move(tenants));
+    const Scheduler scheduler(config_.scheduler, config_.traffic.models);
+
+    ServeReport report;
+    report.preset = config_.preset;
+    report.device = device_.name;
+
+    // Requests carry the preset's processing method.
+    const SliceMode mode = config_.mode;
+
+    double now = 0;
+    int rounds = 0;
+    double busy = 0;
+    for (;;) {
+        // Ingest every arrival due by now; shed what the queue refuses.
+        while (source.peek_us() <= now) {
+            Request r = source.pop();
+            r.mode = mode;
+            Request copy = r;
+            if (!queue.offer(std::move(r), now)) {
+                RequestRecord rec;
+                rec.request = std::move(copy);
+                rec.outcome = RequestRecord::Outcome::kRejected;
+                rec.finish_us = rec.request.arrival_us;
+                report.records.push_back(std::move(rec));
+            }
+        }
+        // Age out requests that waited past the admission bound.
+        for (Request &r : queue.expire(now)) {
+            RequestRecord rec;
+            rec.request = std::move(r);
+            rec.outcome = RequestRecord::Outcome::kTimedOut;
+            rec.finish_us = now;
+            rec.deadline_met = false;
+            report.records.push_back(std::move(rec));
+        }
+
+        if (!gpu_busy_ && !queue.empty()) {
+            dispatch_round(now, scheduler, queue);
+            ++rounds;
+            busy += gpu_free_us_ - now;
+            continue;
+        }
+
+        double next = source.peek_us();
+        if (gpu_busy_) {
+            next = std::min(next, gpu_free_us_);
+        }
+        if (next == kInf) {
+            break;
+        }
+        now = next;
+        if (gpu_busy_ && now >= gpu_free_us_) {
+            complete_round(report, source);
+        }
+    }
+    MG_CHECK(source.exhausted() && queue.empty() && !gpu_busy_)
+        << "serving loop ended with work in the system";
+
+    // ---- Reduce the records into the report ----------------------------
+    report.rounds = rounds;
+    report.busy_us = busy;
+    report.admission = queue.stats();
+    report.plan_cache =
+        stats_delta(cache_before, PlanCache::instance().stats());
+
+    std::vector<double> latencies;
+    std::vector<double> by_class[kNumSloClasses];
+    double first_arrival = kInf;
+    double last_finish = 0;
+    for (const RequestRecord &rec : report.records) {
+        if (rec.outcome != RequestRecord::Outcome::kCompleted) {
+            continue;
+        }
+        ++report.completed;
+        if (!rec.deadline_met) {
+            ++report.deadline_miss;
+        }
+        latencies.push_back(rec.latency_us());
+        by_class[static_cast<int>(rec.request.slo)].push_back(
+            rec.latency_us());
+        first_arrival = std::min(first_arrival, rec.request.arrival_us);
+        last_finish = std::max(last_finish, rec.finish_us);
+    }
+    report.latency = prof::summarize_latencies(std::move(latencies));
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        report.latency_by_class[c] =
+            prof::summarize_latencies(std::move(by_class[c]));
+    }
+    if (report.completed > 0) {
+        report.makespan_us = last_finish - first_arrival;
+    }
+    if (report.makespan_us > 0) {
+        report.throughput_rps = static_cast<double>(report.completed) /
+                                (report.makespan_us / 1e6);
+        report.gpu_util =
+            std::min(1.0, report.busy_us / report.makespan_us);
+    }
+    int batch_sum = 0;
+    int batch_count = 0;
+    for (const auto &[size, count] : report.batch_histogram) {
+        batch_sum += size * count;
+        batch_count += count;
+        report.max_batch = std::max(report.max_batch, size);
+    }
+    if (batch_count > 0) {
+        report.avg_batch =
+            static_cast<double>(batch_sum) / batch_count;
+    }
+    return report;
+}
+
+// ---- Metric registry + bench rows ---------------------------------------
+
+const std::vector<ServeMetricDef> &
+serve_metric_registry()
+{
+    static const std::vector<ServeMetricDef> registry = {
+        {"requests", "count", "Requests issued by the traffic source",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.admission.offered);
+         }},
+        {"completed", "count", "Requests served to completion",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.completed);
+         }},
+        {"rejected", "count", "Requests shed at admission (queue full)",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.admission.rejected);
+         }},
+        {"timed_out", "count", "Requests aged out of the queue",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.admission.timed_out);
+         }},
+        {"deadline_miss", "count",
+         "Completed requests that finished past their SLO deadline",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.deadline_miss);
+         }},
+        {"max_queue_depth", "count",
+         "High-water mark of the admission queue",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.admission.max_depth);
+         }},
+        {"p50_us", "us", "Median request latency (arrival to completion)",
+         [](const ServeReport &r) { return r.latency.p50; }},
+        {"p95_us", "us", "95th-percentile request latency",
+         [](const ServeReport &r) { return r.latency.p95; }},
+        {"p99_us", "us", "99th-percentile request latency",
+         [](const ServeReport &r) { return r.latency.p99; }},
+        {"mean_us", "us", "Mean request latency",
+         [](const ServeReport &r) { return r.latency.mean; }},
+        {"max_us", "us", "Worst request latency",
+         [](const ServeReport &r) { return r.latency.max; }},
+        {"throughput_rps", "req/s",
+         "Completed requests over the serving window",
+         [](const ServeReport &r) { return r.throughput_rps; }},
+        {"makespan_us", "us",
+         "First arrival to last completion",
+         [](const ServeReport &r) { return r.makespan_us; }},
+        {"busy_us", "us", "Device-occupied time across rounds",
+         [](const ServeReport &r) { return r.busy_us; }},
+        {"gpu_util", "ratio", "busy / makespan",
+         [](const ServeReport &r) { return r.gpu_util; }},
+        {"rounds", "count", "Scheduling rounds dispatched",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.rounds);
+         }},
+        {"avg_batch", "requests", "Mean actual batch size",
+         [](const ServeReport &r) { return r.avg_batch; }},
+        {"max_batch", "requests", "Largest actual batch size",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.max_batch);
+         }},
+        {"plan_cache.hits", "count",
+         "Plan-cache hits attributable to this run",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.plan_cache.hits);
+         }},
+        {"plan_cache.misses", "count",
+         "Plan-cache misses attributable to this run",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.plan_cache.misses);
+         }},
+    };
+    return registry;
+}
+
+void
+append_serve_rows(prof::BenchRun &run, const ServeReport &report)
+{
+    prof::BenchRow serve;
+    serve.series = "serve";
+    serve.labels.emplace_back("preset", report.preset);
+    for (const ServeMetricDef &metric : serve_metric_registry()) {
+        serve.metrics.emplace_back(metric.key, metric.get(report));
+    }
+    run.rows.push_back(std::move(serve));
+
+    for (int c = 0; c < kNumSloClasses; ++c) {
+        const prof::LatencySummary &s = report.latency_by_class[c];
+        prof::BenchRow row;
+        row.series = "slo";
+        row.labels.emplace_back("class",
+                                to_string(static_cast<SloClass>(c)));
+        row.metrics.emplace_back("completed",
+                                 static_cast<double>(s.count));
+        row.metrics.emplace_back("p50_us", s.p50);
+        row.metrics.emplace_back("p95_us", s.p95);
+        row.metrics.emplace_back("p99_us", s.p99);
+        row.metrics.emplace_back("max_us", s.max);
+        run.rows.push_back(std::move(row));
+    }
+
+    for (const auto &[size, count] : report.batch_histogram) {
+        prof::BenchRow row;
+        row.series = "batch_hist";
+        row.labels.emplace_back("size", std::to_string(size));
+        row.metrics.emplace_back("count", static_cast<double>(count));
+        run.rows.push_back(std::move(row));
+    }
+}
+
+prof::BenchRun
+serve_bench_run(const ServeReport &report,
+                const std::string &device_name)
+{
+    prof::BenchRun run;
+    run.name = "serve_" + report.preset + "@" + device_name;
+    run.manifest = prof::RunManifest::collect(device_name);
+    append_serve_rows(run, report);
+    return run;
+}
+
+}  // namespace multigrain::serve

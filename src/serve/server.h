@@ -1,0 +1,157 @@
+#ifndef MULTIGRAIN_SERVE_SERVER_H_
+#define MULTIGRAIN_SERVE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "gpusim/device.h"
+#include "profiler/history.h"
+#include "profiler/percentile.h"
+#include "serve/admission.h"
+#include "serve/scheduler.h"
+#include "serve/traffic.h"
+#include "transformer/runner.h"
+
+/// mgserve: the multi-tenant serving layer over gpusim (ISSUE 4).
+///
+/// A Server drives one traffic preset end to end, deterministically:
+/// requests arrive (serve/traffic.h), pass admission control
+/// (serve/admission.h), are packed into compatible batches
+/// (serve/scheduler.h), and every round of batches is replayed into one
+/// GpuSim — each batch's PlanCache'd layer graphs under its own name
+/// prefix and stream binding, so concurrent batches overlap across
+/// simulated streams. Virtual serving time advances on two kinds of
+/// events only (request arrival, round completion), so the entire run —
+/// queue depths, batch shapes, per-request latencies — is a pure
+/// function of (preset, seed, device), which is what lets mgperf gate
+/// serving behavior as tightly as it gates kernel time.
+///
+/// The simulation nests two clocks: gpusim's microsecond timeline inside
+/// one round, and the serving clock across rounds. A round dispatched at
+/// time T with round makespan M occupies the device until T + M; each of
+/// its batches finishes at T + finish_us(batch prefix), which is earlier
+/// than T + M when a short batch overlaps a long one on other streams.
+namespace multigrain::serve {
+
+struct ServeConfig {
+    std::string preset = "custom";
+    TrafficConfig traffic;
+    AdmissionConfig admission;
+    SchedulerConfig scheduler;
+    /// Processing method applied to every request of the preset.
+    SliceMode mode = SliceMode::kMultigrain;
+};
+
+/// Registered traffic presets ("tiny" | "steady" | "overload" |
+/// "closed"); throws Error on unknown names.
+ServeConfig serve_preset_by_name(const std::string &name);
+
+struct ServePresetInfo {
+    const char *name;
+    const char *description;
+};
+const std::vector<ServePresetInfo> &serve_presets();
+
+struct RequestRecord {
+    enum class Outcome { kCompleted, kRejected, kTimedOut };
+
+    Request request;
+    Outcome outcome = Outcome::kCompleted;
+    double dispatch_us = 0;
+    double finish_us = 0;
+    index_t bucket = 0;
+    int batch_size = 0;  ///< Actual co-batched requests (not padded).
+    bool deadline_met = true;
+
+    /// Arrival-to-completion latency (the SLO metric).
+    double latency_us() const { return finish_us - request.arrival_us; }
+    /// Time spent queued before dispatch.
+    double queue_us() const { return dispatch_us - request.arrival_us; }
+};
+
+struct ServeReport {
+    std::string preset;
+    std::string device;
+    std::vector<RequestRecord> records;
+    AdmissionStats admission;
+    /// Plan-cache counter movement attributable to this run.
+    PlanCacheStats plan_cache;
+    prof::LatencySummary latency;  ///< Completed requests only.
+    prof::LatencySummary latency_by_class[kNumSloClasses];
+    /// Actual batch size -> number of batches dispatched at that size.
+    std::map<int, int> batch_histogram;
+    int rounds = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t deadline_miss = 0;
+    double makespan_us = 0;  ///< First arrival to last completion.
+    double busy_us = 0;      ///< Device-occupied time (sum of rounds).
+    double throughput_rps = 0;
+    double avg_batch = 0;
+    int max_batch = 0;
+    /// busy / makespan — how much of the serving window the device
+    /// spent executing rounds.
+    double gpu_util = 0;
+};
+
+class Server {
+  public:
+    Server(ServeConfig config, sim::DeviceSpec device);
+
+    /// Runs the preset to completion. May be called once.
+    ServeReport run();
+
+  private:
+    struct InFlightBatch {
+        Batch batch;
+        double dispatch_us = 0;
+        double finish_us = 0;
+    };
+
+    TransformerRunner &runner_for(const Batch &batch);
+    void dispatch_round(double now_us, const Scheduler &scheduler,
+                        AdmissionQueue &queue);
+    void complete_round(ServeReport &report, TrafficSource &source);
+
+    ServeConfig config_;
+    sim::DeviceSpec device_;
+    /// Plan holders per (model, mode, bucket, planned batch) — the
+    /// steady-state working set of the serving loop. The underlying
+    /// layer graphs live in the process-wide PlanCache.
+    std::map<std::string, std::unique_ptr<TransformerRunner>> runners_;
+    std::vector<InFlightBatch> in_flight_;
+    double gpu_free_us_ = 0;
+    bool gpu_busy_ = false;
+    bool ran_ = false;
+};
+
+/// One registered serving metric over a finished report — how the CLI
+/// table, the bench rows, and the tests enumerate the summary without
+/// hand-maintained column lists (same style as phase_metric_registry).
+struct ServeMetricDef {
+    const char *key;
+    const char *unit;
+    const char *description;
+    double (*get)(const ServeReport &);
+};
+
+const std::vector<ServeMetricDef> &serve_metric_registry();
+
+/// Appends the report's bench rows to `run` in the pinned "mgprof.bench"
+/// schema: one "serve" summary row (every registry metric), one "slo"
+/// row per service class, and one "batch_hist" row per observed batch
+/// size. Shared by tools/mgserve and the mgperf "serve_tiny" preset so
+/// the CLI artifact and the gated rows are the same bytes.
+void append_serve_rows(prof::BenchRun &run, const ServeReport &report);
+
+/// The complete manifest-stamped bench document for one run, named
+/// "serve_<preset>@<device_name>" to match the committed baseline files
+/// (`device_name` is the CLI name, e.g. "a100").
+prof::BenchRun serve_bench_run(const ServeReport &report,
+                               const std::string &device_name);
+
+}  // namespace multigrain::serve
+
+#endif  // MULTIGRAIN_SERVE_SERVER_H_

@@ -208,19 +208,27 @@ TransformerRunner::layer_graph(const sim::DeviceSpec &device,
     });
 }
 
+void
+TransformerRunner::plan_inference_into(sim::GpuSim &sim,
+                                       std::vector<int> &binding,
+                                       const std::string &name_prefix) const
+{
+    const std::shared_ptr<const LaunchGraph> layer =
+        layer_graph(sim.device(), LayerKind::kInference);
+    for (index_t l = 0; l < model_.num_layers; ++l) {
+        char prefix[24];
+        std::snprintf(prefix, sizeof prefix, "%sL%02d.",
+                      name_prefix.c_str(), static_cast<int>(l));
+        layer->replay_into(sim, binding, prefix);
+    }
+}
+
 EndToEndResult
 TransformerRunner::simulate(const sim::DeviceSpec &device) const
 {
     sim::GpuSim sim(device);
-    const std::shared_ptr<const LaunchGraph> layer =
-        layer_graph(device, LayerKind::kInference);
     std::vector<int> binding;
-    for (index_t l = 0; l < model_.num_layers; ++l) {
-        char prefix[16];
-        std::snprintf(prefix, sizeof prefix, "L%02d.",
-                      static_cast<int>(l));
-        layer->replay_into(sim, binding, prefix);
-    }
+    plan_inference_into(sim, binding);
 
     EndToEndResult result;
     result.sim = sim.run();

@@ -54,6 +54,17 @@ class TransformerRunner {
     /// Simulates one full forward pass on `device`.
     EndToEndResult simulate(const sim::DeviceSpec &device) const;
 
+    /// Replays one full inference pass into `sim` without running it:
+    /// every layer's cached graph under "<name_prefix>L%02d.", reusing
+    /// `binding` for stream placement (pass a fresh binding to land the
+    /// pass on its own streams). This is how the serving layer
+    /// co-schedules several batches into one simulator — each batch's
+    /// runner replays under its own prefix and binding, and the batches
+    /// overlap across gpusim streams exactly like the coarse ∥ fine split
+    /// does within one attention. simulate() is this plus sim.run().
+    void plan_inference_into(sim::GpuSim &sim, std::vector<int> &binding,
+                             const std::string &name_prefix = "") const;
+
     /// Simulates one training step (forward + backward): each layer's
     /// dense GEMMs reappear with ~2x the flops in the backward (dX and
     /// dW products), and the attention backward runs the dP SDDMM, fused

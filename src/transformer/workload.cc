@@ -128,6 +128,57 @@ read_workload_sample(std::istream &is)
     return sample;
 }
 
+index_t
+bucket_len(index_t valid_len, index_t granularity, index_t cap)
+{
+    MG_CHECK(granularity > 0) << "bucket granularity must be positive";
+    MG_CHECK(cap >= granularity)
+        << "cap " << cap << " below bucket granularity " << granularity;
+    if (valid_len < 1) {
+        valid_len = 1;
+    }
+    const index_t rounded =
+        (valid_len + granularity - 1) / granularity * granularity;
+    return std::min(rounded, cap);
+}
+
+WorkloadSample
+canonical_bucket_sample(const ModelConfig &config, index_t bucket)
+{
+    WorkloadSample s;
+    s.valid_len = bucket;
+    std::vector<index_t> tokens;
+    tokens.push_back(0);  // CLS.
+    // A fixed prefix of special tokens stands in for the question/query
+    // span, and fixed-stride separators for the paragraph/sentence heads;
+    // midpoints of the generators' ranges, so bucketed metadata carries
+    // the same density the per-request samples would on average.
+    const index_t prefix = config.has_global_rows ? 30 : 8;
+    const index_t stride = config.has_global_rows ? 150 : 40;
+    for (index_t t = 1; t <= prefix && t < bucket; ++t) {
+        tokens.push_back(t);
+    }
+    for (index_t pos = prefix + stride; pos < bucket; pos += stride) {
+        tokens.push_back(pos);
+    }
+    s.special_tokens = finalize_tokens(std::move(tokens), bucket);
+    return s;
+}
+
+ModelConfig
+bucketed_model(const ModelConfig &config, index_t bucket)
+{
+    MG_CHECK(bucket > 0 && bucket % config.block == 0)
+        << "bucket " << bucket << " is not a positive multiple of block "
+        << config.block;
+    MG_CHECK(bucket <= config.max_seq_len)
+        << "bucket " << bucket << " exceeds model cap "
+        << config.max_seq_len;
+    ModelConfig bucketed = config;
+    bucketed.max_seq_len = bucket;
+    return bucketed;
+}
+
 CompoundPattern
 build_model_pattern(const ModelConfig &config, const WorkloadSample &sample)
 {

@@ -57,6 +57,34 @@ WorkloadSample read_workload_sample(std::istream &is);
 CompoundPattern build_model_pattern(const ModelConfig &config,
                                     const WorkloadSample &sample);
 
+// ---- Sequence-length bucketing (the serving layer's plan-reuse knob) ----
+//
+// A serving system cannot afford one slice-and-dice pass per request: the
+// §3.1 offline cost is amortizable only if many requests share a pattern
+// fingerprint. mgserve therefore pads every request's sequence length up
+// to a bucket boundary and replaces its per-request special-token
+// metadata with a canonical per-bucket layout, so every request in the
+// same (model, bucket) resolves to the same CompoundPattern fingerprint —
+// and the whole batch replays one PlanCache'd layer graph.
+
+/// `valid_len` rounded up to a multiple of `granularity` and clamped to
+/// [granularity, cap]. `granularity` must be positive and a multiple of
+/// the model block size for the resulting pattern to stay block-aligned.
+index_t bucket_len(index_t valid_len, index_t granularity, index_t cap);
+
+/// The canonical fully-packed sample for one bucket: valid_len ==
+/// bucket, CLS + a fixed special-token layout derived from the model
+/// family's separator statistics (HotpotQA ~150-token paragraphs for
+/// global-row models, MARCO ~40-token sentences otherwise). Deterministic
+/// — no RNG — so two requests bucketed together share a fingerprint.
+WorkloadSample canonical_bucket_sample(const ModelConfig &config,
+                                       index_t bucket);
+
+/// `config` shrunk to serve one bucket: max_seq_len = bucket (dense GEMM
+/// and attention dims follow). Throws when the bucket is not a positive
+/// multiple of the model block or exceeds the model's trained cap.
+ModelConfig bucketed_model(const ModelConfig &config, index_t bucket);
+
 }  // namespace multigrain
 
 #endif  // MULTIGRAIN_TRANSFORMER_WORKLOAD_H_
