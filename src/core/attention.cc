@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "core/lint.h"
 #include "formats/convert.h"
 #include "kernels/backward.h"
 #include "kernels/blocked_baseline.h"
@@ -252,21 +253,26 @@ AttentionEngine::build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
         // SDDMM uses BCOO while SpMM uses BSR (§2.4's format duplication).
         const BcooLayout bcoo = bcoo_from_bsr(*plan_.coarse);
         sink.launch(streams.coarse,
-                    kernels::plan_triton_sddmm(dev, bcoo, dh, replicas,
-                                               named("sddmm.triton")));
+                    sim::annotate(kernels::plan_triton_sddmm(
+                                      dev, bcoo, dh, replicas,
+                                      named("sddmm.triton")),
+                                  {"q", "k"}, {"%s.coarse"}));
         return;
       }
       case SliceMode::kFineOnly:
         sink.launch(streams.coarse,
-                    kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
-                                             config_.fine_scheme,
-                                             named("sddmm.sputnik")));
+                    sim::annotate(kernels::plan_fine_sddmm(
+                                      dev, *plan_.fine, dh, replicas,
+                                      config_.fine_scheme,
+                                      named("sddmm.sputnik")),
+                                  {"q", "k"}, {"%s.fine"}));
         return;
       case SliceMode::kDense:
         sink.launch(streams.coarse,
-                    kernels::plan_dense_gemm(dev, plan_.seq_len,
-                                             plan_.seq_len, dh, replicas,
-                                             named("sddmm.dense")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, plan_.seq_len, plan_.seq_len, dh,
+                                      replicas, named("sddmm.dense")),
+                                  {"q", "k"}, {"%s.full"}));
         return;
       case SliceMode::kMultigrain:
         break;
@@ -274,21 +280,25 @@ AttentionEngine::build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
 
     if (plan_.has_coarse()) {
         sink.launch(streams.coarse,
-                    kernels::plan_coarse_sddmm(dev, *plan_.coarse, dh,
-                                               replicas,
-                                               named("sddmm.coarse")));
+                    sim::annotate(kernels::plan_coarse_sddmm(
+                                      dev, *plan_.coarse, dh, replicas,
+                                      named("sddmm.coarse")),
+                                  {"q", "k"}, {"%s.coarse"}));
     }
     if (plan_.has_fine()) {
         sink.launch(streams.fine,
-                    kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
-                                             config_.fine_scheme,
-                                             named("sddmm.fine")));
+                    sim::annotate(kernels::plan_fine_sddmm(
+                                      dev, *plan_.fine, dh, replicas,
+                                      config_.fine_scheme,
+                                      named("sddmm.fine")),
+                                  {"q", "k"}, {"%s.fine"}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
-                    kernels::plan_dense_gemm(dev, g, plan_.valid_len, dh,
-                                             replicas,
-                                             named("sddmm.global")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, g, plan_.valid_len, dh, replicas,
+                                      named("sddmm.global")),
+                                  {"q", "k"}, {"%s.global"}));
     }
 }
 
@@ -306,45 +316,66 @@ AttentionEngine::build_softmax(LaunchSink &sink, const sim::DeviceSpec &dev,
     switch (plan_.mode) {
       case SliceMode::kCoarseOnly:
         sink.launch(streams.coarse,
-                    kernels::plan_triton_softmax(dev, *plan_.coarse,
-                                                 replicas,
-                                                 named("softmax.triton")));
+                    sim::annotate(kernels::plan_triton_softmax(
+                                      dev, *plan_.coarse, replicas,
+                                      named("softmax.triton")),
+                                  {"%s.coarse"}, {"%s.coarse"}));
         return;
       case SliceMode::kFineOnly:
         sink.launch(streams.coarse,
-                    kernels::plan_fine_softmax(dev, *plan_.fine, replicas,
-                                               named("softmax.sputnik")));
+                    sim::annotate(kernels::plan_fine_softmax(
+                                      dev, *plan_.fine, replicas,
+                                      named("softmax.sputnik")),
+                                  {"%s.fine"}, {"%s.fine"}));
         return;
       case SliceMode::kDense:
         // Additive-mask pass (read S + mask, write S), then dense softmax.
         sink.launch(streams.coarse,
-                    kernels::plan_elementwise(
-                        dev, plan_.seq_len * plan_.seq_len * replicas, 2,
-                        2.0, named("softmax.dense.mask")));
+                    sim::annotate(kernels::plan_elementwise(
+                                      dev,
+                                      plan_.seq_len * plan_.seq_len *
+                                          replicas,
+                                      2, 2.0, named("softmax.dense.mask")),
+                                  {"%s.full", "%mask"}, {"%s.full"}));
         sink.launch(streams.coarse,
-                    kernels::plan_dense_softmax(dev, plan_.seq_len,
-                                                plan_.seq_len, replicas,
-                                                named("softmax.dense")));
+                    sim::annotate(kernels::plan_dense_softmax(
+                                      dev, plan_.seq_len, plan_.seq_len,
+                                      replicas, named("softmax.dense")),
+                                  {"%s.full"}, {"%s.full"}));
         return;
       case SliceMode::kMultigrain:
         break;
     }
 
     // One compound softmax across coarse+fine (the denominator couples
-    // them, §3.3) ∥ dense softmax for the independent global rows.
+    // them, §3.3) ∥ dense softmax for the independent global rows. The
+    // annotation carries the coupling: launched on the coarse stream, its
+    // read of %s.fine is exactly the cross-stream edge the preceding join
+    // barrier exists to create.
     if (plan_.has_coarse() || plan_.has_fine()) {
-        sink.launch(
-            streams.coarse,
-            kernels::plan_compound_softmax(
-                dev, plan_.has_coarse() ? plan_.coarse.get() : nullptr,
-                plan_.has_fine() ? plan_.fine.get() : nullptr, replicas,
-                named("softmax.compound")));
+        sim::KernelLaunch softmax = kernels::plan_compound_softmax(
+            dev, plan_.has_coarse() ? plan_.coarse.get() : nullptr,
+            plan_.has_fine() ? plan_.fine.get() : nullptr, replicas,
+            named("softmax.compound"));
+        if (plan_.has_coarse() && plan_.has_fine()) {
+            softmax = sim::annotate(std::move(softmax),
+                                    {"%s.coarse", "%s.fine"},
+                                    {"%s.coarse", "%s.fine"});
+        } else if (plan_.has_coarse()) {
+            softmax = sim::annotate(std::move(softmax), {"%s.coarse"},
+                                    {"%s.coarse"});
+        } else {
+            softmax = sim::annotate(std::move(softmax), {"%s.fine"},
+                                    {"%s.fine"});
+        }
+        sink.launch(streams.coarse, std::move(softmax));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
-                    kernels::plan_dense_softmax(dev, g, plan_.valid_len,
-                                                replicas,
-                                                named("softmax.global")));
+                    sim::annotate(kernels::plan_dense_softmax(
+                                      dev, g, plan_.valid_len, replicas,
+                                      named("softmax.global")),
+                                  {"%s.global"}, {"%s.global"}));
     }
 }
 
@@ -363,41 +394,51 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
     switch (plan_.mode) {
       case SliceMode::kCoarseOnly:
         sink.launch(streams.coarse,
-                    kernels::plan_triton_spmm(dev, *plan_.coarse, dh,
-                                              replicas,
-                                              named("spmm.triton")));
+                    sim::annotate(kernels::plan_triton_spmm(
+                                      dev, *plan_.coarse, dh, replicas,
+                                      named("spmm.triton")),
+                                  {"%s.coarse", "v"}, {}, {"o"}));
         return;
       case SliceMode::kFineOnly:
         sink.launch(streams.coarse,
-                    kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
-                                            named("spmm.sputnik")));
+                    sim::annotate(kernels::plan_fine_spmm(
+                                      dev, *plan_.fine, dh, replicas,
+                                      named("spmm.sputnik")),
+                                  {"%s.fine", "v"}, {}, {"o"}));
         return;
       case SliceMode::kDense:
         sink.launch(streams.coarse,
-                    kernels::plan_dense_gemm(dev, plan_.seq_len, dh,
-                                             plan_.seq_len, replicas,
-                                             named("spmm.dense")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, plan_.seq_len, dh, plan_.seq_len,
+                                      replicas, named("spmm.dense")),
+                                  {"%s.full", "v"}, {}, {"o"}));
         return;
       case SliceMode::kMultigrain:
         break;
     }
 
+    // Coarse, fine, and global parts all accumulate into the shared output
+    // rows — a commutative RMW, so the three streams may overlap freely.
     if (plan_.has_coarse()) {
         sink.launch(streams.coarse,
-                    kernels::plan_coarse_spmm(dev, *plan_.coarse, dh,
-                                              replicas,
-                                              named("spmm.coarse")));
+                    sim::annotate(kernels::plan_coarse_spmm(
+                                      dev, *plan_.coarse, dh, replicas,
+                                      named("spmm.coarse")),
+                                  {"%s.coarse", "v"}, {}, {"o"}));
     }
     if (plan_.has_fine()) {
         sink.launch(streams.fine,
-                    kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
-                                            named("spmm.fine")));
+                    sim::annotate(kernels::plan_fine_spmm(
+                                      dev, *plan_.fine, dh, replicas,
+                                      named("spmm.fine")),
+                                  {"%s.fine", "v"}, {}, {"o"}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
-                    kernels::plan_dense_gemm(dev, g, dh, plan_.valid_len,
-                                             replicas,
-                                             named("spmm.global")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, g, dh, plan_.valid_len, replicas,
+                                      named("spmm.global")),
+                                  {"%s.global", "v"}, {}, {"o"}));
     }
 }
 
@@ -416,22 +457,32 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
     if (plan_.mode == SliceMode::kDense) {
         const index_t L = plan_.seq_len;
         sink.launch(streams.coarse,
-                    kernels::plan_dense_gemm(dev, L, L, dh, replicas,
-                                             named("bwd.sddmm.dp.dense")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, L, L, dh, replicas,
+                                      named("bwd.sddmm.dp.dense")),
+                                  {"d_out", "v"}, {"%dp.full"}));
         sink.launch(streams.coarse,
-                    kernels::plan_dense_gemm(dev, L, dh, L, replicas,
-                                             named("bwd.spmm_t.dv.dense")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, L, dh, L, replicas,
+                                      named("bwd.spmm_t.dv.dense")),
+                                  {"%p.full", "d_out"}, {}, {"dv"}));
         sink.join_streams();
         sink.launch(streams.coarse,
-                    kernels::plan_elementwise(dev, L * L * replicas, 2, 6.0,
-                                              named("bwd.softmax.dense")));
+                    sim::annotate(kernels::plan_elementwise(
+                                      dev, L * L * replicas, 2, 6.0,
+                                      named("bwd.softmax.dense")),
+                                  {"%p.full", "%dp.full"}, {"%dp.full"}));
         sink.join_streams();
         sink.launch(streams.coarse,
-                    kernels::plan_dense_gemm(dev, L, dh, L, replicas,
-                                             named("bwd.spmm.dq.dense")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, L, dh, L, replicas,
+                                      named("bwd.spmm.dq.dense")),
+                                  {"%dp.full", "k"}, {}, {"dq"}));
         sink.launch(streams.coarse,
-                    kernels::plan_dense_gemm(dev, L, dh, L, replicas,
-                                             named("bwd.spmm_t.dk.dense")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, L, dh, L, replicas,
+                                      named("bwd.spmm_t.dk.dense")),
+                                  {"%dp.full", "q"}, {}, {"dk"}));
         sink.join_streams();
         return;
     }
@@ -445,58 +496,86 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
         if (coarse_only) {
             const BcooLayout bcoo = bcoo_from_bsr(*plan_.coarse);
             sink.launch(streams.coarse,
-                        kernels::plan_triton_sddmm(dev, bcoo, dh, replicas,
-                                                   named("bwd.sddmm.dp")));
+                        sim::annotate(kernels::plan_triton_sddmm(
+                                          dev, bcoo, dh, replicas,
+                                          named("bwd.sddmm.dp")),
+                                      {"d_out", "v"}, {"%dp.coarse"}));
             sink.launch(streams.coarse,
-                        kernels::plan_triton_spmm(dev, coarse_transposed(),
-                                                  dh, replicas,
-                                                  named("bwd.spmm_t.dv")));
+                        sim::annotate(kernels::plan_triton_spmm(
+                                          dev, coarse_transposed(), dh,
+                                          replicas,
+                                          named("bwd.spmm_t.dv")),
+                                      {"%p.coarse", "d_out"}, {}, {"dv"}));
         } else {
             sink.launch(streams.coarse,
-                        kernels::plan_coarse_sddmm(dev, *plan_.coarse, dh,
-                                                   replicas,
-                                                   named("bwd.sddmm.dp")));
+                        sim::annotate(kernels::plan_coarse_sddmm(
+                                          dev, *plan_.coarse, dh, replicas,
+                                          named("bwd.sddmm.dp")),
+                                      {"d_out", "v"}, {"%dp.coarse"}));
             sink.launch(streams.coarse,
-                        kernels::plan_coarse_spmm(dev, coarse_transposed(),
-                                                  dh, replicas,
-                                                  named("bwd.spmm_t.dv")));
+                        sim::annotate(kernels::plan_coarse_spmm(
+                                          dev, coarse_transposed(), dh,
+                                          replicas,
+                                          named("bwd.spmm_t.dv")),
+                                      {"%p.coarse", "d_out"}, {}, {"dv"}));
         }
     }
     if (has_fine) {
         sink.launch(streams.fine,
-                    kernels::plan_fine_sddmm(dev, *plan_.fine, dh, replicas,
-                                             config_.fine_scheme,
-                                             named("bwd.sddmm.dp.fine")));
+                    sim::annotate(kernels::plan_fine_sddmm(
+                                      dev, *plan_.fine, dh, replicas,
+                                      config_.fine_scheme,
+                                      named("bwd.sddmm.dp.fine")),
+                                  {"d_out", "v"}, {"%dp.fine"}));
         sink.launch(streams.fine,
-                    kernels::plan_fine_spmm(dev, fine_transposed(), dh,
-                                            replicas,
-                                            named("bwd.spmm_t.dv.fine")));
+                    sim::annotate(kernels::plan_fine_spmm(
+                                      dev, fine_transposed(), dh, replicas,
+                                      named("bwd.spmm_t.dv.fine")),
+                                  {"%p.fine", "d_out"}, {}, {"dv"}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
-                    kernels::plan_dense_gemm(dev, g, plan_.valid_len, dh,
-                                             replicas,
-                                             named("bwd.sddmm.dp.global")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, g, plan_.valid_len, dh, replicas,
+                                      named("bwd.sddmm.dp.global")),
+                                  {"d_out", "v"}, {"%dp.global"}));
         sink.launch(streams.special,
-                    kernels::plan_dense_gemm(dev, plan_.valid_len, dh, g,
-                                             replicas,
-                                             named("bwd.spmm_t.dv.global")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, plan_.valid_len, dh, g, replicas,
+                                      named("bwd.spmm_t.dv.global")),
+                                  {"%p.global", "d_out"}, {}, {"dv"}));
     }
     sink.join_streams();
 
     // ---- Phase B2: fused softmax backward (plus the dense global rows).
     if (has_coarse || has_fine) {
-        sink.launch(streams.coarse,
-                    kernels::plan_compound_softmax_backward(
-                        dev, has_coarse ? plan_.coarse.get() : nullptr,
-                        has_fine ? plan_.fine.get() : nullptr, replicas,
-                        named("bwd.softmax.compound")));
+        sim::KernelLaunch softmax_bwd = kernels::plan_compound_softmax_backward(
+            dev, has_coarse ? plan_.coarse.get() : nullptr,
+            has_fine ? plan_.fine.get() : nullptr, replicas,
+            named("bwd.softmax.compound"));
+        if (has_coarse && has_fine) {
+            softmax_bwd = sim::annotate(
+                std::move(softmax_bwd),
+                {"%p.coarse", "%p.fine", "%dp.coarse", "%dp.fine"},
+                {"%dp.coarse", "%dp.fine"});
+        } else if (has_coarse) {
+            softmax_bwd = sim::annotate(std::move(softmax_bwd),
+                                        {"%p.coarse", "%dp.coarse"},
+                                        {"%dp.coarse"});
+        } else {
+            softmax_bwd = sim::annotate(std::move(softmax_bwd),
+                                        {"%p.fine", "%dp.fine"},
+                                        {"%dp.fine"});
+        }
+        sink.launch(streams.coarse, std::move(softmax_bwd));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
-                    kernels::plan_dense_softmax(dev, g, plan_.valid_len,
-                                                replicas,
-                                                named("bwd.softmax.global")));
+                    sim::annotate(kernels::plan_dense_softmax(
+                                      dev, g, plan_.valid_len, replicas,
+                                      named("bwd.softmax.global")),
+                                  {"%p.global", "%dp.global"},
+                                  {"%dp.global"}));
     }
     sink.join_streams();
 
@@ -504,42 +583,53 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
     if (has_coarse) {
         if (coarse_only) {
             sink.launch(streams.coarse,
-                        kernels::plan_triton_spmm(dev, *plan_.coarse, dh,
-                                                  replicas,
-                                                  named("bwd.spmm.dq")));
+                        sim::annotate(kernels::plan_triton_spmm(
+                                          dev, *plan_.coarse, dh, replicas,
+                                          named("bwd.spmm.dq")),
+                                      {"%dp.coarse", "k"}, {}, {"dq"}));
             sink.launch(streams.coarse,
-                        kernels::plan_triton_spmm(dev, coarse_transposed(),
-                                                  dh, replicas,
-                                                  named("bwd.spmm_t.dk")));
+                        sim::annotate(kernels::plan_triton_spmm(
+                                          dev, coarse_transposed(), dh,
+                                          replicas,
+                                          named("bwd.spmm_t.dk")),
+                                      {"%dp.coarse", "q"}, {}, {"dk"}));
         } else {
             sink.launch(streams.coarse,
-                        kernels::plan_coarse_spmm(dev, *plan_.coarse, dh,
-                                                  replicas,
-                                                  named("bwd.spmm.dq")));
+                        sim::annotate(kernels::plan_coarse_spmm(
+                                          dev, *plan_.coarse, dh, replicas,
+                                          named("bwd.spmm.dq")),
+                                      {"%dp.coarse", "k"}, {}, {"dq"}));
             sink.launch(streams.coarse,
-                        kernels::plan_coarse_spmm(dev, coarse_transposed(),
-                                                  dh, replicas,
-                                                  named("bwd.spmm_t.dk")));
+                        sim::annotate(kernels::plan_coarse_spmm(
+                                          dev, coarse_transposed(), dh,
+                                          replicas,
+                                          named("bwd.spmm_t.dk")),
+                                      {"%dp.coarse", "q"}, {}, {"dk"}));
         }
     }
     if (has_fine) {
         sink.launch(streams.fine,
-                    kernels::plan_fine_spmm(dev, *plan_.fine, dh, replicas,
-                                            named("bwd.spmm.dq.fine")));
+                    sim::annotate(kernels::plan_fine_spmm(
+                                      dev, *plan_.fine, dh, replicas,
+                                      named("bwd.spmm.dq.fine")),
+                                  {"%dp.fine", "k"}, {}, {"dq"}));
         sink.launch(streams.fine,
-                    kernels::plan_fine_spmm(dev, fine_transposed(), dh,
-                                            replicas,
-                                            named("bwd.spmm_t.dk.fine")));
+                    sim::annotate(kernels::plan_fine_spmm(
+                                      dev, fine_transposed(), dh, replicas,
+                                      named("bwd.spmm_t.dk.fine")),
+                                  {"%dp.fine", "q"}, {}, {"dk"}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
-                    kernels::plan_dense_gemm(dev, g, dh, plan_.valid_len,
-                                             replicas,
-                                             named("bwd.spmm.dq.global")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, g, dh, plan_.valid_len, replicas,
+                                      named("bwd.spmm.dq.global")),
+                                  {"%dp.global", "k"}, {}, {"dq"}));
         sink.launch(streams.special,
-                    kernels::plan_dense_gemm(dev, plan_.valid_len, dh, g,
-                                             replicas,
-                                             named("bwd.spmm_t.dk.global")));
+                    sim::annotate(kernels::plan_dense_gemm(
+                                      dev, plan_.valid_len, dh, g, replicas,
+                                      named("bwd.spmm_t.dk.global")),
+                                  {"%dp.global", "q"}, {}, {"dk"}));
     }
     sink.join_streams();
 }
@@ -575,6 +665,11 @@ AttentionEngine::forward_graphs(const sim::DeviceSpec &device) const
             build_spmm(graphs->forward, device, s, "");
             graphs->forward.join_streams();
         }
+        // Throwing here keeps a racy plan out of the cache entirely.
+        enforce_capture_lint(graphs->sddmm, device, key + " (sddmm)");
+        enforce_capture_lint(graphs->softmax, device, key + " (softmax)");
+        enforce_capture_lint(graphs->spmm, device, key + " (spmm)");
+        enforce_capture_lint(graphs->forward, device, key);
         return graphs;
     });
 }
@@ -588,6 +683,7 @@ AttentionEngine::backward_graph(const sim::DeviceSpec &device) const
         auto graph = std::make_shared<LaunchGraph>();
         const Streams s = capture_streams(*graph);
         build_backward(*graph, device, s, "");
+        enforce_capture_lint(*graph, device, key);
         return graph;
     });
 }

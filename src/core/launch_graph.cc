@@ -72,17 +72,23 @@ LaunchGraph::total_work() const
 void
 LaunchGraph::validate() const
 {
-    std::size_t seen = 0;
+    std::vector<bool> seen(nodes_.size(), false);
+    std::size_t next = 0;
     for (const int op : ops_) {
         if (op == kJoin) {
             continue;
         }
-        MG_CHECK(op >= 0 && static_cast<std::size_t>(op) == seen)
-            << "op stream out of order at node " << op;
-        ++seen;
+        MG_CHECK(op >= 0 && static_cast<std::size_t>(op) < nodes_.size())
+            << "op stream references unknown node " << op;
+        MG_CHECK(!seen[static_cast<std::size_t>(op)])
+            << "op stream duplicates node " << op;
+        MG_CHECK(static_cast<std::size_t>(op) == next)
+            << "op stream skips node " << next << " (saw " << op << ")";
+        seen[static_cast<std::size_t>(op)] = true;
+        ++next;
     }
-    MG_CHECK(seen == nodes_.size())
-        << "op stream covers " << seen << " of " << nodes_.size()
+    MG_CHECK(next == nodes_.size())
+        << "op stream covers " << next << " of " << nodes_.size()
         << " nodes";
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         const LaunchGraphNode &node = nodes_[i];
@@ -94,15 +100,49 @@ LaunchGraph::validate() const
         }
         MG_CHECK(std::is_sorted(node.deps.begin(), node.deps.end()))
             << "node " << i << " has unsorted deps";
+        MG_CHECK(std::adjacent_find(node.deps.begin(), node.deps.end()) ==
+                 node.deps.end())
+            << "node " << i << " has duplicate deps";
     }
 }
 
 void
+LaunchGraph::drop_dep_for_test(int node, int dep)
+{
+    MG_CHECK(node >= 0 && static_cast<std::size_t>(node) < nodes_.size())
+        << "unknown node " << node;
+    std::vector<int> &deps = nodes_[static_cast<std::size_t>(node)].deps;
+    const auto it = std::find(deps.begin(), deps.end(), dep);
+    MG_CHECK(it != deps.end())
+        << "node " << node << " has no dep on " << dep;
+    deps.erase(it);
+}
+
+namespace {
+
+/// Re-interns every plan-local ('%'-prefixed) buffer under `ns`:
+/// "%X" -> "%<ns>.X". Shared buffers pass through untouched.
+void
+namespace_buffers(std::vector<sim::BufferId> &ids, const std::string &ns)
+{
+    for (sim::BufferId &id : ids) {
+        if (sim::buffer_is_plan_local(id)) {
+            id = sim::intern_buffer("%" + ns + "." +
+                                    sim::buffer_name(id).substr(1));
+        }
+    }
+}
+
+}  // namespace
+
+void
 LaunchGraph::append(const LaunchGraph &other,
                     const std::string &name_prefix,
-                    const std::vector<int> *stream_map)
+                    const std::vector<int> *stream_map,
+                    const std::string *buffer_ns)
 {
     MG_CHECK(&other != this) << "cannot append a LaunchGraph to itself";
+    other.validate();
     std::vector<int> map;
     if (stream_map != nullptr) {
         MG_CHECK(static_cast<int>(stream_map->size()) >=
@@ -116,6 +156,13 @@ LaunchGraph::append(const LaunchGraph &other,
             map.push_back(create_stream());
         }
     }
+    std::string ns;
+    if (buffer_ns != nullptr) {
+        ns = *buffer_ns;
+    } else {
+        ns = "p";
+        ns += std::to_string(++buffer_ns_seq_);
+    }
     for (const int op : other.ops_) {
         if (op == kJoin) {
             join_streams();
@@ -127,6 +174,9 @@ LaunchGraph::append(const LaunchGraph &other,
         if (!name_prefix.empty()) {
             launch.name = name_prefix + launch.name;
         }
+        namespace_buffers(launch.reads, ns);
+        namespace_buffers(launch.writes, ns);
+        namespace_buffers(launch.accums, ns);
         this->launch(map[static_cast<std::size_t>(node.stream)],
                      std::move(launch));
     }

@@ -84,8 +84,11 @@ class LaunchGraph final : public LaunchSink {
     static constexpr int kJoin = -1;
     const std::vector<int> &ops() const { return ops_; }
     sim::TbWork total_work() const;
-    /// Throws Error if an invariant is broken (dep out of range or not
-    /// strictly older, stream out of range, malformed op stream).
+    /// Throws Error if an invariant is broken: an op stream that skips,
+    /// duplicates, or reorders node indices (every node must appear
+    /// exactly once, in capture order), a dep out of range or not
+    /// strictly older, unsorted/duplicated deps, or a stream out of
+    /// range.
     void validate() const;
 
     // ---- Composition ----------------------------------------------------
@@ -96,8 +99,20 @@ class LaunchGraph final : public LaunchSink {
     /// fresh one. Dependency edges are recomputed against this graph's
     /// capture state, so other's first kernels serialize after this
     /// graph's current stream tails exactly as live recording would.
+    /// `other` is validated first, so a hand-built malformed graph cannot
+    /// be spliced in unchecked.
+    ///
+    /// Plan-local buffer annotations ('%'-prefixed, see sim::intern_buffer)
+    /// are re-interned under a namespace: "%X" becomes "%<ns>.X". With a
+    /// null `buffer_ns` every append call gets a fresh unique namespace,
+    /// so two appended copies of one plan never alias their
+    /// intermediates; callers appending several graphs that genuinely
+    /// share intermediates (an engine's sddmm/softmax/spmm phases) pass
+    /// the same namespace for all of them. Shared (unprefixed) buffers
+    /// are never remapped.
     void append(const LaunchGraph &other, const std::string &name_prefix = "",
-                const std::vector<int> *stream_map = nullptr);
+                const std::vector<int> *stream_map = nullptr,
+                const std::string *buffer_ns = nullptr);
 
     // ---- Replay ---------------------------------------------------------
     /// Instantiates the graph into `sim`. `binding` maps logical → real
@@ -115,6 +130,16 @@ class LaunchGraph final : public LaunchSink {
     void replay_into(sim::GpuSim &sim,
                      const std::string &name_prefix = "") const;
 
+    // ---- Test hooks -----------------------------------------------------
+    /// Removes the edge `dep` from node `node`'s dep list (throws if the
+    /// edge does not exist). Used by the lint tests to seed a
+    /// missing-edge hazard into an otherwise-correct captured plan.
+    void drop_dep_for_test(int node, int dep);
+    /// Replaces the op stream wholesale, bypassing capture. Used by the
+    /// validate() tests to build the malformed graphs (skipped or
+    /// duplicated node indices) that capture itself can never produce.
+    void set_ops_for_test(std::vector<int> ops) { ops_ = std::move(ops); }
+
   private:
     // Capture state, mirroring GpuSim's stream bookkeeping so the edges
     // recorded here equal the ones the simulator would compute.
@@ -125,6 +150,9 @@ class LaunchGraph final : public LaunchSink {
 
     std::vector<LaunchGraphNode> nodes_;
     std::vector<int> ops_;
+    /// Fresh plan-local buffer namespaces handed out by append() when the
+    /// caller does not provide one.
+    int buffer_ns_seq_ = 0;
 };
 
 }  // namespace multigrain

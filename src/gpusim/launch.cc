@@ -1,10 +1,80 @@
 #include "gpusim/launch.h"
 
 #include <algorithm>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/error.h"
 
 namespace multigrain::sim {
+
+namespace {
+
+/// Process-wide interning table. Leaked (never destroyed) so buffer ids
+/// stay resolvable from atexit handlers and static destructors.
+struct BufferTable {
+    std::mutex mutex;
+    std::vector<std::string> names;
+    std::unordered_map<std::string, BufferId> ids;
+};
+
+BufferTable &
+buffer_table()
+{
+    static BufferTable *table = new BufferTable;
+    return *table;
+}
+
+}  // namespace
+
+BufferId
+intern_buffer(const std::string &name)
+{
+    MG_CHECK(!name.empty()) << "buffer name must be non-empty";
+    BufferTable &table = buffer_table();
+    const std::lock_guard<std::mutex> lock(table.mutex);
+    const auto it = table.ids.find(name);
+    if (it != table.ids.end()) {
+        return it->second;
+    }
+    const BufferId id = static_cast<BufferId>(table.names.size());
+    table.names.push_back(name);
+    table.ids.emplace(name, id);
+    return id;
+}
+
+std::string
+buffer_name(BufferId id)
+{
+    BufferTable &table = buffer_table();
+    const std::lock_guard<std::mutex> lock(table.mutex);
+    MG_CHECK(id >= 0 && static_cast<std::size_t>(id) < table.names.size())
+        << "unknown buffer id " << id;
+    return table.names[static_cast<std::size_t>(id)];
+}
+
+bool
+buffer_is_plan_local(BufferId id)
+{
+    return buffer_name(id).front() == '%';
+}
+
+KernelLaunch
+annotate(KernelLaunch launch, std::initializer_list<const char *> reads,
+         std::initializer_list<const char *> writes,
+         std::initializer_list<const char *> accums)
+{
+    for (const char *name : reads) {
+        launch.reads.push_back(intern_buffer(name));
+    }
+    for (const char *name : writes) {
+        launch.writes.push_back(intern_buffer(name));
+    }
+    for (const char *name : accums) {
+        launch.accums.push_back(intern_buffer(name));
+    }
+    return launch;
+}
 
 index_t
 KernelLaunch::num_tbs() const

@@ -58,10 +58,42 @@ struct TbGroup {
     index_t count = 1;
 };
 
+// ---- Dataflow annotations (the mglint hazard model's vocabulary) --------
+
+/// Interned handle for a logical tensor a kernel touches ("q", "%s.fine",
+/// "dv", ...). The table is process-wide and append-only; ids are stable
+/// for the life of the process.
+using BufferId = int;
+inline constexpr BufferId kNoBuffer = -1;
+
+/// Interns `name` (returning the existing id when already known). Names
+/// beginning with '%' are *plan-local*: they denote intermediates private
+/// to one captured graph (the S/P score matrices, the dP gradients) and
+/// are re-namespaced when a graph is appended into a larger one, so two
+/// co-scheduled copies of the same plan never alias. All other names are
+/// shared interface tensors (q/k/v/o, dq/dk/dv, activations).
+BufferId intern_buffer(const std::string &name);
+
+/// The name `id` was interned under; throws Error on an unknown id.
+std::string buffer_name(BufferId id);
+
+/// True for '%'-prefixed (plan-local) buffer names.
+bool buffer_is_plan_local(BufferId id);
+
 struct KernelLaunch {
     std::string name;
     TbShape shape;
     std::vector<TbGroup> tbs;
+
+    /// Dataflow annotations: the logical buffers this kernel reads,
+    /// writes, and accumulates into (commutative read-modify-write, e.g.
+    /// atomic adds into a shared output — two accumulators never conflict
+    /// with each other, only with plain readers/writers). Optional: empty
+    /// sets mean "not annotated" and the linter treats the kernel as
+    /// touching nothing. The execution engine never consults them.
+    std::vector<BufferId> reads;
+    std::vector<BufferId> writes;
+    std::vector<BufferId> accums;
 
     index_t num_tbs() const;
     TbWork total_work() const;
@@ -71,6 +103,14 @@ struct KernelLaunch {
     /// regular kernels).
     void add_tb(const TbWork &work, index_t count = 1);
 };
+
+/// Builder-style annotation helper for plan() call sites:
+///   sink.launch(s, annotate(plan_fine_sddmm(...), {"q", "k"},
+///                           {"%s.fine"}));
+KernelLaunch annotate(KernelLaunch launch,
+                      std::initializer_list<const char *> reads,
+                      std::initializer_list<const char *> writes,
+                      std::initializer_list<const char *> accums = {});
 
 /// Thread blocks of `shape` that fit on one SM concurrently under the CUDA
 /// occupancy rules (block slots, threads, registers, shared memory).

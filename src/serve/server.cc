@@ -1,8 +1,8 @@
 #include "serve/server.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "common/error.h"
@@ -159,11 +159,9 @@ Server::Server(ServeConfig config, sim::DeviceSpec device)
 TransformerRunner &
 Server::runner_for(const Batch &batch)
 {
-    char key[160];
-    std::snprintf(key, sizeof key, "%s|%s|bucket=%lld|batch=%d",
-                  batch.model.c_str(), to_string(batch.mode),
-                  static_cast<long long>(batch.bucket),
-                  batch.planned_batch);
+    const std::string key = batch.model + "|" + to_string(batch.mode) +
+                            "|bucket=" + std::to_string(batch.bucket) +
+                            "|batch=" + std::to_string(batch.planned_batch);
     std::unique_ptr<TransformerRunner> &slot = runners_[key];
     if (slot == nullptr) {
         const ModelConfig bucketed = bucketed_model(
@@ -188,10 +186,9 @@ Server::dispatch_round(double now_us, const Scheduler &scheduler,
     // round's batches co-schedule across simulated streams.
     sim::GpuSim sim(device_);
     std::vector<std::string> prefixes;
+    prefixes.reserve(round.size());
     for (std::size_t j = 0; j < round.size(); ++j) {
-        char prefix[16];
-        std::snprintf(prefix, sizeof prefix, "B%zu.", j);
-        prefixes.emplace_back(prefix);
+        prefixes.push_back("B" + std::to_string(j) + ".");
         std::vector<int> binding;
         runner_for(round[j]).plan_inference_into(sim, binding,
                                                  prefixes[j]);
@@ -310,6 +307,7 @@ Server::run()
         stats_delta(cache_before, PlanCache::instance().stats());
 
     std::vector<double> latencies;
+    latencies.reserve(report.records.size());
     std::vector<double> by_class[kNumSloClasses];
     double first_arrival = kInf;
     double last_finish = 0;

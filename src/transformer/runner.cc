@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "core/lint.h"
 #include "core/plan_cache.h"
 #include "kernels/dense.h"
 
@@ -101,10 +102,18 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
         maps.push_back(std::move(map));
     }
 
+    // One buffer namespace per engine, shared by all of that engine's
+    // phase appends: its softmax must see the very %s.* scores its sddmm
+    // wrote, while two co-scheduled engines must never alias theirs.
+    const auto engine_ns = [](std::size_t i) {
+        return "e" + std::to_string(i);
+    };
+
     const auto append_phase =
         [&](const LaunchGraph AttentionEngine::AttentionGraphs::*phase) {
             for (std::size_t i = 0; i < engines_.size(); ++i) {
-                graph.append((*attn[i]).*phase, "attn.", &maps[i]);
+                const std::string ns = engine_ns(i);
+                graph.append((*attn[i]).*phase, "attn.", &maps[i], &ns);
             }
             graph.join_streams();
         };
@@ -115,31 +124,77 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
         for (double rep = 0; rep < flop_scale; ++rep) {
             const std::string suffix =
                 flop_scale > 1 ? (rep == 0 ? ".dx" : ".dw") : "";
-            graph.launch(0, kernels::plan_dense_gemm(
-                                device, seq, 3 * d, d, batch_,
-                                "gemm.qkv" + suffix));
-            graph.launch(0, kernels::plan_dense_gemm(
-                                device, seq, d, d, batch_,
-                                "gemm.attn_out" + suffix));
-            graph.launch(0, kernels::plan_dense_gemm(
-                                device, seq, ffn, d, batch_,
-                                "gemm.ffn1" + suffix));
-            graph.launch(0, kernels::plan_dense_gemm(
-                                device, seq, d, ffn, batch_,
-                                "gemm.ffn2" + suffix));
+            sim::KernelLaunch qkv = kernels::plan_dense_gemm(
+                device, seq, 3 * d, d, batch_, "gemm.qkv" + suffix);
+            sim::KernelLaunch attn_out = kernels::plan_dense_gemm(
+                device, seq, d, d, batch_, "gemm.attn_out" + suffix);
+            sim::KernelLaunch ffn1 = kernels::plan_dense_gemm(
+                device, seq, ffn, d, batch_, "gemm.ffn1" + suffix);
+            sim::KernelLaunch ffn2 = kernels::plan_dense_gemm(
+                device, seq, d, ffn, batch_, "gemm.ffn2" + suffix);
+            if (suffix.empty()) {
+                qkv = sim::annotate(std::move(qkv), {"x", "w.qkv"},
+                                    {"q", "k", "v"});
+                attn_out = sim::annotate(std::move(attn_out),
+                                         {"o", "w.out"}, {"proj"});
+                ffn1 = sim::annotate(std::move(ffn1), {"x1", "w.ffn1"},
+                                     {"h1"});
+                ffn2 = sim::annotate(std::move(ffn2), {"h1", "w.ffn2"},
+                                     {"h2"});
+            } else if (suffix == ".dx") {
+                qkv = sim::annotate(std::move(qkv),
+                                    {"dq", "dk", "dv", "w.qkv"}, {"d.x"});
+                attn_out = sim::annotate(std::move(attn_out),
+                                         {"d.ln1", "w.out"}, {"d.o"});
+                ffn1 = sim::annotate(std::move(ffn1), {"d.h1", "w.ffn1"},
+                                     {"d.x1"});
+                ffn2 = sim::annotate(std::move(ffn2), {"d.h2", "w.ffn2"},
+                                     {"d.h1"});
+            } else {
+                qkv = sim::annotate(std::move(qkv),
+                                    {"dq", "dk", "dv", "x"}, {"dw.qkv"});
+                attn_out = sim::annotate(std::move(attn_out),
+                                         {"d.ln1", "o"}, {"dw.out"});
+                ffn1 = sim::annotate(std::move(ffn1), {"d.h1", "x1"},
+                                     {"dw.ffn1"});
+                ffn2 = sim::annotate(std::move(ffn2), {"d.h2", "h1"},
+                                     {"dw.ffn2"});
+            }
+            graph.launch(0, std::move(qkv));
+            graph.launch(0, std::move(attn_out));
+            graph.launch(0, std::move(ffn1));
+            graph.launch(0, std::move(ffn2));
         }
-        graph.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
-                                                  "ew.ln"));
-        graph.launch(0, kernels::plan_elementwise(device,
-                                                  seq * ffn * batch_, 1,
-                                                  12.0, "ew.gelu"));
+        if (flop_scale > 1) {
+            graph.launch(0, sim::annotate(
+                                kernels::plan_elementwise(device, elems, 2,
+                                                          8.0, "ew.ln"),
+                                {"d.x"}, {"d.x"}));
+            graph.launch(0, sim::annotate(
+                                kernels::plan_elementwise(
+                                    device, seq * ffn * batch_, 1, 12.0,
+                                    "ew.gelu"),
+                                {"d.h1"}, {"d.h1"}));
+        } else {
+            graph.launch(0, sim::annotate(
+                                kernels::plan_elementwise(device, elems, 2,
+                                                          8.0, "ew.ln"),
+                                {"x", "proj"}, {"x1"}));
+            graph.launch(0, sim::annotate(
+                                kernels::plan_elementwise(
+                                    device, seq * ffn * batch_, 1, 12.0,
+                                    "ew.gelu"),
+                                {"h1"}, {"h1"}));
+        }
     };
 
     switch (kind) {
       case LayerKind::kInference:
         // Fused QKV projection: one L x 3D x D GEMM per batch element.
-        graph.launch(0, kernels::plan_dense_gemm(device, seq, 3 * d, d,
-                                                 batch_, "gemm.qkv"));
+        graph.launch(0, sim::annotate(
+                            kernels::plan_dense_gemm(device, seq, 3 * d, d,
+                                                     batch_, "gemm.qkv"),
+                            {"x", "w.qkv"}, {"q", "k", "v"}));
         graph.join_streams();
         // Attention: every engine's phase co-schedules before each join,
         // so a heterogeneous batch behaves like one batched launch over
@@ -147,19 +202,32 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
         append_phase(&AttentionEngine::AttentionGraphs::sddmm);
         append_phase(&AttentionEngine::AttentionGraphs::softmax);
         append_phase(&AttentionEngine::AttentionGraphs::spmm);
-        graph.launch(0, kernels::plan_dense_gemm(device, seq, d, d, batch_,
-                                                 "gemm.attn_out"));
-        graph.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
-                                                  "ew.ln1"));
-        graph.launch(0, kernels::plan_dense_gemm(device, seq, ffn, d,
-                                                 batch_, "gemm.ffn1"));
-        graph.launch(0, kernels::plan_elementwise(device,
-                                                  seq * ffn * batch_, 1,
-                                                  12.0, "ew.gelu"));
-        graph.launch(0, kernels::plan_dense_gemm(device, seq, d, ffn,
-                                                 batch_, "gemm.ffn2"));
-        graph.launch(0, kernels::plan_elementwise(device, elems, 2, 8.0,
-                                                  "ew.ln2"));
+        graph.launch(0, sim::annotate(
+                            kernels::plan_dense_gemm(device, seq, d, d,
+                                                     batch_,
+                                                     "gemm.attn_out"),
+                            {"o", "w.out"}, {"proj"}));
+        graph.launch(0, sim::annotate(
+                            kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                      "ew.ln1"),
+                            {"x", "proj"}, {"x1"}));
+        graph.launch(0, sim::annotate(
+                            kernels::plan_dense_gemm(device, seq, ffn, d,
+                                                     batch_, "gemm.ffn1"),
+                            {"x1", "w.ffn1"}, {"h1"}));
+        graph.launch(0, sim::annotate(
+                            kernels::plan_elementwise(
+                                device, seq * ffn * batch_, 1, 12.0,
+                                "ew.gelu"),
+                            {"h1"}, {"h1"}));
+        graph.launch(0, sim::annotate(
+                            kernels::plan_dense_gemm(device, seq, d, ffn,
+                                                     batch_, "gemm.ffn2"),
+                            {"h1", "w.ffn2"}, {"h2"}));
+        graph.launch(0, sim::annotate(
+                            kernels::plan_elementwise(device, elems, 2, 8.0,
+                                                      "ew.ln2"),
+                            {"x1", "h2"}, {"x.out"}));
         graph.join_streams();
         break;
 
@@ -174,7 +242,8 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
       case LayerKind::kTrainBackward:
         // Backward graphs join internally after each of their phases.
         for (std::size_t i = 0; i < engines_.size(); ++i) {
-            graph.append(*bwd[i], "attn.", &maps[i]);
+            const std::string ns = engine_ns(i);
+            graph.append(*bwd[i], "attn.", &maps[i], &ns);
         }
         dense_layer(2.0);
         graph.join_streams();
@@ -203,8 +272,11 @@ TransformerRunner::layer_graph(const sim::DeviceSpec &device,
     key += '|';
     key += device_plan_key(device);
     return PlanCache::instance().get_or_build<LaunchGraph>(key, [&] {
-        return std::make_shared<const LaunchGraph>(
+        auto graph = std::make_shared<const LaunchGraph>(
             build_layer_graph(device, kind));
+        // Throwing here keeps a racy composed plan out of the cache.
+        enforce_capture_lint(*graph, device, key);
+        return graph;
     });
 }
 

@@ -71,16 +71,18 @@ class TransformerRunner {
     /// softmax backward, and dQ/dK/dV SpMMs over (transposed) metadata.
     EndToEndResult simulate_training(const sim::DeviceSpec &device) const;
 
-  private:
     /// The three per-layer op streams a pass is assembled from. A layer's
     /// kernel sequence is identical across layers up to its name prefix,
     /// so each kind is captured once per device — dense ops on logical
     /// stream 0, every engine's phase graphs appended with its own
     /// logical-stream block — PlanCache'd, and replayed once per layer
-    /// with the "L%02d."/"F%02d."/"B%02d." prefix.
+    /// with the "L%02d."/"F%02d."/"B%02d." prefix. Public so mglint can
+    /// analyze the exact composed plans the runner replays.
     enum class LayerKind { kInference, kTrainForward, kTrainBackward };
     std::shared_ptr<const LaunchGraph>
     layer_graph(const sim::DeviceSpec &device, LayerKind kind) const;
+
+  private:
     LaunchGraph build_layer_graph(const sim::DeviceSpec &device,
                                   LayerKind kind) const;
 

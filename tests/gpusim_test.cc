@@ -104,6 +104,74 @@ TEST(OccupancyTest, NeverBelowOne)
     EXPECT_EQ(occupancy_per_sm(d, s), 1);
 }
 
+TEST(OccupancyTest, ThreadsBeyondSmStillClampToOne)
+{
+    const DeviceSpec d = toy_device();
+    TbShape s = small_shape();
+    s.threads = d.max_threads_per_sm * 2;  // Divides to 0 before the clamp.
+    EXPECT_EQ(occupancy_per_sm(d, s), 1);
+}
+
+TEST(OccupancyTest, ZeroSmemSkipsTheSmemLimit)
+{
+    // smem 0 must mean "no shared memory", not a division by zero or a
+    // zero-occupancy limit.
+    DeviceSpec d = toy_device();
+    d.max_tb_per_sm = 64;
+    d.max_threads_per_sm = 64 * 128;
+    d.regs_per_sm = 64 * 128 * 32;
+    TbShape s = small_shape();
+    s.smem_bytes = 0;
+    EXPECT_EQ(occupancy_per_sm(d, s), 64);
+}
+
+TEST(OccupancyTest, ZeroRegsSkipsTheRegisterLimit)
+{
+    const DeviceSpec d = toy_device();
+    TbShape s = small_shape();
+    s.regs_per_thread = 0;  // Unknown register count: slot limit governs.
+    EXPECT_EQ(occupancy_per_sm(d, s), 4);
+}
+
+TEST(OccupancyTest, ExactFitBoundaries)
+{
+    const DeviceSpec d = toy_device();
+    // Exactly filling a resource is allowed; one byte/thread over halves
+    // the count (integer division, no rounding up).
+    TbShape s = small_shape();
+    s.smem_bytes = d.smem_per_sm_bytes / 4;  // 4 blocks fit exactly.
+    EXPECT_EQ(occupancy_per_sm(d, s), 4);
+    s.smem_bytes += 1;
+    EXPECT_EQ(occupancy_per_sm(d, s), 3);
+
+    TbShape t = small_shape();
+    t.threads = d.max_threads_per_sm;  // One block owns the whole SM.
+    t.regs_per_thread = d.regs_per_sm / d.max_threads_per_sm;
+    EXPECT_EQ(occupancy_per_sm(d, t), 1);
+}
+
+TEST(OccupancyTest, TightestResourceGoverns)
+{
+    const DeviceSpec d = toy_device();
+    TbShape s = small_shape();
+    s.threads = 256;          // Thread limit: 4.
+    s.smem_bytes = 32 * 1024; // Smem limit: 2  <- the binding one.
+    s.regs_per_thread = 64;   // Register limit: 65536/16384 = 4.
+    EXPECT_EQ(occupancy_per_sm(d, s), 2);
+}
+
+TEST(OccupancyTest, RealDevicesAlwaysFitTheDefaultShape)
+{
+    // The shipped kernels all launch default-ish shapes; neither Table-1
+    // device may ever clamp them to zero (or below the slot count a real
+    // occupancy calculator would report).
+    for (const DeviceSpec &d : {DeviceSpec::a100(), DeviceSpec::rtx3090()}) {
+        const int occ = occupancy_per_sm(d, TbShape{});
+        EXPECT_GE(occ, 1) << d.name;
+        EXPECT_LE(occ, d.max_tb_per_sm) << d.name;
+    }
+}
+
 // ------------------------------------------------------------- devices ----
 
 TEST(DeviceTest, Table1ValuesPreserved)

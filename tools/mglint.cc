@@ -1,0 +1,374 @@
+// mglint — plan-level static analysis over the LaunchGraph IR.
+//
+// Builds every captured execution plan the preset matrix can produce
+// (models x devices x slice modes, forward and backward, per-phase engine
+// graphs and the composed per-layer runner graphs) and runs the race/
+// hazard detector plus the schedule lints from core/lint.h over each.
+// Because a captured plan is a pure data structure, this is the static
+// analogue of running compute-sanitizer racecheck over every preset — but
+// exhaustive over schedules and fast enough to gate CI on.
+//
+// Exit status: 0 = no hazards (warnings allowed unless --strict),
+// 2 = hazards found (or warnings under --strict) — the CI gate,
+// 1 = any other error (bad invocation, artifact validation failure).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/lint.h"
+#include "core/plan_cache.h"
+#include "gpusim/device.h"
+#include "patterns/slice.h"
+#include "transformer/config.h"
+#include "transformer/runner.h"
+#include "transformer/workload.h"
+
+namespace {
+
+using namespace multigrain;
+
+struct Options {
+    std::vector<std::string> models = {"longformer", "qds", "bigbird",
+                                       "poolingformer", "tiny"};
+    std::vector<std::string> devices = {"a100", "rtx3090"};
+    std::vector<std::string> modes = {"multigrain", "coarse-only",
+                                      "fine-only", "dense"};
+    index_t batch = 1;
+    unsigned seed = 2022;
+    std::string report_path;
+    bool strict = false;
+    bool quiet = false;
+    bool verbose = false;
+};
+
+/// One analyzed plan: where it came from and what the analyzer said.
+struct UnitResult {
+    std::string model;
+    std::string device;
+    std::string mode;
+    std::string unit;
+    LintReport report;
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: mglint [options]\n"
+          "\n"
+          "Lints every captured execution plan across the preset matrix\n"
+          "(models x devices x slice modes): the per-phase attention\n"
+          "graphs, the fused forward and backward graphs, and the\n"
+          "composed per-layer transformer graphs (inference, training\n"
+          "forward, training backward).\n"
+          "\n"
+          "  --models M1,M2  comma-separated subset of: longformer | qds |"
+          " bigbird |\n"
+          "                  poolingformer | tiny (default: all)\n"
+          "  --devices D1,D2 subset of: a100 | rtx3090 (default: both)\n"
+          "  --modes P1,P2   subset of: multigrain | coarse-only |"
+          " fine-only | dense\n"
+          "                  (default: all)\n"
+          "  --batch N       batch size (default 1)\n"
+          "  --seed S        workload sampling seed (default 2022)\n"
+          "  --report PATH   write the mglint.report JSON document\n"
+          "  --strict        exit 2 on warnings too, not just hazards\n"
+          "  --quiet         only print the final summary line\n"
+          "  --verbose       also print info-level findings\n"
+          "  --help          this text\n";
+}
+
+std::vector<std::string>
+split_csv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string item = comma == std::string::npos
+                                     ? s.substr(pos)
+                                     : s.substr(pos, comma - pos);
+        MG_CHECK(!item.empty()) << "empty item in list \"" << s << "\"";
+        out.push_back(item);
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+Options
+parse_args(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            MG_CHECK(i + 1 < argc) << arg << " needs a value";
+            return argv[++i];
+        };
+        if (arg == "--models") {
+            opt.models = split_csv(next());
+        } else if (arg == "--devices") {
+            opt.devices = split_csv(next());
+        } else if (arg == "--modes") {
+            opt.modes = split_csv(next());
+        } else if (arg == "--batch") {
+            opt.batch = std::stoll(next());
+        } else if (arg == "--seed") {
+            opt.seed = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--report") {
+            opt.report_path = next();
+        } else if (arg == "--strict") {
+            opt.strict = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+            set_log_level(LogLevel::kInfo);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else {
+            usage(std::cerr);
+            throw Error("unknown argument \"" + arg + "\"");
+        }
+    }
+    MG_CHECK(opt.batch > 0) << "--batch must be positive";
+    return opt;
+}
+
+void
+lint_unit(std::vector<UnitResult> &results, const std::string &model,
+          const std::string &device_name, const std::string &mode,
+          const std::string &unit, const LaunchGraph &graph,
+          const sim::DeviceSpec &device)
+{
+    LintOptions options;
+    options.device = &device;
+    results.push_back({model, device_name, mode, unit,
+                       lint_graph(graph, options)});
+}
+
+std::vector<UnitResult>
+lint_combo(const Options &opt, const std::string &model_name,
+           const std::string &device_name, const std::string &mode_name)
+{
+    const ModelConfig model = model_config_by_name(model_name);
+    const sim::DeviceSpec device = sim::device_spec_by_name(device_name);
+    const SliceMode mode = slice_mode_by_name(mode_name);
+
+    Rng rng(opt.seed);
+    const WorkloadSample sample = sample_for_model(rng, model);
+    const TransformerRunner runner(model, mode, sample, opt.batch);
+
+    std::vector<UnitResult> results;
+    const auto unit = [&](const std::string &name,
+                          const LaunchGraph &graph) {
+        lint_unit(results, model_name, device_name, mode_name, name, graph,
+                  device);
+    };
+
+    const auto graphs = runner.attention().forward_graphs(device);
+    unit("engine.sddmm", graphs->sddmm);
+    unit("engine.softmax", graphs->softmax);
+    unit("engine.spmm", graphs->spmm);
+    unit("engine.forward", graphs->forward);
+    unit("engine.backward", *runner.attention().backward_graph(device));
+    unit("layer.infer",
+         *runner.layer_graph(device, TransformerRunner::LayerKind::kInference));
+    unit("layer.train_fwd",
+         *runner.layer_graph(device,
+                             TransformerRunner::LayerKind::kTrainForward));
+    unit("layer.train_bwd",
+         *runner.layer_graph(device,
+                             TransformerRunner::LayerKind::kTrainBackward));
+    return results;
+}
+
+void
+print_findings(const UnitResult &r, bool verbose)
+{
+    for (const LintFinding &f : r.report.findings) {
+        if (f.severity == LintSeverity::kInfo && !verbose) {
+            continue;
+        }
+        std::printf("  [%s] %s: %s\n", to_string(f.severity),
+                    to_string(f.kind), f.message.c_str());
+    }
+    const std::size_t infos = r.report.count(LintSeverity::kInfo);
+    if (infos > 0 && !verbose) {
+        std::printf("  (%zu info finding%s; --verbose to list)\n", infos,
+                    infos == 1 ? "" : "s");
+    }
+}
+
+void
+write_report(const std::string &path, const std::vector<UnitResult> &all)
+{
+    std::ofstream file(path);
+    MG_CHECK(file.good()) << "cannot open " << path << " for writing";
+    JsonWriter w(file);
+    w.begin_object();
+    w.field("schema", "mglint.report");
+    w.field("version", 1);
+    w.key("units");
+    w.begin_array();
+    std::size_t errors = 0, warnings = 0, infos = 0, hazards = 0;
+    for (const UnitResult &r : all) {
+        errors += r.report.count(LintSeverity::kError);
+        warnings += r.report.count(LintSeverity::kWarning);
+        infos += r.report.count(LintSeverity::kInfo);
+        hazards += r.report.hazards();
+        w.begin_object();
+        w.field("model", r.model);
+        w.field("device", r.device);
+        w.field("mode", r.mode);
+        w.field("unit", r.unit);
+        w.field("nodes", static_cast<std::int64_t>(r.report.num_nodes));
+        w.field("streams", r.report.num_streams);
+        w.field("edges", static_cast<std::int64_t>(r.report.num_edges));
+        w.key("findings");
+        w.begin_array();
+        for (const LintFinding &f : r.report.findings) {
+            w.begin_object();
+            w.field("kind", to_string(f.kind));
+            w.field("severity", to_string(f.severity));
+            w.field("node_a", f.node_a);
+            w.field("node_b", f.node_b);
+            if (!f.buffer.empty()) {
+                w.field("buffer", f.buffer);
+            }
+            if (!f.witness_a.empty()) {
+                w.key("witness_a");
+                w.begin_array();
+                for (const int n : f.witness_a) {
+                    w.value(n);
+                }
+                w.end_array();
+                w.key("witness_b");
+                w.begin_array();
+                for (const int n : f.witness_b) {
+                    w.value(n);
+                }
+                w.end_array();
+            }
+            w.field("message", f.message);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("summary");
+    w.begin_object();
+    w.field("units", static_cast<std::int64_t>(all.size()));
+    w.field("errors", static_cast<std::int64_t>(errors));
+    w.field("warnings", static_cast<std::int64_t>(warnings));
+    w.field("infos", static_cast<std::int64_t>(infos));
+    w.field("hazards", static_cast<std::int64_t>(hazards));
+    w.end_object();
+    w.end_object();
+}
+
+/// Reads `path` back and parses it, so a truncated or malformed report
+/// fails the run instead of silently passing CI.
+void
+validate_report(const std::string &path)
+{
+    std::ifstream file(path);
+    MG_CHECK(file.good()) << "cannot reopen " << path;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const JsonValue doc = json_parse(buffer.str());
+    MG_CHECK(doc.is_object()) << path << ": top level is not an object";
+    MG_CHECK(doc.at("schema").as_string() == "mglint.report")
+        << path << ": schema is not \"mglint.report\"";
+}
+
+int
+run(const Options &opt)
+{
+    // mglint is the reporting frontend for the analyzer: disable the
+    // capture-time throw-on-hazard enforcement so a hazardous plan still
+    // captures and every finding is reported here with its witness,
+    // rather than dying on the first one.
+    setenv("MULTIGRAIN_LINT", "0", /*overwrite=*/1);
+
+    std::vector<UnitResult> all;
+    for (const std::string &model : opt.models) {
+        for (const std::string &device : opt.devices) {
+            for (const std::string &mode : opt.modes) {
+                const std::vector<UnitResult> combo =
+                    lint_combo(opt, model, device, mode);
+                for (const UnitResult &r : combo) {
+                    const bool noisy =
+                        r.report.hazards() > 0 ||
+                        r.report.count(LintSeverity::kWarning) > 0 ||
+                        (opt.verbose && !r.report.findings.empty());
+                    if (!opt.quiet && noisy) {
+                        std::printf(
+                            "%s | %s | %s | %s: %zu nodes, %d streams —"
+                            " %s\n",
+                            r.model.c_str(), r.device.c_str(),
+                            r.mode.c_str(), r.unit.c_str(),
+                            r.report.num_nodes, r.report.num_streams,
+                            r.report.summary().c_str());
+                        print_findings(r, opt.verbose);
+                    }
+                }
+                all.insert(all.end(), combo.begin(), combo.end());
+                // Each combo's plans are one-shot here; don't let the
+                // full matrix accumulate in the process-wide cache.
+                PlanCache::instance().clear();
+            }
+        }
+    }
+
+    std::size_t hazards = 0, warnings = 0, infos = 0;
+    for (const UnitResult &r : all) {
+        hazards += r.report.hazards();
+        warnings += r.report.count(LintSeverity::kWarning);
+        infos += r.report.count(LintSeverity::kInfo);
+    }
+    std::printf("mglint: %zu plan%s analyzed — %zu hazard(s), %zu"
+                " warning(s), %zu info(s)\n",
+                all.size(), all.size() == 1 ? "" : "s", hazards, warnings,
+                infos);
+
+    if (!opt.report_path.empty()) {
+        write_report(opt.report_path, all);
+        validate_report(opt.report_path);
+        if (!opt.quiet) {
+            std::printf("wrote %s\n", opt.report_path.c_str());
+        }
+    }
+
+    if (hazards > 0 || (opt.strict && warnings > 0)) {
+        return 2;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parse_args(argc, argv));
+    } catch (const Error &e) {
+        std::fprintf(stderr, "mglint: error: %s\n", e.what());
+        return 1;
+    }
+}
