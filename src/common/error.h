@@ -19,6 +19,16 @@ class Error : public std::runtime_error {
     explicit Error(const std::string &what) : std::runtime_error(what) {}
 };
 
+/// A validation failure: a written artifact that fails its read-back
+/// check, a cross-check (reconciliation) that does not hold, or a
+/// user-supplied name (preset, device) that does not resolve. The CLIs
+/// catch this distinctly from Error and exit with status 2, so CI can
+/// tell "the numbers are wrong" from "the invocation was wrong" (1).
+class ValidationError : public Error {
+  public:
+    using Error::Error;
+};
+
 namespace detail {
 
 /// Builds the final message for a failed check and throws.

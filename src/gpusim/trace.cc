@@ -18,11 +18,11 @@ namespace {
 constexpr int kPhaseLane = 1000;
 
 void
-event_header(JsonWriter &w, const char *ph, int tid)
+event_header(JsonWriter &w, const char *ph, int tid, int pid = 0)
 {
     w.begin_object();
     w.field("ph", ph);
-    w.field("pid", 0);
+    w.field("pid", pid);
     w.field("tid", tid);
 }
 
@@ -55,12 +55,13 @@ emit_lane_names(JsonWriter &w, const SimResult &result,
 }
 
 void
-emit_kernel_slices(JsonWriter &w, const SimResult &result)
+emit_kernel_slices(JsonWriter &w, const SimResult &result,
+                   double offset_us = 0, int pid = 0)
 {
     for (const auto &k : result.kernels) {
-        event_header(w, "X", k.stream);
+        event_header(w, "X", k.stream, pid);
         w.field("name", k.name);
-        w.field("ts", k.start_us);
+        w.field("ts", k.start_us + offset_us);
         w.field("dur", k.duration_us());
         w.key("args");
         w.begin_object();
@@ -236,6 +237,13 @@ void
 write_chrome_trace_file(const SimResult &result, const std::string &path)
 {
     write_chrome_trace_file(result, path, TraceOptions{});
+}
+
+void
+append_kernel_slices(JsonWriter &w, const SimResult &result,
+                     double offset_us, int pid)
+{
+    emit_kernel_slices(w, result, offset_us, pid);
 }
 
 }  // namespace multigrain::sim

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "gpusim/engine.h"
 
 /// Chrome trace-event export: turns a SimResult into a JSON timeline that
@@ -59,6 +60,15 @@ void write_chrome_trace_file(const SimResult &result,
 void write_chrome_trace_file(const SimResult &result,
                              const std::string &path,
                              const TraceOptions &options);
+
+/// Appends `result`'s per-kernel slices to an already-open
+/// "traceEvents" array, shifted forward by `offset_us` and placed under
+/// process `pid` (lane = simulated stream id). No lane-name metadata,
+/// no flows, no counters — the minimal building block a composite
+/// exporter (mgtrace's correlated serving timeline) overlays per-round
+/// replays with. `w` must be positioned inside an open JSON array.
+void append_kernel_slices(JsonWriter &w, const SimResult &result,
+                          double offset_us, int pid);
 
 }  // namespace multigrain::sim
 

@@ -38,6 +38,15 @@ inline constexpr int kBenchSchemaVersion = 2;
 inline constexpr const char *kRegressionSchema = "mgperf.report";
 inline constexpr int kRegressionSchemaVersion = 1;
 
+/// mgtrace's serving-trace documents (src/serve/trace.h): the
+/// SLO-attribution report, the event-log lines, and the flight-recorder
+/// incident dumps all tag themselves so artifacts remain
+/// self-describing when they leave the build tree.
+inline constexpr const char *kServeTraceReportSchema = "mgtrace.report";
+inline constexpr int kServeTraceReportVersion = 1;
+inline constexpr const char *kServeIncidentSchema = "mgtrace.incident";
+inline constexpr int kServeIncidentVersion = 1;
+
 // ---- JSON ---------------------------------------------------------------
 
 void write_json(const sim::SimResult &result, std::ostream &os);

@@ -15,6 +15,13 @@ percentile(std::vector<double> values, double p)
     if (values.empty()) {
         return 0.0;
     }
+    // NaN breaks std::sort's strict weak ordering and would poison the
+    // interpolation silently; +/-inf would make every interpolated rank
+    // infinite. Reject rather than guess.
+    for (const double v : values) {
+        MG_CHECK(std::isfinite(v))
+            << "percentile over a non-finite sample " << v;
+    }
     std::sort(values.begin(), values.end());
     if (values.size() == 1) {
         return values.front();
@@ -35,8 +42,14 @@ summarize_latencies(std::vector<double> values)
     if (values.empty()) {
         return s;
     }
+    // max must come from the sample, not from the zero default — an
+    // all-negative sample (e.g. clock-skewed latencies a caller wants
+    // summarized anyway) would otherwise report max = 0.
+    s.max = values.front();
     double sum = 0;
     for (const double v : values) {
+        MG_CHECK(std::isfinite(v))
+            << "latency summary over a non-finite sample " << v;
         sum += v;
         s.max = std::max(s.max, v);
     }

@@ -15,11 +15,16 @@ namespace multigrain::prof {
 /// The p-th percentile (p in [0, 100]) of `values` by linear
 /// interpolation between closest ranks (the "exclusive" variant NumPy
 /// calls "linear"): deterministic, exact for the small sample counts a
-/// simulated traffic preset produces. Returns 0 for an empty sample.
+/// simulated traffic preset produces. p = 0 is the sample minimum and
+/// p = 100 the maximum. Returns 0 for an empty sample; throws Error for
+/// p outside [0, 100] or any non-finite sample value (NaN would break
+/// the sort's ordering silently).
 double percentile(std::vector<double> values, double p);
 
 /// One latency distribution, reduced to the numbers a serving dashboard
-/// shows. All values are 0 when count == 0.
+/// shows. All values are 0 when count == 0. Negative samples are legal
+/// (max is the true sample maximum, not clamped at 0); non-finite
+/// samples throw Error.
 struct LatencySummary {
     std::size_t count = 0;
     double mean = 0;

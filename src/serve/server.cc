@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "serve/trace.h"
 #include "transformer/config.h"
 #include "transformer/workload.h"
 
@@ -14,6 +15,19 @@ namespace multigrain::serve {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Event shorthand for the guarded emissions below: every call site
+/// already checked trace_ != nullptr, so the helpers only assemble the
+/// record.
+TraceEvent
+request_event(TraceEventKind kind, double t_us, const Request &r)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.t_us = t_us;
+    e.request = static_cast<std::int64_t>(r.id);
+    return e;
+}
 
 /// tiny: the gate preset — Poisson traffic over the tiny test model with
 /// three tenants across all SLO classes, sized so batches form (arrival
@@ -175,11 +189,12 @@ Server::runner_for(const Batch &batch)
 }
 
 void
-Server::dispatch_round(double now_us, const Scheduler &scheduler,
-                       AdmissionQueue &queue)
+Server::dispatch_round(double now_us, std::int64_t round_id,
+                       const Scheduler &scheduler, AdmissionQueue &queue)
 {
     std::vector<Batch> round = scheduler.next_round(queue);
     MG_CHECK(!round.empty()) << "dispatch_round on an empty queue";
+    current_round_ = round_id;
 
     // One simulator per round: every batch replays its cached layer
     // graphs under its own prefix and a fresh stream binding, so the
@@ -198,12 +213,36 @@ Server::dispatch_round(double now_us, const Scheduler &scheduler,
     for (std::size_t j = 0; j < round.size(); ++j) {
         InFlightBatch f;
         f.batch = std::move(round[j]);
+        f.id = next_batch_id_++;
+        f.round = round_id;
         f.dispatch_us = now_us;
         f.finish_us = now_us + result.finish_us(prefixes[j]);
+        if (trace_ != nullptr) {
+            for (const Request &r : f.batch.requests) {
+                TraceEvent e =
+                    request_event(TraceEventKind::kBatchForm, now_us, r);
+                e.batch = f.id;
+                e.round = round_id;
+                e.model = f.batch.model;
+                e.bucket = f.batch.bucket;
+                e.planned_batch = f.batch.planned_batch;
+                e.actual_batch = f.batch.size();
+                trace_->record(std::move(e));
+            }
+        }
         in_flight_.push_back(std::move(f));
     }
     gpu_busy_ = true;
     gpu_free_us_ = now_us + result.total_us;
+    if (trace_ != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kRoundDispatch;
+        e.t_us = now_us;
+        e.round = round_id;
+        e.actual_batch = static_cast<int>(in_flight_.size());
+        trace_->record(std::move(e));
+        trace_->record_round_sim(round_id, now_us, result);
+    }
 }
 
 void
@@ -220,9 +259,32 @@ Server::complete_round(ServeReport &report, TrafficSource &source)
             rec.bucket = f.batch.bucket;
             rec.batch_size = f.batch.size();
             rec.deadline_met = f.finish_us <= r.deadline_us;
+            if (trace_ != nullptr) {
+                TraceEvent e = request_event(TraceEventKind::kComplete,
+                                             f.finish_us, r);
+                e.batch = f.id;
+                e.round = f.round;
+                e.flag = rec.deadline_met;
+                trace_->record(std::move(e));
+            }
             report.records.push_back(std::move(rec));
             source.on_completion(r, f.finish_us);
         }
+        if (trace_ != nullptr) {
+            TraceEvent e;
+            e.kind = TraceEventKind::kBatchDone;
+            e.t_us = f.finish_us;
+            e.batch = f.id;
+            e.round = f.round;
+            trace_->record(std::move(e));
+        }
+    }
+    if (trace_ != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kRoundDone;
+        e.t_us = gpu_free_us_;
+        e.round = current_round_;
+        trace_->record(std::move(e));
     }
     in_flight_.clear();
     gpu_busy_ = false;
@@ -259,16 +321,37 @@ Server::run()
             Request r = source.pop();
             r.mode = mode;
             Request copy = r;
+            if (trace_ != nullptr) {
+                TraceEvent e = request_event(TraceEventKind::kArrive,
+                                             r.arrival_us, r);
+                e.tenant = r.tenant;
+                e.model = r.model;
+                e.slo = static_cast<int>(r.slo);
+                e.valid_len = r.valid_len;
+                e.deadline_us = r.deadline_us;
+                trace_->record(std::move(e));
+            }
             if (!queue.offer(std::move(r), now)) {
+                if (trace_ != nullptr) {
+                    trace_->record(request_event(TraceEventKind::kShed,
+                                                 now, copy));
+                }
                 RequestRecord rec;
                 rec.request = std::move(copy);
                 rec.outcome = RequestRecord::Outcome::kRejected;
                 rec.finish_us = rec.request.arrival_us;
                 report.records.push_back(std::move(rec));
+            } else if (trace_ != nullptr) {
+                trace_->record(
+                    request_event(TraceEventKind::kAdmit, now, copy));
             }
         }
         // Age out requests that waited past the admission bound.
         for (Request &r : queue.expire(now)) {
+            if (trace_ != nullptr) {
+                trace_->record(
+                    request_event(TraceEventKind::kAgeOut, now, r));
+            }
             RequestRecord rec;
             rec.request = std::move(r);
             rec.outcome = RequestRecord::Outcome::kTimedOut;
@@ -278,7 +361,7 @@ Server::run()
         }
 
         if (!gpu_busy_ && !queue.empty()) {
-            dispatch_round(now, scheduler, queue);
+            dispatch_round(now, rounds, scheduler, queue);
             ++rounds;
             busy += gpu_free_us_ - now;
             continue;

@@ -1,6 +1,7 @@
 #ifndef MULTIGRAIN_SERVE_SERVER_H_
 #define MULTIGRAIN_SERVE_SERVER_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -96,9 +97,18 @@ struct ServeReport {
     double gpu_util = 0;
 };
 
+class TraceLog;  // serve/trace.h
+
 class Server {
   public:
     Server(ServeConfig config, sim::DeviceSpec device);
+
+    /// Attaches a request-level event log (serve/trace.h). Off by
+    /// default; every emission in the serving loop is guarded behind
+    /// this pointer, so an untraced run takes the pre-trace fast path
+    /// and a traced run observes — never perturbs — the virtual clock.
+    /// The log must outlive run().
+    void set_trace(TraceLog *trace) { trace_ = trace; }
 
     /// Runs the preset to completion. May be called once.
     ServeReport run();
@@ -106,13 +116,15 @@ class Server {
   private:
     struct InFlightBatch {
         Batch batch;
+        std::int64_t id = -1;     ///< Stable batch id (trace events).
+        std::int64_t round = -1;  ///< Round that dispatched it.
         double dispatch_us = 0;
         double finish_us = 0;
     };
 
     TransformerRunner &runner_for(const Batch &batch);
-    void dispatch_round(double now_us, const Scheduler &scheduler,
-                        AdmissionQueue &queue);
+    void dispatch_round(double now_us, std::int64_t round,
+                        const Scheduler &scheduler, AdmissionQueue &queue);
     void complete_round(ServeReport &report, TrafficSource &source);
 
     ServeConfig config_;
@@ -122,6 +134,9 @@ class Server {
     /// layer graphs live in the process-wide PlanCache.
     std::map<std::string, std::unique_ptr<TransformerRunner>> runners_;
     std::vector<InFlightBatch> in_flight_;
+    TraceLog *trace_ = nullptr;
+    std::int64_t next_batch_id_ = 0;
+    std::int64_t current_round_ = -1;
     double gpu_free_us_ = 0;
     bool gpu_busy_ = false;
     bool ran_ = false;

@@ -91,6 +91,42 @@ TEST(PercentileTest, SummaryReducesTheTail)
     EXPECT_DOUBLE_EQ(empty.p99, 0);
 }
 
+TEST(PercentileTest, EdgeCases)
+{
+    // A single sample is every percentile, including the p=0/p=100
+    // boundaries.
+    EXPECT_DOUBLE_EQ(prof::percentile({42.0}, 0), 42.0);
+    EXPECT_DOUBLE_EQ(prof::percentile({42.0}, 50), 42.0);
+    EXPECT_DOUBLE_EQ(prof::percentile({42.0}, 100), 42.0);
+
+    // p=0 is the min and p=100 the max, never an out-of-range rank.
+    const std::vector<double> v = {5, 1, 9, 3};
+    EXPECT_DOUBLE_EQ(prof::percentile(v, 0), 1);
+    EXPECT_DOUBLE_EQ(prof::percentile(v, 100), 9);
+
+    // Non-finite samples would silently poison every rank after the
+    // sort; they must throw instead of propagating NaN.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(prof::percentile({1.0, nan}, 50), Error);
+    EXPECT_THROW(prof::percentile({kInf}, 50), Error);
+    EXPECT_THROW(prof::summarize_latencies({1.0, nan}), Error);
+
+    // Negative samples are legal (deltas, clock skews): the summary max
+    // must be the largest sample, not a phantom 0.
+    const prof::LatencySummary neg =
+        prof::summarize_latencies({-3.0, -1.0, -2.0});
+    EXPECT_EQ(neg.count, 3u);
+    EXPECT_DOUBLE_EQ(neg.max, -1.0);
+    EXPECT_DOUBLE_EQ(neg.mean, -2.0);
+    EXPECT_DOUBLE_EQ(neg.p50, -2.0);
+
+    const prof::LatencySummary one = prof::summarize_latencies({7.5});
+    EXPECT_EQ(one.count, 1u);
+    EXPECT_DOUBLE_EQ(one.p50, 7.5);
+    EXPECT_DOUBLE_EQ(one.p99, 7.5);
+    EXPECT_DOUBLE_EQ(one.max, 7.5);
+}
+
 // ---- Traffic ------------------------------------------------------------
 
 serve::TrafficConfig
@@ -273,6 +309,70 @@ TEST(AdmissionTest, PopsEarliestDeadlineWithTenantRotation)
     EXPECT_EQ(third->id, 2u);
     EXPECT_FALSE(queue.pop_seed().has_value());
     EXPECT_EQ(queue.stats().dispatched, 3u);
+}
+
+TEST(AdmissionTest, CountersStayExactUnderSimultaneousShedAndAgeOut)
+{
+    // Sheds and age-outs in the same tick must not double-count or lose
+    // requests: every offer lands in exactly one of admitted/rejected,
+    // and every admitted request in exactly one of
+    // dispatched/timed_out/still-queued.
+    serve::AdmissionConfig config;
+    config.queue_capacity = 4;
+    config.max_queue_wait_us = 100;
+    serve::AdmissionQueue queue(config, {"a", "b"});
+
+    // Fill to capacity at t=0, then shed two more at t=0.
+    for (std::uint64_t id = 0; id < 4; ++id) {
+        ASSERT_TRUE(queue.offer(
+            make_request(id, id % 2 ? "b" : "a", 0, kInf), 0));
+    }
+    EXPECT_FALSE(queue.offer(make_request(4, "a", 0, kInf), 0));
+    EXPECT_FALSE(queue.offer(make_request(5, "b", 0, kInf), 0));
+
+    // t=150: everything queued is stale. In the same tick, age out the
+    // backlog, then offer two fresh requests — one admitted into the
+    // freed space, one... also admitted (capacity is free again), then
+    // dispatch one and age out the other at t=300.
+    const std::vector<serve::Request> aged = queue.expire(150);
+    EXPECT_EQ(aged.size(), 4u);
+    ASSERT_TRUE(queue.offer(make_request(6, "a", 150, kInf), 150));
+    ASSERT_TRUE(queue.offer(make_request(7, "b", 150, kInf), 150));
+    auto popped = queue.pop_seed();
+    ASSERT_TRUE(popped.has_value());
+    const std::vector<serve::Request> aged2 = queue.expire(300);
+    EXPECT_EQ(aged2.size(), 1u);
+
+    const serve::AdmissionStats &s = queue.stats();
+    EXPECT_EQ(s.offered, 8u);
+    EXPECT_EQ(s.admitted, 6u);
+    EXPECT_EQ(s.rejected, 2u);
+    EXPECT_EQ(s.timed_out, 5u);
+    EXPECT_EQ(s.dispatched, 1u);
+    // The conservation laws the SLO-attribution report relies on.
+    EXPECT_EQ(s.offered, s.admitted + s.rejected);
+    EXPECT_EQ(s.admitted, s.dispatched + s.timed_out + queue.depth());
+    EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(AdmissionTest, EndToEndCountersSumToArrivals)
+{
+    // Under the overload preset every arrival must be accounted for:
+    // completed + rejected + timed_out + still-in-flight == offered, and
+    // offered == the number of synthetic arrivals. A leak here would
+    // corrupt the mgtrace span census silently.
+    serve::ServeConfig config = serve::serve_preset_by_name("overload");
+    const sim::DeviceSpec device = sim::device_spec_by_name("a100");
+    serve::Server server(config, device);
+    const serve::ServeReport report = server.run();
+
+    EXPECT_EQ(report.admission.offered,
+              static_cast<std::uint64_t>(config.traffic.num_requests));
+    EXPECT_EQ(report.admission.offered,
+              report.admission.admitted + report.admission.rejected);
+    EXPECT_EQ(report.admission.admitted,
+              report.completed + report.admission.timed_out);
+    EXPECT_GT(report.admission.rejected, 0u);
 }
 
 // ---- Scheduler ----------------------------------------------------------

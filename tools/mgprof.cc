@@ -41,12 +41,6 @@ namespace {
 
 using namespace multigrain;
 
-/// A written artifact that failed its read-back validation — reported
-/// distinctly (exit 2) from ordinary errors.
-struct ValidationError : Error {
-    using Error::Error;
-};
-
 struct Options {
     std::string model = "longformer";
     std::string device = "a100";

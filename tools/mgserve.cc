@@ -14,7 +14,8 @@
 //   mgserve --preset overload                # watch the queue shed
 //   mgserve --list                           # enumerate presets
 //
-// Exit codes: 0 clean, 1 usage/runtime error.
+// Exit codes: 0 clean, 1 usage/runtime error, 2 validation failure
+// (unknown --preset/--device, reported via the shared ValidationError).
 
 #include <cstdio>
 #include <cstdlib>
@@ -161,11 +162,20 @@ run(const Options &opt)
         return 0;
     }
 
-    serve::ServeConfig config = serve::serve_preset_by_name(opt.preset);
+    serve::ServeConfig config;
+    sim::DeviceSpec device;
+    // Unknown presets/devices are user input errors, not runtime faults:
+    // surface them through the shared ValidationError exit-2 path so
+    // scripts can tell "bad invocation" from "the run itself failed".
+    try {
+        config = serve::serve_preset_by_name(opt.preset);
+        device = sim::device_spec_by_name(opt.device);
+    } catch (const Error &e) {
+        throw ValidationError(e.what());
+    }
     if (opt.seed != 0) {
         config.traffic.seed = opt.seed;
     }
-    const sim::DeviceSpec device = sim::device_spec_by_name(opt.device);
 
     serve::Server server(config, device);
     const serve::ServeReport report = server.run();
@@ -211,6 +221,9 @@ main(int argc, char **argv)
 {
     try {
         return run(parse_args(argc, argv));
+    } catch (const ValidationError &e) {
+        std::fprintf(stderr, "mgserve: validation failed: %s\n", e.what());
+        return 2;
     } catch (const Error &e) {
         std::fprintf(stderr, "mgserve: %s\n", e.what());
         return 1;
