@@ -51,6 +51,42 @@ attention_meta_key(std::uint64_t pattern_fp, const AttentionConfig &config,
     return buf;
 }
 
+/// Byte widths of the logical buffers one attention plan touches, derived
+/// from the slice metadata the same way attention_memory_bytes() derives
+/// its totals: FP16 (2-byte) values, value tensors replicated batch ×
+/// num_heads; the additive dense mask is shared across replicas. These
+/// feed the sized dataflow annotations the static memory planner
+/// (core/memplan.h) pools into an arena.
+struct AttnBufferBytes {
+    std::uint64_t qkv = 0;     ///< Each of q/k/v/o and d_out/dq/dk/dv.
+    std::uint64_t coarse = 0;  ///< %s.coarse and %p/%dp.coarse.
+    std::uint64_t fine = 0;    ///< %s.fine and %p/%dp.fine.
+    std::uint64_t global = 0;  ///< %s.global and %p/%dp.global.
+    std::uint64_t full = 0;    ///< %s.full and %p/%dp.full (dense mode).
+    std::uint64_t mask = 0;    ///< %mask (one copy, shared by replicas).
+};
+
+AttnBufferBytes
+attn_buffer_bytes(const SlicePlan &plan, const AttentionConfig &config)
+{
+    constexpr std::uint64_t kValueBytes = 2;  // FP16.
+    const std::uint64_t replicas =
+        static_cast<std::uint64_t>(config.batch * config.num_heads);
+    const std::uint64_t seq = static_cast<std::uint64_t>(plan.seq_len);
+    AttnBufferBytes b;
+    b.qkv = seq * static_cast<std::uint64_t>(config.head_dim) *
+            kValueBytes * replicas;
+    b.coarse = static_cast<std::uint64_t>(plan.coarse_stored_elements()) *
+               kValueBytes * replicas;
+    b.fine = static_cast<std::uint64_t>(plan.fine_elements()) *
+             kValueBytes * replicas;
+    b.global = static_cast<std::uint64_t>(plan.special_elements()) *
+               kValueBytes * replicas;
+    b.full = seq * seq * kValueBytes * replicas;
+    b.mask = seq * seq * kValueBytes;
+    return b;
+}
+
 }  // namespace
 
 double
@@ -244,6 +280,7 @@ AttentionEngine::build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
     const index_t dh = config_.head_dim;
     const index_t replicas = config_.batch * config_.num_heads;
     const index_t g = static_cast<index_t>(plan_.global_rows.size());
+    const AttnBufferBytes bb = attn_buffer_bytes(plan_, config_);
     const auto named = [&name_prefix](const char *base) {
         return name_prefix + base;
     };
@@ -256,7 +293,8 @@ AttentionEngine::build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_triton_sddmm(
                                       dev, bcoo, dh, replicas,
                                       named("sddmm.triton")),
-                                  {"q", "k"}, {"%s.coarse"}));
+                                  {{"q", bb.qkv}, {"k", bb.qkv}},
+                                  {{"%s.coarse", bb.coarse}}));
         return;
       }
       case SliceMode::kFineOnly:
@@ -265,14 +303,16 @@ AttentionEngine::build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, *plan_.fine, dh, replicas,
                                       config_.fine_scheme,
                                       named("sddmm.sputnik")),
-                                  {"q", "k"}, {"%s.fine"}));
+                                  {{"q", bb.qkv}, {"k", bb.qkv}},
+                                  {{"%s.fine", bb.fine}}));
         return;
       case SliceMode::kDense:
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, plan_.seq_len, plan_.seq_len, dh,
                                       replicas, named("sddmm.dense")),
-                                  {"q", "k"}, {"%s.full"}));
+                                  {{"q", bb.qkv}, {"k", bb.qkv}},
+                                  {{"%s.full", bb.full}}));
         return;
       case SliceMode::kMultigrain:
         break;
@@ -283,7 +323,8 @@ AttentionEngine::build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_coarse_sddmm(
                                       dev, *plan_.coarse, dh, replicas,
                                       named("sddmm.coarse")),
-                                  {"q", "k"}, {"%s.coarse"}));
+                                  {{"q", bb.qkv}, {"k", bb.qkv}},
+                                  {{"%s.coarse", bb.coarse}}));
     }
     if (plan_.has_fine()) {
         sink.launch(streams.fine,
@@ -291,14 +332,16 @@ AttentionEngine::build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, *plan_.fine, dh, replicas,
                                       config_.fine_scheme,
                                       named("sddmm.fine")),
-                                  {"q", "k"}, {"%s.fine"}));
+                                  {{"q", bb.qkv}, {"k", bb.qkv}},
+                                  {{"%s.fine", bb.fine}}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, g, plan_.valid_len, dh, replicas,
                                       named("sddmm.global")),
-                                  {"q", "k"}, {"%s.global"}));
+                                  {{"q", bb.qkv}, {"k", bb.qkv}},
+                                  {{"%s.global", bb.global}}));
     }
 }
 
@@ -309,6 +352,7 @@ AttentionEngine::build_softmax(LaunchSink &sink, const sim::DeviceSpec &dev,
 {
     const index_t replicas = config_.batch * config_.num_heads;
     const index_t g = static_cast<index_t>(plan_.global_rows.size());
+    const AttnBufferBytes bb = attn_buffer_bytes(plan_, config_);
     const auto named = [&name_prefix](const char *base) {
         return name_prefix + base;
     };
@@ -319,14 +363,16 @@ AttentionEngine::build_softmax(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_triton_softmax(
                                       dev, *plan_.coarse, replicas,
                                       named("softmax.triton")),
-                                  {"%s.coarse"}, {"%s.coarse"}));
+                                  {{"%s.coarse", bb.coarse}},
+                                  {{"%s.coarse", bb.coarse}}));
         return;
       case SliceMode::kFineOnly:
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_fine_softmax(
                                       dev, *plan_.fine, replicas,
                                       named("softmax.sputnik")),
-                                  {"%s.fine"}, {"%s.fine"}));
+                                  {{"%s.fine", bb.fine}},
+                                  {{"%s.fine", bb.fine}}));
         return;
       case SliceMode::kDense:
         // Additive-mask pass (read S + mask, write S), then dense softmax.
@@ -336,12 +382,15 @@ AttentionEngine::build_softmax(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       plan_.seq_len * plan_.seq_len *
                                           replicas,
                                       2, 2.0, named("softmax.dense.mask")),
-                                  {"%s.full", "%mask"}, {"%s.full"}));
+                                  {{"%s.full", bb.full},
+                                   {"%mask", bb.mask}},
+                                  {{"%s.full", bb.full}}));
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_dense_softmax(
                                       dev, plan_.seq_len, plan_.seq_len,
                                       replicas, named("softmax.dense")),
-                                  {"%s.full"}, {"%s.full"}));
+                                  {{"%s.full", bb.full}},
+                                  {{"%s.full", bb.full}}));
         return;
       case SliceMode::kMultigrain:
         break;
@@ -359,14 +408,18 @@ AttentionEngine::build_softmax(LaunchSink &sink, const sim::DeviceSpec &dev,
             named("softmax.compound"));
         if (plan_.has_coarse() && plan_.has_fine()) {
             softmax = sim::annotate(std::move(softmax),
-                                    {"%s.coarse", "%s.fine"},
-                                    {"%s.coarse", "%s.fine"});
+                                    {{"%s.coarse", bb.coarse},
+                                     {"%s.fine", bb.fine}},
+                                    {{"%s.coarse", bb.coarse},
+                                     {"%s.fine", bb.fine}});
         } else if (plan_.has_coarse()) {
-            softmax = sim::annotate(std::move(softmax), {"%s.coarse"},
-                                    {"%s.coarse"});
+            softmax = sim::annotate(std::move(softmax),
+                                    {{"%s.coarse", bb.coarse}},
+                                    {{"%s.coarse", bb.coarse}});
         } else {
-            softmax = sim::annotate(std::move(softmax), {"%s.fine"},
-                                    {"%s.fine"});
+            softmax = sim::annotate(std::move(softmax),
+                                    {{"%s.fine", bb.fine}},
+                                    {{"%s.fine", bb.fine}});
         }
         sink.launch(streams.coarse, std::move(softmax));
     }
@@ -375,7 +428,8 @@ AttentionEngine::build_softmax(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_dense_softmax(
                                       dev, g, plan_.valid_len, replicas,
                                       named("softmax.global")),
-                                  {"%s.global"}, {"%s.global"}));
+                                  {{"%s.global", bb.global}},
+                                  {{"%s.global", bb.global}}));
     }
 }
 
@@ -387,6 +441,7 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
     const index_t dh = config_.head_dim;
     const index_t replicas = config_.batch * config_.num_heads;
     const index_t g = static_cast<index_t>(plan_.global_rows.size());
+    const AttnBufferBytes bb = attn_buffer_bytes(plan_, config_);
     const auto named = [&name_prefix](const char *base) {
         return name_prefix + base;
     };
@@ -397,21 +452,24 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_triton_spmm(
                                       dev, *plan_.coarse, dh, replicas,
                                       named("spmm.triton")),
-                                  {"%s.coarse", "v"}, {}, {"o"}));
+                                  {{"%s.coarse", bb.coarse}, {"v", bb.qkv}},
+                                  {}, {{"o", bb.qkv}}));
         return;
       case SliceMode::kFineOnly:
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_fine_spmm(
                                       dev, *plan_.fine, dh, replicas,
                                       named("spmm.sputnik")),
-                                  {"%s.fine", "v"}, {}, {"o"}));
+                                  {{"%s.fine", bb.fine}, {"v", bb.qkv}},
+                                  {}, {{"o", bb.qkv}}));
         return;
       case SliceMode::kDense:
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, plan_.seq_len, dh, plan_.seq_len,
                                       replicas, named("spmm.dense")),
-                                  {"%s.full", "v"}, {}, {"o"}));
+                                  {{"%s.full", bb.full}, {"v", bb.qkv}},
+                                  {}, {{"o", bb.qkv}}));
         return;
       case SliceMode::kMultigrain:
         break;
@@ -424,21 +482,24 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_coarse_spmm(
                                       dev, *plan_.coarse, dh, replicas,
                                       named("spmm.coarse")),
-                                  {"%s.coarse", "v"}, {}, {"o"}));
+                                  {{"%s.coarse", bb.coarse}, {"v", bb.qkv}},
+                                  {}, {{"o", bb.qkv}}));
     }
     if (plan_.has_fine()) {
         sink.launch(streams.fine,
                     sim::annotate(kernels::plan_fine_spmm(
                                       dev, *plan_.fine, dh, replicas,
                                       named("spmm.fine")),
-                                  {"%s.fine", "v"}, {}, {"o"}));
+                                  {{"%s.fine", bb.fine}, {"v", bb.qkv}},
+                                  {}, {{"o", bb.qkv}}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, g, dh, plan_.valid_len, replicas,
                                       named("spmm.global")),
-                                  {"%s.global", "v"}, {}, {"o"}));
+                                  {{"%s.global", bb.global}, {"v", bb.qkv}},
+                                  {}, {{"o", bb.qkv}}));
     }
 }
 
@@ -450,6 +511,7 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
     const index_t dh = config_.head_dim;
     const index_t replicas = config_.batch * config_.num_heads;
     const index_t g = static_cast<index_t>(plan_.global_rows.size());
+    const AttnBufferBytes bb = attn_buffer_bytes(plan_, config_);
     const auto named = [&name_prefix](const char *base) {
         return name_prefix + base;
     };
@@ -460,29 +522,35 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, L, L, dh, replicas,
                                       named("bwd.sddmm.dp.dense")),
-                                  {"d_out", "v"}, {"%dp.full"}));
+                                  {{"d_out", bb.qkv}, {"v", bb.qkv}},
+                                  {{"%dp.full", bb.full}}));
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, L, dh, L, replicas,
                                       named("bwd.spmm_t.dv.dense")),
-                                  {"%p.full", "d_out"}, {}, {"dv"}));
+                                  {{"%p.full", bb.full}, {"d_out", bb.qkv}},
+                                  {}, {{"dv", bb.qkv}}));
         sink.join_streams();
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_elementwise(
                                       dev, L * L * replicas, 2, 6.0,
                                       named("bwd.softmax.dense")),
-                                  {"%p.full", "%dp.full"}, {"%dp.full"}));
+                                  {{"%p.full", bb.full},
+                                   {"%dp.full", bb.full}},
+                                  {{"%dp.full", bb.full}}));
         sink.join_streams();
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, L, dh, L, replicas,
                                       named("bwd.spmm.dq.dense")),
-                                  {"%dp.full", "k"}, {}, {"dq"}));
+                                  {{"%dp.full", bb.full}, {"k", bb.qkv}},
+                                  {}, {{"dq", bb.qkv}}));
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, L, dh, L, replicas,
                                       named("bwd.spmm_t.dk.dense")),
-                                  {"%dp.full", "q"}, {}, {"dk"}));
+                                  {{"%dp.full", bb.full}, {"q", bb.qkv}},
+                                  {}, {{"dk", bb.qkv}}));
         sink.join_streams();
         return;
     }
@@ -499,25 +567,31 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                         sim::annotate(kernels::plan_triton_sddmm(
                                           dev, bcoo, dh, replicas,
                                           named("bwd.sddmm.dp")),
-                                      {"d_out", "v"}, {"%dp.coarse"}));
+                                      {{"d_out", bb.qkv}, {"v", bb.qkv}},
+                                      {{"%dp.coarse", bb.coarse}}));
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_triton_spmm(
                                           dev, coarse_transposed(), dh,
                                           replicas,
                                           named("bwd.spmm_t.dv")),
-                                      {"%p.coarse", "d_out"}, {}, {"dv"}));
+                                      {{"%p.coarse", bb.coarse},
+                                       {"d_out", bb.qkv}},
+                                      {}, {{"dv", bb.qkv}}));
         } else {
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_coarse_sddmm(
                                           dev, *plan_.coarse, dh, replicas,
                                           named("bwd.sddmm.dp")),
-                                      {"d_out", "v"}, {"%dp.coarse"}));
+                                      {{"d_out", bb.qkv}, {"v", bb.qkv}},
+                                      {{"%dp.coarse", bb.coarse}}));
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_coarse_spmm(
                                           dev, coarse_transposed(), dh,
                                           replicas,
                                           named("bwd.spmm_t.dv")),
-                                      {"%p.coarse", "d_out"}, {}, {"dv"}));
+                                      {{"%p.coarse", bb.coarse},
+                                       {"d_out", bb.qkv}},
+                                      {}, {{"dv", bb.qkv}}));
         }
     }
     if (has_fine) {
@@ -526,24 +600,30 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, *plan_.fine, dh, replicas,
                                       config_.fine_scheme,
                                       named("bwd.sddmm.dp.fine")),
-                                  {"d_out", "v"}, {"%dp.fine"}));
+                                  {{"d_out", bb.qkv}, {"v", bb.qkv}},
+                                  {{"%dp.fine", bb.fine}}));
         sink.launch(streams.fine,
                     sim::annotate(kernels::plan_fine_spmm(
                                       dev, fine_transposed(), dh, replicas,
                                       named("bwd.spmm_t.dv.fine")),
-                                  {"%p.fine", "d_out"}, {}, {"dv"}));
+                                  {{"%p.fine", bb.fine},
+                                   {"d_out", bb.qkv}},
+                                  {}, {{"dv", bb.qkv}}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, g, plan_.valid_len, dh, replicas,
                                       named("bwd.sddmm.dp.global")),
-                                  {"d_out", "v"}, {"%dp.global"}));
+                                  {{"d_out", bb.qkv}, {"v", bb.qkv}},
+                                  {{"%dp.global", bb.global}}));
         sink.launch(streams.special,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, plan_.valid_len, dh, g, replicas,
                                       named("bwd.spmm_t.dv.global")),
-                                  {"%p.global", "d_out"}, {}, {"dv"}));
+                                  {{"%p.global", bb.global},
+                                   {"d_out", bb.qkv}},
+                                  {}, {{"dv", bb.qkv}}));
     }
     sink.join_streams();
 
@@ -556,16 +636,19 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
         if (has_coarse && has_fine) {
             softmax_bwd = sim::annotate(
                 std::move(softmax_bwd),
-                {"%p.coarse", "%p.fine", "%dp.coarse", "%dp.fine"},
-                {"%dp.coarse", "%dp.fine"});
+                {{"%p.coarse", bb.coarse}, {"%p.fine", bb.fine},
+                 {"%dp.coarse", bb.coarse}, {"%dp.fine", bb.fine}},
+                {{"%dp.coarse", bb.coarse}, {"%dp.fine", bb.fine}});
         } else if (has_coarse) {
             softmax_bwd = sim::annotate(std::move(softmax_bwd),
-                                        {"%p.coarse", "%dp.coarse"},
-                                        {"%dp.coarse"});
+                                        {{"%p.coarse", bb.coarse},
+                                         {"%dp.coarse", bb.coarse}},
+                                        {{"%dp.coarse", bb.coarse}});
         } else {
             softmax_bwd = sim::annotate(std::move(softmax_bwd),
-                                        {"%p.fine", "%dp.fine"},
-                                        {"%dp.fine"});
+                                        {{"%p.fine", bb.fine},
+                                         {"%dp.fine", bb.fine}},
+                                        {{"%dp.fine", bb.fine}});
         }
         sink.launch(streams.coarse, std::move(softmax_bwd));
     }
@@ -574,8 +657,9 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_dense_softmax(
                                       dev, g, plan_.valid_len, replicas,
                                       named("bwd.softmax.global")),
-                                  {"%p.global", "%dp.global"},
-                                  {"%dp.global"}));
+                                  {{"%p.global", bb.global},
+                                   {"%dp.global", bb.global}},
+                                  {{"%dp.global", bb.global}}));
     }
     sink.join_streams();
 
@@ -586,25 +670,33 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                         sim::annotate(kernels::plan_triton_spmm(
                                           dev, *plan_.coarse, dh, replicas,
                                           named("bwd.spmm.dq")),
-                                      {"%dp.coarse", "k"}, {}, {"dq"}));
+                                      {{"%dp.coarse", bb.coarse},
+                                       {"k", bb.qkv}},
+                                      {}, {{"dq", bb.qkv}}));
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_triton_spmm(
                                           dev, coarse_transposed(), dh,
                                           replicas,
                                           named("bwd.spmm_t.dk")),
-                                      {"%dp.coarse", "q"}, {}, {"dk"}));
+                                      {{"%dp.coarse", bb.coarse},
+                                       {"q", bb.qkv}},
+                                      {}, {{"dk", bb.qkv}}));
         } else {
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_coarse_spmm(
                                           dev, *plan_.coarse, dh, replicas,
                                           named("bwd.spmm.dq")),
-                                      {"%dp.coarse", "k"}, {}, {"dq"}));
+                                      {{"%dp.coarse", bb.coarse},
+                                       {"k", bb.qkv}},
+                                      {}, {{"dq", bb.qkv}}));
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_coarse_spmm(
                                           dev, coarse_transposed(), dh,
                                           replicas,
                                           named("bwd.spmm_t.dk")),
-                                      {"%dp.coarse", "q"}, {}, {"dk"}));
+                                      {{"%dp.coarse", bb.coarse},
+                                       {"q", bb.qkv}},
+                                      {}, {{"dk", bb.qkv}}));
         }
     }
     if (has_fine) {
@@ -612,24 +704,30 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_fine_spmm(
                                       dev, *plan_.fine, dh, replicas,
                                       named("bwd.spmm.dq.fine")),
-                                  {"%dp.fine", "k"}, {}, {"dq"}));
+                                  {{"%dp.fine", bb.fine}, {"k", bb.qkv}},
+                                  {}, {{"dq", bb.qkv}}));
         sink.launch(streams.fine,
                     sim::annotate(kernels::plan_fine_spmm(
                                       dev, fine_transposed(), dh, replicas,
                                       named("bwd.spmm_t.dk.fine")),
-                                  {"%dp.fine", "q"}, {}, {"dk"}));
+                                  {{"%dp.fine", bb.fine}, {"q", bb.qkv}},
+                                  {}, {{"dk", bb.qkv}}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, g, dh, plan_.valid_len, replicas,
                                       named("bwd.spmm.dq.global")),
-                                  {"%dp.global", "k"}, {}, {"dq"}));
+                                  {{"%dp.global", bb.global},
+                                   {"k", bb.qkv}},
+                                  {}, {{"dq", bb.qkv}}));
         sink.launch(streams.special,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, plan_.valid_len, dh, g, replicas,
                                       named("bwd.spmm_t.dk.global")),
-                                  {"%dp.global", "q"}, {}, {"dk"}));
+                                  {{"%dp.global", bb.global},
+                                   {"q", bb.qkv}},
+                                  {}, {{"dk", bb.qkv}}));
     }
     sink.join_streams();
 }
@@ -670,8 +768,26 @@ AttentionEngine::forward_graphs(const sim::DeviceSpec &device) const
         enforce_capture_lint(graphs->softmax, device, key + " (softmax)");
         enforce_capture_lint(graphs->spmm, device, key + " (spmm)");
         enforce_capture_lint(graphs->forward, device, key);
+        // Plan (and alias-validate) the footprint while the graph is
+        // fresh; the phase fragments are not planned — composers account
+        // them through the composed graph they are appended into.
+        memplan_for(key, graphs->forward);
         return graphs;
     });
+}
+
+std::shared_ptr<const MemPlan>
+AttentionEngine::forward_memplan(const sim::DeviceSpec &device) const
+{
+    const std::string key = meta_key_ + "|fwd|" + device_plan_key(device);
+    return memplan_for(key, forward_graphs(device)->forward);
+}
+
+std::shared_ptr<const MemPlan>
+AttentionEngine::backward_memplan(const sim::DeviceSpec &device) const
+{
+    const std::string key = meta_key_ + "|bwd|" + device_plan_key(device);
+    return memplan_for(key, *backward_graph(device));
 }
 
 std::shared_ptr<const LaunchGraph>
@@ -684,6 +800,7 @@ AttentionEngine::backward_graph(const sim::DeviceSpec &device) const
         const Streams s = capture_streams(*graph);
         build_backward(*graph, device, s, "");
         enforce_capture_lint(*graph, device, key);
+        memplan_for(key, *graph);
         return graph;
     });
 }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/launch_graph.h"
+#include "core/memplan.h"
 #include "core/plan_cache.h"
 #include "formats/matrix.h"
 #include "gpusim/engine.h"
@@ -151,6 +152,16 @@ class AttentionEngine {
     /// metadata.
     std::shared_ptr<const LaunchGraph>
     backward_graph(const sim::DeviceSpec &device) const;
+
+    /// Static memory plans (core/memplan.h) for the captured forward /
+    /// backward graphs: live-range arena layout plus the peak-vs-naive
+    /// HBM footprint ledger. Built and validated beside the graph at
+    /// capture time and PlanCache'd under the graph key + "|mem", so
+    /// these are cache hits on the replay path.
+    std::shared_ptr<const MemPlan>
+    forward_memplan(const sim::DeviceSpec &device) const;
+    std::shared_ptr<const MemPlan>
+    backward_memplan(const sim::DeviceSpec &device) const;
 
     /// The pre-LaunchGraph imperative planning path: records kernels
     /// straight into `sim` with no capture, no replay, and no plan cache.

@@ -11,54 +11,32 @@
 
 namespace multigrain {
 
-namespace {
-
 // ---- Happens-before -----------------------------------------------------
 
-/// Per-node ancestor bitsets: reach(j) holds i iff i →hb j through the
-/// dep edges. Built in one pass over the (topologically ordered) nodes;
-/// `skip` removes specific edges, which is how the join analysis asks
-/// "would the schedule still be ordered without this barrier edge?".
-class Reach {
-  public:
-    Reach(const std::vector<LaunchGraphNode> &nodes,
-          const std::set<std::pair<int, int>> *skip = nullptr)
-        : n_(nodes.size()), words_((nodes.size() + 63) / 64),
-          bits_(n_ * words_, 0)
-    {
-        for (std::size_t j = 0; j < n_; ++j) {
-            std::uint64_t *row = &bits_[j * words_];
-            for (const int dep : nodes[j].deps) {
-                if (skip != nullptr &&
-                    skip->count({dep, static_cast<int>(j)}) > 0) {
-                    continue;
-                }
-                const std::uint64_t *dep_row =
-                    &bits_[static_cast<std::size_t>(dep) * words_];
-                for (std::size_t w = 0; w < words_; ++w) {
-                    row[w] |= dep_row[w];
-                }
-                row[static_cast<std::size_t>(dep) / 64] |=
-                    std::uint64_t{1} << (static_cast<std::size_t>(dep) % 64);
+HappensBefore::HappensBefore(const std::vector<LaunchGraphNode> &nodes,
+                             const std::set<std::pair<int, int>> *skip)
+    : n_(nodes.size()), words_((nodes.size() + 63) / 64),
+      bits_(n_ * words_, 0)
+{
+    for (std::size_t j = 0; j < n_; ++j) {
+        std::uint64_t *row = &bits_[j * words_];
+        for (const int dep : nodes[j].deps) {
+            if (skip != nullptr &&
+                skip->count({dep, static_cast<int>(j)}) > 0) {
+                continue;
             }
+            const std::uint64_t *dep_row =
+                &bits_[static_cast<std::size_t>(dep) * words_];
+            for (std::size_t w = 0; w < words_; ++w) {
+                row[w] |= dep_row[w];
+            }
+            row[static_cast<std::size_t>(dep) / 64] |=
+                std::uint64_t{1} << (static_cast<std::size_t>(dep) % 64);
         }
     }
+}
 
-    /// i →hb j (strict; requires i < j in capture order, which is the
-    /// only direction an edge can point).
-    bool ordered(int i, int j) const
-    {
-        return (bits_[static_cast<std::size_t>(j) * words_ +
-                      static_cast<std::size_t>(i) / 64] >>
-                (static_cast<std::size_t>(i) % 64)) &
-               1;
-    }
-
-  private:
-    std::size_t n_;
-    std::size_t words_;
-    std::vector<std::uint64_t> bits_;
-};
+namespace {
 
 // ---- Buffer accesses ----------------------------------------------------
 
@@ -387,7 +365,7 @@ lint_graph(const LaunchGraph &graph, const LintOptions &options)
         report.num_edges += node.deps.size();
     }
 
-    const Reach reach(nodes);
+    const HappensBefore reach(nodes);
     const std::vector<std::map<sim::BufferId, Access>> accesses =
         collect_accesses(nodes);
 
@@ -525,7 +503,7 @@ lint_graph(const LaunchGraph &graph, const LintOptions &options)
                 for (const int c : it->second) {
                     skip.insert({t, c});
                 }
-                const Reach without(nodes, &skip);
+                const HappensBefore without(nodes, &skip);
                 for (const auto &[u, v] : ordered_conflicts) {
                     if (!without.ordered(u, v)) {
                         necessary.push_back(t);

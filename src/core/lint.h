@@ -2,7 +2,10 @@
 #define MULTIGRAIN_CORE_LINT_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -34,6 +37,35 @@
 ///    silently clamp to occupancy 1, empty-work kernels, and kernel names
 ///    that the mgprof phase carver cannot classify.
 namespace multigrain {
+
+/// Per-node ancestor bitsets: ordered(i, j) iff node i happens-before
+/// node j through the dep edges (which capture derives from stream order
+/// and join barriers). Built in one pass over the (topologically ordered)
+/// nodes; `skip` removes specific edges, which is how the join analysis
+/// asks "would the schedule still be ordered without this barrier edge?".
+/// Shared by the hazard analysis here and the static memory planner
+/// (core/memplan.h), whose live ranges are defined under this relation.
+class HappensBefore {
+  public:
+    explicit HappensBefore(
+        const std::vector<LaunchGraphNode> &nodes,
+        const std::set<std::pair<int, int>> *skip = nullptr);
+
+    /// i →hb j (strict; requires i < j in capture order, which is the
+    /// only direction an edge can point).
+    bool ordered(int i, int j) const
+    {
+        return (bits_[static_cast<std::size_t>(j) * words_ +
+                      static_cast<std::size_t>(i) / 64] >>
+                (static_cast<std::size_t>(i) % 64)) &
+               1;
+    }
+
+  private:
+    std::size_t n_ = 0;
+    std::size_t words_ = 0;
+    std::vector<std::uint64_t> bits_;
+};
 
 enum class LintSeverity { kInfo, kWarning, kError };
 

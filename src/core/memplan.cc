@@ -1,0 +1,292 @@
+#include "core/memplan.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/lint.h"
+#include "core/plan_cache.h"
+
+namespace multigrain {
+
+namespace {
+
+/// Per-buffer facts gathered in one pass over the nodes.
+struct BufferUses {
+    std::vector<int> uses;          ///< Ascending capture-order indices.
+    std::uint64_t bytes = 0;        ///< Max annotated size across uses.
+    bool first_use_reads = false;   ///< First-use node reads or accums it.
+};
+
+std::uint64_t
+size_at(const std::vector<std::uint64_t> &bytes, std::size_t i)
+{
+    // A launch assembled without annotate() has empty size vectors;
+    // treat every entry as unsized rather than assuming parallelism.
+    return i < bytes.size() ? bytes[i] : 0;
+}
+
+std::map<sim::BufferId, BufferUses>
+collect_uses(const std::vector<LaunchGraphNode> &nodes)
+{
+    std::map<sim::BufferId, BufferUses> uses;
+    const auto touch = [&uses](sim::BufferId id, int node,
+                               std::uint64_t bytes, bool reads) {
+        BufferUses &u = uses[id];
+        if (u.uses.empty()) {
+            u.first_use_reads = reads;
+        }
+        else if (u.uses.back() == node) {
+            // Same node touching the buffer through another access list
+            // (in-place read+write): the read classifies the first use
+            // regardless of list order.
+            if (node == u.uses.front()) {
+                u.first_use_reads = u.first_use_reads || reads;
+            }
+        }
+        if (u.uses.empty() || u.uses.back() != node) {
+            u.uses.push_back(node);
+        }
+        u.bytes = std::max(u.bytes, bytes);
+    };
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const sim::KernelLaunch &launch = nodes[i].launch;
+        const int node = static_cast<int>(i);
+        for (std::size_t r = 0; r < launch.reads.size(); ++r) {
+            touch(launch.reads[r], node, size_at(launch.read_bytes, r),
+                  true);
+        }
+        // Accumulation is a read-modify-write: first-use-accum means the
+        // buffer's prior contents (zero-fill or an inbound partial) are
+        // observable, so it classifies like a read.
+        for (std::size_t a = 0; a < launch.accums.size(); ++a) {
+            touch(launch.accums[a], node, size_at(launch.accum_bytes, a),
+                  true);
+        }
+        for (std::size_t w = 0; w < launch.writes.size(); ++w) {
+            touch(launch.writes[w], node, size_at(launch.write_bytes, w),
+                  false);
+        }
+    }
+    return uses;
+}
+
+/// Whether every use of `a` happens-before every use of `b` — the only
+/// way two buffers' live ranges provably never overlap. Capture order is
+/// topological, so this is possible only when a's range ends before b's
+/// begins; the caller checks both directions.
+bool
+all_ordered(const HappensBefore &hb, const std::vector<int> &a,
+            const std::vector<int> &b)
+{
+    if (a.back() >= b.front()) {
+        return false;
+    }
+    for (const int i : a) {
+        for (const int j : b) {
+            if (!hb.ordered(i, j)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+interfere(const HappensBefore &hb, const MemPlanBuffer &a,
+          const MemPlanBuffer &b)
+{
+    return !all_ordered(hb, a.uses, b.uses) &&
+           !all_ordered(hb, b.uses, a.uses);
+}
+
+std::uint64_t
+align_up(std::uint64_t v)
+{
+    return (v + kArenaAlign - 1) / kArenaAlign * kArenaAlign;
+}
+
+}  // namespace
+
+const char *
+to_string(BufferClass cls)
+{
+    switch (cls) {
+    case BufferClass::kShared:
+        return "shared";
+    case BufferClass::kInput:
+        return "input";
+    case BufferClass::kPooled:
+        return "pooled";
+    }
+    return "?";
+}
+
+double
+MemPlan::pooling_savings() const
+{
+    const std::uint64_t naive = naive_hbm_bytes();
+    if (naive == 0) {
+        return 0.0;
+    }
+    return 1.0 -
+           static_cast<double>(peak_hbm_bytes()) / static_cast<double>(naive);
+}
+
+MemPlan
+plan_memory(const LaunchGraph &graph)
+{
+    graph.validate();
+    const std::vector<LaunchGraphNode> &nodes = graph.nodes();
+
+    MemPlan plan;
+    plan.num_nodes = nodes.size();
+
+    for (auto &[id, u] : collect_uses(nodes)) {
+        MemPlanBuffer buf;
+        buf.id = id;
+        buf.name = sim::buffer_name(id);
+        buf.bytes = u.bytes;
+        buf.first_use = u.uses.front();
+        buf.last_use = u.uses.back();
+        buf.uses = std::move(u.uses);
+        if (buf.name.front() != '%') {
+            buf.cls = BufferClass::kShared;
+        }
+        else if (u.first_use_reads) {
+            buf.cls = BufferClass::kInput;
+        }
+        else {
+            buf.cls = BufferClass::kPooled;
+        }
+        plan.buffers.push_back(std::move(buf));
+    }
+
+    std::sort(plan.buffers.begin(), plan.buffers.end(),
+              [](const MemPlanBuffer &a, const MemPlanBuffer &b) {
+                  if (a.first_use != b.first_use) {
+                      return a.first_use < b.first_use;
+                  }
+                  return a.name < b.name;
+              });
+
+    const HappensBefore hb(nodes);
+
+    // Greedy first-fit: in deterministic order, place each pooled buffer
+    // at the lowest aligned offset clear of every interfering buffer
+    // already placed. Zero-sized buffers take no space and alias freely.
+    std::vector<std::size_t> placed;
+    for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+        MemPlanBuffer &buf = plan.buffers[i];
+        if (buf.cls != BufferClass::kPooled) {
+            plan.external_bytes += buf.bytes;
+            continue;
+        }
+        plan.pooled_request_bytes += buf.bytes;
+        if (buf.bytes == 0) {
+            continue;
+        }
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> blockers;
+        for (const std::size_t p : placed) {
+            const MemPlanBuffer &other = plan.buffers[p];
+            if (interfere(hb, buf, other)) {
+                blockers.emplace_back(other.offset,
+                                      other.offset + other.bytes);
+            }
+        }
+        std::sort(blockers.begin(), blockers.end());
+        std::uint64_t offset = 0;
+        for (const auto &[begin, end] : blockers) {
+            if (end <= offset) {
+                continue;
+            }
+            if (begin >= offset + buf.bytes) {
+                break;
+            }
+            offset = align_up(end);
+        }
+        buf.offset = offset;
+        plan.arena_bytes = std::max(plan.arena_bytes, offset + buf.bytes);
+        placed.push_back(i);
+    }
+    return plan;
+}
+
+void
+validate_memplan(const LaunchGraph &graph, const MemPlan &plan)
+{
+    const std::vector<LaunchGraphNode> &nodes = graph.nodes();
+    if (plan.num_nodes != nodes.size()) {
+        std::ostringstream os;
+        os << "memplan covers " << plan.num_nodes << " nodes but graph has "
+           << nodes.size();
+        throw MemPlanError(os.str());
+    }
+
+    // Re-derive uses independently of whatever the plan recorded, so a
+    // stale or hand-perturbed plan cannot vouch for itself.
+    std::map<sim::BufferId, BufferUses> uses = collect_uses(nodes);
+    const HappensBefore hb(nodes);
+
+    std::vector<const MemPlanBuffer *> pooled;
+    for (const MemPlanBuffer &buf : plan.buffers) {
+        if (buf.cls != BufferClass::kPooled || buf.bytes == 0) {
+            continue;
+        }
+        if (buf.offset % kArenaAlign != 0) {
+            std::ostringstream os;
+            os << "buffer " << buf.name << " at misaligned arena offset "
+               << buf.offset;
+            throw MemPlanError(os.str());
+        }
+        if (buf.offset + buf.bytes > plan.arena_bytes) {
+            std::ostringstream os;
+            os << "buffer " << buf.name << " [" << buf.offset << ", "
+               << buf.offset + buf.bytes << ") overruns arena of "
+               << plan.arena_bytes << " bytes";
+            throw MemPlanError(os.str());
+        }
+        const auto it = uses.find(buf.id);
+        if (it == uses.end()) {
+            throw MemPlanError("memplan buffer " + buf.name +
+                               " never used by the graph");
+        }
+        pooled.push_back(&buf);
+    }
+
+    for (std::size_t i = 0; i < pooled.size(); ++i) {
+        for (std::size_t j = i + 1; j < pooled.size(); ++j) {
+            const MemPlanBuffer &a = *pooled[i];
+            const MemPlanBuffer &b = *pooled[j];
+            const std::vector<int> &ua = uses[a.id].uses;
+            const std::vector<int> &ub = uses[b.id].uses;
+            const bool disjoint_life = all_ordered(hb, ua, ub) ||
+                                       all_ordered(hb, ub, ua);
+            const bool disjoint_span = a.offset + a.bytes <= b.offset ||
+                                       b.offset + b.bytes <= a.offset;
+            if (!disjoint_life && !disjoint_span) {
+                std::ostringstream os;
+                os << "live-overlapping buffers alias: " << a.name << " ["
+                   << a.offset << ", " << a.offset + a.bytes << ") and "
+                   << b.name << " [" << b.offset << ", "
+                   << b.offset + b.bytes
+                   << ") can be in flight simultaneously";
+                throw MemPlanError(os.str());
+            }
+        }
+    }
+}
+
+std::shared_ptr<const MemPlan>
+memplan_for(const std::string &graph_key, const LaunchGraph &graph)
+{
+    return PlanCache::instance().get_or_build<MemPlan>(
+        graph_key + "|mem", [&graph]() {
+            auto plan = std::make_shared<MemPlan>(plan_memory(graph));
+            validate_memplan(graph, *plan);
+            return plan;
+        });
+}
+
+}  // namespace multigrain

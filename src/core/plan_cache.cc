@@ -155,6 +155,7 @@ device_plan_key(const sim::DeviceSpec &device)
     mix(device.tensor_tflops);
     mix(device.cuda_tflops);
     mix(device.dram_gbps);
+    mix(device.hbm_gbytes);
     mix(device.l2_mb);
     mix(device.l2_gbps);
     mix(static_cast<double>(device.l1_kb_per_sm));

@@ -38,6 +38,7 @@ DeviceSpec::a100()
     d.tensor_tflops = 169.0;  // Table 1 (non-sparse FP16 TC rate).
     d.cuda_tflops = 42.3;
     d.dram_gbps = 1555.0;
+    d.hbm_gbytes = 80.0;  // SXM 80 GB variant.
     d.l2_mb = 40.0;
     d.l2_gbps = 4500.0;  // Measured A100 L2 aggregate bandwidth (~3x DRAM).
     d.l1_kb_per_sm = 192;
@@ -71,6 +72,7 @@ DeviceSpec::rtx3090()
     d.tensor_tflops = 58.0;  // Table 1: TC peak drops 2.9x vs A100 ...
     d.cuda_tflops = 29.3;    // ... while the CUDA-core peak drops only 1.4x.
     d.dram_gbps = 936.2;
+    d.hbm_gbytes = 24.0;
     d.l2_mb = 6.0;
     d.l2_gbps = 1800.0;  // GA102 L2 aggregate bandwidth (~2x DRAM).
     d.l1_kb_per_sm = 128;

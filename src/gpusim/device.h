@@ -1,6 +1,7 @@
 #ifndef MULTIGRAIN_GPUSIM_DEVICE_H_
 #define MULTIGRAIN_GPUSIM_DEVICE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/util.h"
@@ -24,6 +25,11 @@ struct DeviceSpec {
     double tensor_tflops = 0;  ///< Peak FP16 tensor-core TFLOPS.
     double cuda_tflops = 0;    ///< Peak FP16 CUDA-core TFLOPS.
     double dram_gbps = 0;      ///< Peak device-memory bandwidth, GB/s.
+    /// Device-memory (HBM/GDDR) capacity, GB. Not a timing input: the
+    /// byte-budget serving scheduler and mgmem read it to pack plans
+    /// against what the board can actually hold. Presets use the largest
+    /// shipping variants (A100 80 GB SXM, RTX 3090 24 GB).
+    double hbm_gbytes = 0;
     double l2_mb = 0;          ///< L2 capacity, MB.
     double l2_gbps = 0;        ///< Aggregate L2 bandwidth, GB/s.
     int l1_kb_per_sm = 0;      ///< Unified L1/SMEM block per SM, KB.
@@ -81,6 +87,12 @@ struct DeviceSpec {
     /// Achievable L2 bytes per microsecond, device-wide.
     double l2_bytes_per_us() const { return l2_gbps * 1e3; }
     double l2_capacity_bytes() const { return l2_mb * 1e6; }
+    /// Device-memory capacity in bytes — the serving byte budget's
+    /// default ceiling.
+    std::uint64_t hbm_capacity_bytes() const
+    {
+        return static_cast<std::uint64_t>(hbm_gbytes * 1e9);
+    }
 
     // ---- Energy model (IISWC-style characterization) ---------------------
     /// Dynamic energy per tensor-core FP16 flop / CUDA-core flop, pJ.

@@ -1,6 +1,7 @@
 #include "gpusim/launch.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
 #include <unordered_map>
 
@@ -59,19 +60,58 @@ buffer_is_plan_local(BufferId id)
     return buffer_name(id).front() == '%';
 }
 
-KernelLaunch
-annotate(KernelLaunch launch, std::initializer_list<const char *> reads,
-         std::initializer_list<const char *> writes,
-         std::initializer_list<const char *> accums)
+namespace {
+
+/// MULTIGRAIN_MEM_PERTURB: multiplicative scale on every annotated byte
+/// size, read once per process. The memory analogue of
+/// MULTIGRAIN_PERTURB (device.h): it exists so the mgperf gate's
+/// self-test can prove a grown footprint trips the exact
+/// peak_hbm_bytes policy, without a code change. 1.0 (or unset) is
+/// identity; timing inputs are untouched.
+double
+mem_perturbation()
 {
-    for (const char *name : reads) {
-        launch.reads.push_back(intern_buffer(name));
+    static const double scale = [] {
+        const char *spec = std::getenv("MULTIGRAIN_MEM_PERTURB");
+        if (spec == nullptr || *spec == '\0') {
+            return 1.0;
+        }
+        const double s = std::atof(spec);
+        MG_CHECK(s > 0) << "MULTIGRAIN_MEM_PERTURB must be positive: "
+                        << spec;
+        return s;
+    }();
+    return scale;
+}
+
+std::uint64_t
+scale_bytes(std::uint64_t bytes)
+{
+    const double s = mem_perturbation();
+    if (s == 1.0) {
+        return bytes;
     }
-    for (const char *name : writes) {
-        launch.writes.push_back(intern_buffer(name));
+    return static_cast<std::uint64_t>(static_cast<double>(bytes) * s);
+}
+
+}  // namespace
+
+KernelLaunch
+annotate(KernelLaunch launch, std::initializer_list<SizedBuffer> reads,
+         std::initializer_list<SizedBuffer> writes,
+         std::initializer_list<SizedBuffer> accums)
+{
+    for (const SizedBuffer &buf : reads) {
+        launch.reads.push_back(intern_buffer(buf.name));
+        launch.read_bytes.push_back(scale_bytes(buf.bytes));
     }
-    for (const char *name : accums) {
-        launch.accums.push_back(intern_buffer(name));
+    for (const SizedBuffer &buf : writes) {
+        launch.writes.push_back(intern_buffer(buf.name));
+        launch.write_bytes.push_back(scale_bytes(buf.bytes));
+    }
+    for (const SizedBuffer &buf : accums) {
+        launch.accums.push_back(intern_buffer(buf.name));
+        launch.accum_bytes.push_back(scale_bytes(buf.bytes));
     }
     return launch;
 }

@@ -1,6 +1,8 @@
 #ifndef MULTIGRAIN_GPUSIM_LAUNCH_H_
 #define MULTIGRAIN_GPUSIM_LAUNCH_H_
 
+#include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -80,6 +82,21 @@ std::string buffer_name(BufferId id);
 /// True for '%'-prefixed (plan-local) buffer names.
 bool buffer_is_plan_local(BufferId id);
 
+/// One annotated buffer reference: a name plus the byte size of the
+/// region the kernel touches through it. Implicitly convertible from a
+/// bare name so legacy `{"q", "k"}` annotation lists keep compiling;
+/// bytes == 0 means "unsized" (the memory planner accounts the buffer
+/// at zero width but still tracks its live range).
+struct SizedBuffer {
+    // NOLINTNEXTLINE(google-explicit-constructor)
+    constexpr SizedBuffer(const char *n, std::uint64_t b = 0)
+        : name(n), bytes(b)
+    {
+    }
+    const char *name;
+    std::uint64_t bytes;
+};
+
 struct KernelLaunch {
     std::string name;
     TbShape shape;
@@ -95,6 +112,15 @@ struct KernelLaunch {
     std::vector<BufferId> writes;
     std::vector<BufferId> accums;
 
+    /// Byte sizes parallel to reads/writes/accums (entry i sizes buffer
+    /// i of the matching id vector). Kept as separate vectors so graph
+    /// re-namespacing — which rewrites only BufferId vectors — carries
+    /// sizes along untouched, and replay (which copies the launch
+    /// wholesale) stays byte-identical. 0 = unsized.
+    std::vector<std::uint64_t> read_bytes;
+    std::vector<std::uint64_t> write_bytes;
+    std::vector<std::uint64_t> accum_bytes;
+
     index_t num_tbs() const;
     TbWork total_work() const;
 
@@ -105,12 +131,13 @@ struct KernelLaunch {
 };
 
 /// Builder-style annotation helper for plan() call sites:
-///   sink.launch(s, annotate(plan_fine_sddmm(...), {"q", "k"},
-///                           {"%s.fine"}));
+///   sink.launch(s, annotate(plan_fine_sddmm(...), {{"q", qb}, {"k", kb}},
+///                           {{"%s.fine", sb}}));
+/// Bare names (`{"q", "k"}`) still work and annotate at zero bytes.
 KernelLaunch annotate(KernelLaunch launch,
-                      std::initializer_list<const char *> reads,
-                      std::initializer_list<const char *> writes,
-                      std::initializer_list<const char *> accums = {});
+                      std::initializer_list<SizedBuffer> reads,
+                      std::initializer_list<SizedBuffer> writes,
+                      std::initializer_list<SizedBuffer> accums = {});
 
 /// Thread blocks of `shape` that fit on one SM concurrently under the CUDA
 /// occupancy rules (block slots, threads, registers, shared memory).

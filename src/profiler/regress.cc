@@ -127,6 +127,23 @@ default_metric_policy(const std::string &key)
         contains(key, "overlap")) {
         return {Direction::kHigherIsBetter, 0.02, 1e-6};
     }
+    // Static memory-plan metrics (core/memplan.h): the planner is
+    // deterministic, so footprints are exact — one grown byte is a real
+    // plan or annotation change, not noise. Savings gate the other way:
+    // losing pooling is the regression. These must outrank the generic
+    // "_bytes" rule below, which tolerates 2 %.
+    if (key == "max_queued_hbm_bytes") {
+        return {Direction::kInformational, 0.0, 0.0};
+    }
+    if (ends_with(key, "hbm_bytes")) {
+        return {Direction::kLowerIsBetter, 0.0, 0.0};
+    }
+    if (ends_with(key, "pooling_savings")) {
+        return {Direction::kHigherIsBetter, 0.0, 0.0};
+    }
+    if (key == "shed_memory") {
+        return {Direction::kLowerIsBetter, 0.0, 0.25};
+    }
     if (ends_with(key, "_us") || ends_with(key, "_ms")) {
         return {Direction::kLowerIsBetter, 0.02, 0.05};
     }

@@ -33,6 +33,8 @@ void
 AdmissionQueue::note_depth()
 {
     stats_.max_depth = std::max(stats_.max_depth, depth());
+    stats_.max_queued_bytes = std::max(stats_.max_queued_bytes,
+                                       queued_bytes_);
 }
 
 std::size_t
@@ -53,6 +55,13 @@ AdmissionQueue::offer(Request r, double)
         ++stats_.rejected;
         return false;
     }
+    if (config_.hbm_budget_bytes > 0 &&
+        queued_bytes_ + r.footprint_bytes > config_.hbm_budget_bytes) {
+        ++stats_.rejected;
+        ++stats_.shed_memory;
+        return false;
+    }
+    queued_bytes_ += r.footprint_bytes;
     queues_[tenant_index(r.tenant)].push_back(std::move(r));
     ++stats_.admitted;
     note_depth();
@@ -69,6 +78,7 @@ AdmissionQueue::expire(double now_us)
     for (auto &q : queues_) {
         for (auto it = q.begin(); it != q.end();) {
             if (now_us - it->arrival_us > config_.max_queue_wait_us) {
+                queued_bytes_ -= it->footprint_bytes;
                 expired.push_back(std::move(*it));
                 it = q.erase(it);
                 ++stats_.timed_out;
@@ -104,6 +114,7 @@ AdmissionQueue::pop_seed()
     Request r = std::move(queues_[best].front());
     queues_[best].pop_front();
     cursor_ = (best + 1) % queues_.size();
+    queued_bytes_ -= r.footprint_bytes;
     ++stats_.dispatched;
     return r;
 }
@@ -121,6 +132,7 @@ AdmissionQueue::take_matching(
         auto &q = queues_[(cursor_ + step) % queues_.size()];
         for (auto it = q.begin(); it != q.end() && taken.size() < limit;) {
             if (pred(*it)) {
+                queued_bytes_ -= it->footprint_bytes;
                 taken.push_back(std::move(*it));
                 it = q.erase(it);
                 ++stats_.dispatched;
@@ -130,6 +142,19 @@ AdmissionQueue::take_matching(
         }
     }
     return taken;
+}
+
+void
+AdmissionQueue::push_front(Request r)
+{
+    // Undo the pop_seed accounting: the request was never really
+    // dispatched, it goes back to the head of its tenant FIFO and will
+    // seed the next round.
+    MG_CHECK(stats_.dispatched > 0)
+        << "push_front without a matching pop";
+    --stats_.dispatched;
+    queued_bytes_ += r.footprint_bytes;
+    queues_[tenant_index(r.tenant)].push_front(std::move(r));
 }
 
 }  // namespace multigrain::serve

@@ -35,18 +35,29 @@ struct AdmissionConfig {
     /// Maximum time a request may wait in the queue before it is dropped
     /// as timed out; 0 disables aging.
     double max_queue_wait_us = 0;
+    /// Projected-HBM admission bound, bytes; 0 disables memory shedding.
+    /// When set, an offer whose stamped footprint_bytes would push the
+    /// queue's projected total past the bound is shed at the door with
+    /// an exact counter (shed_memory) — the byte-budget analogue of the
+    /// depth bound above.
+    std::uint64_t hbm_budget_bytes = 0;
 };
 
 struct AdmissionStats {
     std::uint64_t offered = 0;
     std::uint64_t admitted = 0;
-    std::uint64_t rejected = 0;   ///< Shed at admission (queue full).
+    std::uint64_t rejected = 0;   ///< All door sheds (depth or memory).
+    /// Subset of `rejected`: shed because the queue's projected HBM
+    /// bytes would exceed hbm_budget_bytes.
+    std::uint64_t shed_memory = 0;
     std::uint64_t timed_out = 0;  ///< Aged out waiting.
     std::uint64_t dispatched = 0; ///< Handed to the scheduler.
     /// High-water mark of the total queue depth — never exceeds
     /// queue_capacity (asserted by tests/serve_test.cc through the serve
     /// metric registry).
     std::size_t max_depth = 0;
+    /// High-water mark of the queue's projected HBM bytes.
+    std::uint64_t max_queued_bytes = 0;
 };
 
 class AdmissionQueue {
@@ -77,6 +88,15 @@ class AdmissionQueue {
     std::vector<Request> take_matching(
         const std::function<bool(const Request &)> &pred,
         std::size_t limit);
+    /// Returns a request popped this scheduling point back to the head
+    /// of its tenant queue (un-dispatches it) — how the byte-budget
+    /// scheduler closes a round whose remaining budget cannot hold the
+    /// next seed even alone.
+    void push_front(Request r);
+
+    /// Projected HBM bytes of everything queued (sum of stamped
+    /// footprint_bytes).
+    std::uint64_t queued_bytes() const { return queued_bytes_; }
 
     const AdmissionStats &stats() const { return stats_; }
 
@@ -88,6 +108,7 @@ class AdmissionQueue {
     std::vector<std::string> tenant_names_;
     std::vector<std::deque<Request>> queues_;  ///< Parallel to names.
     std::size_t cursor_ = 0;
+    std::uint64_t queued_bytes_ = 0;
     AdmissionStats stats_;
 };
 

@@ -65,6 +65,9 @@ Scheduler::planned_batch(int actual) const
 std::vector<Batch>
 Scheduler::next_round(AdmissionQueue &queue) const
 {
+    const bool budgeted =
+        config_.round_hbm_budget_bytes > 0 && footprint_ != nullptr;
+    std::uint64_t round_bytes = 0;
     std::vector<Batch> round;
     while (static_cast<int>(round.size()) <
            config_.max_concurrent_batches) {
@@ -72,24 +75,53 @@ Scheduler::next_round(AdmissionQueue &queue) const
         if (!seed.has_value()) {
             break;
         }
+        const index_t bucket = bucket_of(*seed);
+        int limit = config_.max_batch;
+        if (budgeted) {
+            const std::uint64_t remaining =
+                config_.round_hbm_budget_bytes > round_bytes
+                    ? config_.round_hbm_budget_bytes - round_bytes
+                    : 0;
+            if (!round.empty() &&
+                footprint_(seed->model, seed->mode, bucket,
+                           planned_batch(1)) > remaining) {
+                // Not enough budget for this seed even alone: return it
+                // to its queue head and close the round. (The first
+                // batch of a round is exempt so an oversized plan still
+                // makes progress.)
+                queue.push_front(std::move(*seed));
+                break;
+            }
+            // Cap the batch at the largest padded size whose plan fits
+            // the remaining budget.
+            while (limit > 1 &&
+                   footprint_(seed->model, seed->mode, bucket,
+                              planned_batch(limit)) > remaining) {
+                --limit;
+            }
+        }
         Batch batch;
         batch.model = seed->model;
         batch.mode = seed->mode;
-        batch.bucket = bucket_of(*seed);
+        batch.bucket = bucket;
         batch.requests.push_back(std::move(*seed));
-        if (config_.max_batch > 1) {
+        if (limit > 1) {
             const Batch &key = batch;
             std::vector<Request> fill = queue.take_matching(
                 [this, &key](const Request &r) {
                     return r.model == key.model && r.mode == key.mode &&
                            bucket_of(r) == key.bucket;
                 },
-                static_cast<std::size_t>(config_.max_batch) - 1);
+                static_cast<std::size_t>(limit) - 1);
             for (Request &r : fill) {
                 batch.requests.push_back(std::move(r));
             }
         }
         batch.planned_batch = planned_batch(batch.size());
+        if (budgeted) {
+            round_bytes += footprint_(batch.model, batch.mode,
+                                      batch.bucket, batch.planned_batch);
+        }
         round.push_back(std::move(batch));
     }
     return round;

@@ -1,6 +1,8 @@
 #ifndef MULTIGRAIN_SERVE_SCHEDULER_H_
 #define MULTIGRAIN_SERVE_SCHEDULER_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +45,15 @@ struct SchedulerConfig {
     /// Pad the planned batch size to the next power of two so plan-cache
     /// keys repeat across nearby batch sizes.
     bool pad_batch_pow2 = true;
+    /// Per-round projected HBM budget, bytes; 0 disables byte packing.
+    /// When set (and a footprint callback is installed), round formation
+    /// packs batches to this byte budget instead of a pure request
+    /// count: each batch is capped at the largest padded size whose
+    /// plan footprint fits the round's remaining bytes, and a seed that
+    /// does not fit even alone is returned to the queue, closing the
+    /// round. The first batch of a round always dispatches so a single
+    /// oversized plan cannot livelock the server.
+    std::uint64_t round_hbm_budget_bytes = 0;
 };
 
 /// One schedulable batch: compatible requests plus the padded size the
@@ -59,12 +70,23 @@ struct Batch {
 
 class Scheduler {
   public:
+    /// Projected HBM bytes of one batch's execution plan:
+    /// (model, mode, bucket, planned_batch) -> bytes. Installed by the
+    /// Server from the cached MemPlans (layer peak x num_layers); byte
+    /// packing stays off until both this and round_hbm_budget_bytes are
+    /// set.
+    using BatchFootprint = std::function<std::uint64_t(
+        const std::string &model, SliceMode mode, index_t bucket,
+        int planned_batch)>;
+
     /// Validates bucket_granularity against every model in `models`
     /// (block alignment and cap) and caches their configs.
     Scheduler(const SchedulerConfig &config,
               const std::vector<std::string> &models);
 
     const SchedulerConfig &config() const { return config_; }
+
+    void set_footprint(BatchFootprint fn) { footprint_ = std::move(fn); }
 
     /// The bucket `r` pads to: valid_len rounded up to the granularity,
     /// clamped to its model's cap.
@@ -81,6 +103,7 @@ class Scheduler {
 
     SchedulerConfig config_;
     std::unordered_map<std::string, ModelConfig> models_;
+    BatchFootprint footprint_;
 };
 
 }  // namespace multigrain::serve

@@ -129,6 +129,29 @@ preset_closed()
     return c;
 }
 
+/// memtight: the tiny traffic shape against an artificially small HBM
+/// allowance — the byte-budget preset. Requests are priced by their
+/// bucketed single-request MemPlan peak; admission sheds on projected
+/// queue bytes (tests assert shed_memory > 0) and round formation packs
+/// batches to a per-round byte budget, so both byte valves are
+/// exercised by one deterministic run. The budgets are expressed as
+/// multiples of the tiny model's bucket-64 single-request footprint
+/// (~0.5 MB plan peak x layers) rather than a real device capacity —
+/// tiny-model plans would never pressure 80 GB.
+ServeConfig
+preset_memtight()
+{
+    ServeConfig c = preset_tiny();
+    c.preset = "memtight";
+    // Queue holds ~3 priced requests' worth of projected bytes (a
+    // bucket-64 single-request plan peaks at ~430 KB x layers); the
+    // round budget fits one modest batch but not the full two-batch
+    // round the tiny preset dispatches (~2.4 MiB).
+    c.admission.hbm_budget_bytes = 1280ull << 10;      // 1.25 MiB.
+    c.scheduler.round_hbm_budget_bytes = 768ull << 10;  // 0.75 MiB.
+    return c;
+}
+
 }  // namespace
 
 const std::vector<ServePresetInfo> &
@@ -142,6 +165,8 @@ serve_presets()
         {"overload", "arrivals beyond capacity into a tight queue — "
                      "sheds and times out"},
         {"closed", "closed loop of 6 clients with think time"},
+        {"memtight", "tiny traffic under a small HBM budget — sheds on "
+                     "memory and packs rounds to bytes"},
     };
     return presets;
 }
@@ -161,8 +186,11 @@ serve_preset_by_name(const std::string &name)
     if (name == "closed") {
         return preset_closed();
     }
+    if (name == "memtight") {
+        return preset_memtight();
+    }
     throw Error("unknown serve preset \"" + name +
-                "\" (tiny|steady|overload|closed)");
+                "\" (tiny|steady|overload|closed|memtight)");
 }
 
 Server::Server(ServeConfig config, sim::DeviceSpec device)
@@ -171,21 +199,50 @@ Server::Server(ServeConfig config, sim::DeviceSpec device)
 }
 
 TransformerRunner &
-Server::runner_for(const Batch &batch)
+Server::runner_for(const std::string &model, SliceMode mode,
+                   index_t bucket, int planned_batch)
 {
-    const std::string key = batch.model + "|" + to_string(batch.mode) +
-                            "|bucket=" + std::to_string(batch.bucket) +
-                            "|batch=" + std::to_string(batch.planned_batch);
+    const std::string key = model + "|" + to_string(mode) +
+                            "|bucket=" + std::to_string(bucket) +
+                            "|batch=" + std::to_string(planned_batch);
     std::unique_ptr<TransformerRunner> &slot = runners_[key];
     if (slot == nullptr) {
-        const ModelConfig bucketed = bucketed_model(
-            model_config_by_name(batch.model), batch.bucket);
+        const ModelConfig bucketed =
+            bucketed_model(model_config_by_name(model), bucket);
         slot = std::make_unique<TransformerRunner>(
-            bucketed, batch.mode,
-            canonical_bucket_sample(bucketed, batch.bucket),
-            batch.planned_batch);
+            bucketed, mode, canonical_bucket_sample(bucketed, bucket),
+            planned_batch);
     }
     return *slot;
+}
+
+TransformerRunner &
+Server::runner_for(const Batch &batch)
+{
+    return runner_for(batch.model, batch.mode, batch.bucket,
+                      batch.planned_batch);
+}
+
+std::uint64_t
+Server::batch_footprint(const std::string &model, SliceMode mode,
+                        index_t bucket, int planned_batch)
+{
+    const std::string key = model + "|" + to_string(mode) +
+                            "|bucket=" + std::to_string(bucket) +
+                            "|batch=" + std::to_string(planned_batch);
+    const auto it = footprints_.find(key);
+    if (it != footprints_.end()) {
+        return it->second;
+    }
+    const TransformerRunner &runner =
+        runner_for(model, mode, bucket, planned_batch);
+    const std::uint64_t bytes =
+        runner
+            .layer_memplan(device_, TransformerRunner::LayerKind::kInference)
+            ->peak_hbm_bytes() *
+        static_cast<std::uint64_t>(runner.model().num_layers);
+    footprints_.emplace(key, bytes);
+    return bytes;
 }
 
 void
@@ -195,6 +252,16 @@ Server::dispatch_round(double now_us, std::int64_t round_id,
     std::vector<Batch> round = scheduler.next_round(queue);
     MG_CHECK(!round.empty()) << "dispatch_round on an empty queue";
     current_round_ = round_id;
+
+    // The round's projected HBM watermark: the sum of its batches' plan
+    // footprints. Computed for every round (budgeted or not) so the
+    // report always carries the byte timeline.
+    std::uint64_t hbm_bytes = 0;
+    for (const Batch &b : round) {
+        hbm_bytes += batch_footprint(b.model, b.mode, b.bucket,
+                                     b.planned_batch);
+    }
+    round_bytes_.push_back(hbm_bytes);
 
     // One simulator per round: every batch replays its cached layer
     // graphs under its own prefix and a fresh stream binding, so the
@@ -240,6 +307,7 @@ Server::dispatch_round(double now_us, std::int64_t round_id,
         e.t_us = now_us;
         e.round = round_id;
         e.actual_batch = static_cast<int>(in_flight_.size());
+        e.hbm_bytes = hbm_bytes;
         trace_->record(std::move(e));
         trace_->record_round_sim(round_id, now_us, result);
     }
@@ -303,7 +371,14 @@ Server::run()
         tenants.push_back(t.name);
     }
     AdmissionQueue queue(config_.admission, std::move(tenants));
-    const Scheduler scheduler(config_.scheduler, config_.traffic.models);
+    Scheduler scheduler(config_.scheduler, config_.traffic.models);
+    // Byte packing (scheduler) and memory shedding (admission) both
+    // price work with the cached MemPlans' peak footprints.
+    scheduler.set_footprint(
+        [this](const std::string &model, SliceMode m, index_t bucket,
+               int planned) {
+            return batch_footprint(model, m, bucket, planned);
+        });
 
     ServeReport report;
     report.preset = config_.preset;
@@ -320,6 +395,13 @@ Server::run()
         while (source.peek_us() <= now) {
             Request r = source.pop();
             r.mode = mode;
+            if (config_.admission.hbm_budget_bytes > 0) {
+                // Price the request for memory shedding: what it would
+                // cost to serve alone in its bucket.
+                r.footprint_bytes = batch_footprint(
+                    r.model, r.mode, scheduler.bucket_of(r),
+                    scheduler.planned_batch(1));
+            }
             Request copy = r;
             if (trace_ != nullptr) {
                 TraceEvent e = request_event(TraceEventKind::kArrive,
@@ -386,6 +468,11 @@ Server::run()
     report.rounds = rounds;
     report.busy_us = busy;
     report.admission = queue.stats();
+    report.round_hbm_bytes = std::move(round_bytes_);
+    for (const std::uint64_t b : report.round_hbm_bytes) {
+        report.peak_round_hbm_bytes =
+            std::max(report.peak_round_hbm_bytes, b);
+    }
     report.plan_cache =
         stats_delta(cache_before, PlanCache::instance().stats());
 
@@ -454,6 +541,11 @@ serve_metric_registry()
          [](const ServeReport &r) {
              return static_cast<double>(r.admission.rejected);
          }},
+        {"shed_memory", "count",
+         "Requests shed on projected HBM pressure (subset of rejected)",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.admission.shed_memory);
+         }},
         {"timed_out", "count", "Requests aged out of the queue",
          [](const ServeReport &r) {
              return static_cast<double>(r.admission.timed_out);
@@ -497,6 +589,16 @@ serve_metric_registry()
         {"max_batch", "requests", "Largest actual batch size",
          [](const ServeReport &r) {
              return static_cast<double>(r.max_batch);
+         }},
+        {"peak_round_hbm_bytes", "bytes",
+         "Largest projected HBM footprint of any dispatched round",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.peak_round_hbm_bytes);
+         }},
+        {"max_queued_hbm_bytes", "bytes",
+         "High-water mark of the admission queue's projected HBM bytes",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.admission.max_queued_bytes);
          }},
         {"plan_cache.hits", "count",
          "Plan-cache hits attributable to this run",

@@ -47,7 +47,7 @@ struct ServeConfig {
 };
 
 /// Registered traffic presets ("tiny" | "steady" | "overload" |
-/// "closed"); throws Error on unknown names.
+/// "closed" | "memtight"); throws Error on unknown names.
 ServeConfig serve_preset_by_name(const std::string &name);
 
 struct ServePresetInfo {
@@ -95,6 +95,11 @@ struct ServeReport {
     /// busy / makespan — how much of the serving window the device
     /// spent executing rounds.
     double gpu_util = 0;
+    /// Projected HBM footprint of each dispatched round (sum of its
+    /// batches' MemPlan peaks x layers), in dispatch order — the
+    /// per-round byte watermarks, and their maximum.
+    std::vector<std::uint64_t> round_hbm_bytes;
+    std::uint64_t peak_round_hbm_bytes = 0;
 };
 
 class TraceLog;  // serve/trace.h
@@ -123,6 +128,14 @@ class Server {
     };
 
     TransformerRunner &runner_for(const Batch &batch);
+    TransformerRunner &runner_for(const std::string &model, SliceMode mode,
+                                  index_t bucket, int planned_batch);
+    /// Projected HBM bytes of one batch's execution: the bucketed layer
+    /// plan's MemPlan peak x the model's layer count. Memoized per
+    /// (model, mode, bucket, planned batch); the MemPlan itself is a
+    /// PlanCache hit beside the batch's layer graph.
+    std::uint64_t batch_footprint(const std::string &model, SliceMode mode,
+                                  index_t bucket, int planned_batch);
     void dispatch_round(double now_us, std::int64_t round,
                         const Scheduler &scheduler, AdmissionQueue &queue);
     void complete_round(ServeReport &report, TrafficSource &source);
@@ -133,6 +146,10 @@ class Server {
     /// steady-state working set of the serving loop. The underlying
     /// layer graphs live in the process-wide PlanCache.
     std::map<std::string, std::unique_ptr<TransformerRunner>> runners_;
+    /// Memoized batch_footprint results, same key space as runners_.
+    std::map<std::string, std::uint64_t> footprints_;
+    /// Per-round projected byte watermarks, moved into the report.
+    std::vector<std::uint64_t> round_bytes_;
     std::vector<InFlightBatch> in_flight_;
     TraceLog *trace_ = nullptr;
     std::int64_t next_batch_id_ = 0;

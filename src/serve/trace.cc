@@ -105,6 +105,7 @@ write_event(JsonWriter &w, const TraceEvent &e)
       case TraceEventKind::kRoundDispatch:
         w.field("round", e.round);
         w.field("actual_batch", e.actual_batch);
+        w.field("hbm_bytes", static_cast<std::int64_t>(e.hbm_bytes));
         break;
       case TraceEventKind::kBatchDone:
         w.field("batch", e.batch);
@@ -167,6 +168,7 @@ event_from_json(const JsonValue &doc)
     e.bucket = static_cast<index_t>(number("bucket", 0));
     e.planned_batch = static_cast<int>(number("planned_batch", 0));
     e.actual_batch = static_cast<int>(number("actual_batch", 0));
+    e.hbm_bytes = static_cast<std::uint64_t>(number("hbm_bytes", 0));
     if (const JsonValue *v = doc.find("flag")) {
         e.flag = v->as_bool();
     }

@@ -88,6 +88,9 @@ struct TraceEvent {
     index_t bucket = 0;         ///< kBatchForm.
     int planned_batch = 0;      ///< kBatchForm (padded plan size).
     int actual_batch = 0;       ///< kBatchForm members; kRoundDispatch batches.
+    /// kRoundDispatch: projected HBM footprint of the round's plans
+    /// (sum of each batch's MemPlan peak), bytes.
+    std::uint64_t hbm_bytes = 0;
     bool flag = false;          ///< kComplete: deadline met.
 };
 

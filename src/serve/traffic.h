@@ -44,6 +44,11 @@ struct Request {
     SloClass slo = SloClass::kStandard;
     /// Absolute deadline; +infinity when the class carries no budget.
     double deadline_us = 0;
+    /// Projected HBM footprint of serving this request alone (its
+    /// bucketed single-request plan's peak_hbm_bytes across all layers).
+    /// Stamped by the Server at ingest when an admission memory budget
+    /// is configured; 0 = untracked.
+    std::uint64_t footprint_bytes = 0;
 };
 
 enum class ArrivalProcess {

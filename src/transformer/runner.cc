@@ -1,5 +1,6 @@
 #include "transformer/runner.h"
 
+#include <cstdint>
 #include <cstdio>
 
 #include "common/error.h"
@@ -76,6 +77,28 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
     const index_t ffn = model_.ffn_dim;
     const index_t elems = seq * d * batch_;
 
+    // Byte widths for the sized dataflow annotations (core/memplan.h):
+    // FP16 activations replicated over the batch; weights shared across
+    // batch elements. q/k/v/o and their gradients are seq × d_model per
+    // batch element (head_dim × num_heads = d_model), matching the sizes
+    // the attention engines annotate on the same shared buffers.
+    constexpr std::uint64_t kValueBytes = 2;  // FP16.
+    const std::uint64_t act_d = static_cast<std::uint64_t>(seq) *
+                                static_cast<std::uint64_t>(d) *
+                                static_cast<std::uint64_t>(batch_) *
+                                kValueBytes;
+    const std::uint64_t act_ffn = static_cast<std::uint64_t>(seq) *
+                                  static_cast<std::uint64_t>(ffn) *
+                                  static_cast<std::uint64_t>(batch_) *
+                                  kValueBytes;
+    const std::uint64_t w_qkv = 3 * static_cast<std::uint64_t>(d) *
+                                static_cast<std::uint64_t>(d) * kValueBytes;
+    const std::uint64_t w_out = static_cast<std::uint64_t>(d) *
+                                static_cast<std::uint64_t>(d) * kValueBytes;
+    const std::uint64_t w_ffn = static_cast<std::uint64_t>(d) *
+                                static_cast<std::uint64_t>(ffn) *
+                                kValueBytes;
+
     LaunchGraph graph;
 
     // Every engine gets its own logical-stream block, allocated upfront in
@@ -133,32 +156,49 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
             sim::KernelLaunch ffn2 = kernels::plan_dense_gemm(
                 device, seq, d, ffn, batch_, "gemm.ffn2" + suffix);
             if (suffix.empty()) {
-                qkv = sim::annotate(std::move(qkv), {"x", "w.qkv"},
-                                    {"q", "k", "v"});
+                qkv = sim::annotate(std::move(qkv),
+                                    {{"x", act_d}, {"w.qkv", w_qkv}},
+                                    {{"q", act_d}, {"k", act_d},
+                                     {"v", act_d}});
                 attn_out = sim::annotate(std::move(attn_out),
-                                         {"o", "w.out"}, {"proj"});
-                ffn1 = sim::annotate(std::move(ffn1), {"x1", "w.ffn1"},
-                                     {"h1"});
-                ffn2 = sim::annotate(std::move(ffn2), {"h1", "w.ffn2"},
-                                     {"h2"});
+                                         {{"o", act_d}, {"w.out", w_out}},
+                                         {{"%proj", act_d}});
+                ffn1 = sim::annotate(std::move(ffn1),
+                                     {{"%x1", act_d}, {"w.ffn1", w_ffn}},
+                                     {{"%h1", act_ffn}});
+                ffn2 = sim::annotate(std::move(ffn2),
+                                     {{"%h1", act_ffn}, {"w.ffn2", w_ffn}},
+                                     {{"%h2", act_d}});
             } else if (suffix == ".dx") {
                 qkv = sim::annotate(std::move(qkv),
-                                    {"dq", "dk", "dv", "w.qkv"}, {"d.x"});
+                                    {{"dq", act_d}, {"dk", act_d},
+                                     {"dv", act_d}, {"w.qkv", w_qkv}},
+                                    {{"d.x", act_d}});
                 attn_out = sim::annotate(std::move(attn_out),
-                                         {"d.ln1", "w.out"}, {"d.o"});
-                ffn1 = sim::annotate(std::move(ffn1), {"d.h1", "w.ffn1"},
-                                     {"d.x1"});
-                ffn2 = sim::annotate(std::move(ffn2), {"d.h2", "w.ffn2"},
-                                     {"d.h1"});
+                                         {{"d.ln1", act_d},
+                                          {"w.out", w_out}},
+                                         {{"%d.o", act_d}});
+                ffn1 = sim::annotate(std::move(ffn1),
+                                     {{"%d.h1", act_ffn},
+                                      {"w.ffn1", w_ffn}},
+                                     {{"%d.x1", act_d}});
+                ffn2 = sim::annotate(std::move(ffn2),
+                                     {{"%d.h2", act_d}, {"w.ffn2", w_ffn}},
+                                     {{"%d.h1", act_ffn}});
             } else {
                 qkv = sim::annotate(std::move(qkv),
-                                    {"dq", "dk", "dv", "x"}, {"dw.qkv"});
+                                    {{"dq", act_d}, {"dk", act_d},
+                                     {"dv", act_d}, {"x", act_d}},
+                                    {{"dw.qkv", w_qkv}});
                 attn_out = sim::annotate(std::move(attn_out),
-                                         {"d.ln1", "o"}, {"dw.out"});
-                ffn1 = sim::annotate(std::move(ffn1), {"d.h1", "x1"},
-                                     {"dw.ffn1"});
-                ffn2 = sim::annotate(std::move(ffn2), {"d.h2", "h1"},
-                                     {"dw.ffn2"});
+                                         {{"d.ln1", act_d}, {"o", act_d}},
+                                         {{"dw.out", w_out}});
+                ffn1 = sim::annotate(std::move(ffn1),
+                                     {{"%d.h1", act_ffn}, {"%x1", act_d}},
+                                     {{"dw.ffn1", w_ffn}});
+                ffn2 = sim::annotate(std::move(ffn2),
+                                     {{"%d.h2", act_d}, {"%h1", act_ffn}},
+                                     {{"dw.ffn2", w_ffn}});
             }
             graph.launch(0, std::move(qkv));
             graph.launch(0, std::move(attn_out));
@@ -169,22 +209,23 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
             graph.launch(0, sim::annotate(
                                 kernels::plan_elementwise(device, elems, 2,
                                                           8.0, "ew.ln"),
-                                {"d.x"}, {"d.x"}));
+                                {{"d.x", act_d}}, {{"d.x", act_d}}));
             graph.launch(0, sim::annotate(
                                 kernels::plan_elementwise(
                                     device, seq * ffn * batch_, 1, 12.0,
                                     "ew.gelu"),
-                                {"d.h1"}, {"d.h1"}));
+                                {{"%d.h1", act_ffn}}, {{"%d.h1", act_ffn}}));
         } else {
             graph.launch(0, sim::annotate(
                                 kernels::plan_elementwise(device, elems, 2,
                                                           8.0, "ew.ln"),
-                                {"x", "proj"}, {"x1"}));
+                                {{"x", act_d}, {"%proj", act_d}},
+                                {{"%x1", act_d}}));
             graph.launch(0, sim::annotate(
                                 kernels::plan_elementwise(
                                     device, seq * ffn * batch_, 1, 12.0,
                                     "ew.gelu"),
-                                {"h1"}, {"h1"}));
+                                {{"%h1", act_ffn}}, {{"%h1", act_ffn}}));
         }
     };
 
@@ -194,7 +235,8 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
         graph.launch(0, sim::annotate(
                             kernels::plan_dense_gemm(device, seq, 3 * d, d,
                                                      batch_, "gemm.qkv"),
-                            {"x", "w.qkv"}, {"q", "k", "v"}));
+                            {{"x", act_d}, {"w.qkv", w_qkv}},
+                            {{"q", act_d}, {"k", act_d}, {"v", act_d}}));
         graph.join_streams();
         // Attention: every engine's phase co-schedules before each join,
         // so a heterogeneous batch behaves like one batched launch over
@@ -206,28 +248,33 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
                             kernels::plan_dense_gemm(device, seq, d, d,
                                                      batch_,
                                                      "gemm.attn_out"),
-                            {"o", "w.out"}, {"proj"}));
+                            {{"o", act_d}, {"w.out", w_out}},
+                            {{"%proj", act_d}}));
         graph.launch(0, sim::annotate(
                             kernels::plan_elementwise(device, elems, 2, 8.0,
                                                       "ew.ln1"),
-                            {"x", "proj"}, {"x1"}));
+                            {{"x", act_d}, {"%proj", act_d}},
+                            {{"%x1", act_d}}));
         graph.launch(0, sim::annotate(
                             kernels::plan_dense_gemm(device, seq, ffn, d,
                                                      batch_, "gemm.ffn1"),
-                            {"x1", "w.ffn1"}, {"h1"}));
+                            {{"%x1", act_d}, {"w.ffn1", w_ffn}},
+                            {{"%h1", act_ffn}}));
         graph.launch(0, sim::annotate(
                             kernels::plan_elementwise(
                                 device, seq * ffn * batch_, 1, 12.0,
                                 "ew.gelu"),
-                            {"h1"}, {"h1"}));
+                            {{"%h1", act_ffn}}, {{"%h1", act_ffn}}));
         graph.launch(0, sim::annotate(
                             kernels::plan_dense_gemm(device, seq, d, ffn,
                                                      batch_, "gemm.ffn2"),
-                            {"h1", "w.ffn2"}, {"h2"}));
+                            {{"%h1", act_ffn}, {"w.ffn2", w_ffn}},
+                            {{"%h2", act_d}}));
         graph.launch(0, sim::annotate(
                             kernels::plan_elementwise(device, elems, 2, 8.0,
                                                       "ew.ln2"),
-                            {"x1", "h2"}, {"x.out"}));
+                            {{"%x1", act_d}, {"%h2", act_d}},
+                            {{"x.out", act_d}}));
         graph.join_streams();
         break;
 
@@ -252,9 +299,9 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
     return graph;
 }
 
-std::shared_ptr<const LaunchGraph>
-TransformerRunner::layer_graph(const sim::DeviceSpec &device,
-                               LayerKind kind) const
+std::string
+TransformerRunner::layer_graph_key(const sim::DeviceSpec &device,
+                                   LayerKind kind) const
 {
     char dims[128];
     std::snprintf(dims, sizeof(dims), "|seq=%lld|d=%lld|ffn=%lld|b=%lld",
@@ -271,13 +318,31 @@ TransformerRunner::layer_graph(const sim::DeviceSpec &device,
     }
     key += '|';
     key += device_plan_key(device);
+    return key;
+}
+
+std::shared_ptr<const LaunchGraph>
+TransformerRunner::layer_graph(const sim::DeviceSpec &device,
+                               LayerKind kind) const
+{
+    const std::string key = layer_graph_key(device, kind);
     return PlanCache::instance().get_or_build<LaunchGraph>(key, [&] {
         auto graph = std::make_shared<const LaunchGraph>(
             build_layer_graph(device, kind));
         // Throwing here keeps a racy composed plan out of the cache.
         enforce_capture_lint(*graph, device, key);
+        // Plan (and alias-validate) the footprint beside the graph.
+        memplan_for(key, *graph);
         return graph;
     });
+}
+
+std::shared_ptr<const MemPlan>
+TransformerRunner::layer_memplan(const sim::DeviceSpec &device,
+                                 LayerKind kind) const
+{
+    return memplan_for(layer_graph_key(device, kind),
+                       *layer_graph(device, kind));
 }
 
 void

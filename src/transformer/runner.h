@@ -82,9 +82,21 @@ class TransformerRunner {
     std::shared_ptr<const LaunchGraph>
     layer_graph(const sim::DeviceSpec &device, LayerKind kind) const;
 
+    /// The static memory plan (core/memplan.h) for the composed layer
+    /// graph: its arena layout plus peak/naive HBM footprints. Built and
+    /// validated beside the graph at capture and PlanCache'd, so replay
+    /// consumers (bench rows, the byte-budget serving scheduler) get it
+    /// as a cache hit. The footprint scales per replayed layer; weights
+    /// (w.*/dw.*) appear once per layer replay too, so a whole-model
+    /// estimate is num_layers x this plan's peak.
+    std::shared_ptr<const MemPlan>
+    layer_memplan(const sim::DeviceSpec &device, LayerKind kind) const;
+
   private:
     LaunchGraph build_layer_graph(const sim::DeviceSpec &device,
                                   LayerKind kind) const;
+    std::string layer_graph_key(const sim::DeviceSpec &device,
+                                LayerKind kind) const;
 
     ModelConfig model_;
     index_t batch_ = 1;

@@ -194,6 +194,26 @@ TEST(DeviceTest, Table1ValuesPreserved)
               1.5);
 }
 
+TEST(DeviceTest, HbmCapacity)
+{
+    // Largest shipping variants: A100 SXM 80 GB, RTX 3090 24 GB. The
+    // accessor is the byte-budget serving scheduler's default ceiling.
+    const DeviceSpec a = DeviceSpec::a100();
+    EXPECT_DOUBLE_EQ(a.hbm_gbytes, 80.0);
+    EXPECT_EQ(a.hbm_capacity_bytes(), 80'000'000'000ull);
+
+    const DeviceSpec r = DeviceSpec::rtx3090();
+    EXPECT_DOUBLE_EQ(r.hbm_gbytes, 24.0);
+    EXPECT_EQ(r.hbm_capacity_bytes(), 24'000'000'000ull);
+
+    // Capacity is not a timing input: perturbations must leave it alone.
+    DeviceSpec p = DeviceSpec::a100();
+    DevicePerturbation perturb;
+    perturb.dram = 0.5;
+    apply_perturbation(p, perturb);
+    EXPECT_DOUBLE_EQ(p.hbm_gbytes, 80.0);
+}
+
 // ---------------------------------------------------------- basic time ----
 
 TEST(EngineTest, SingleCudaBoundBlock)

@@ -131,6 +131,74 @@ TEST(GateTest, PresetRunsAreDeterministicAndStamped)
     EXPECT_GT(*cache_row->find_metric("plan_cache.misses"), 0);
 }
 
+TEST(GateTest, MemoryMetricsGateExactly)
+{
+    // Footprints are arithmetic, not measurements: the generic "_bytes"
+    // 2 % tolerance must NOT apply to the planner's outputs.
+    const prof::MetricPolicy peak =
+        prof::default_metric_policy("peak_hbm_bytes");
+    EXPECT_EQ(peak.direction, prof::Direction::kLowerIsBetter);
+    EXPECT_DOUBLE_EQ(peak.rel_tol, 0.0);
+    EXPECT_DOUBLE_EQ(peak.abs_tol, 0.0);
+
+    const prof::MetricPolicy round =
+        prof::default_metric_policy("peak_round_hbm_bytes");
+    EXPECT_DOUBLE_EQ(round.rel_tol, 0.0);
+
+    const prof::MetricPolicy savings =
+        prof::default_metric_policy("pooling_savings");
+    EXPECT_EQ(savings.direction, prof::Direction::kHigherIsBetter);
+    EXPECT_DOUBLE_EQ(savings.rel_tol, 0.0);
+
+    EXPECT_EQ(prof::default_metric_policy("max_queued_hbm_bytes")
+                  .direction,
+              prof::Direction::kInformational);
+}
+
+TEST(GateTest, GrownFootprintFailsTheGate)
+{
+    // The in-process half of CI's memory self-test (--perturb-mem runs
+    // the env hook end-to-end in a fresh process; MULTIGRAIN_MEM_PERTURB
+    // is read once per process, so it cannot be toggled here): a single
+    // byte of footprint growth must regress under the exact policy.
+    ::unsetenv("MULTIGRAIN_PERTURB");
+    const bench::BenchPreset *tiny = bench::find_bench_preset("tiny");
+    ASSERT_NE(tiny, nullptr);
+    const prof::BenchRun baseline =
+        bench::run_bench_preset(*tiny, "a100");
+
+    prof::BenchRun grown = baseline;
+    int touched = 0;
+    for (prof::BenchRow &row : grown.rows) {
+        for (auto &[key, value] : row.metrics) {
+            if (key == "peak_hbm_bytes") {
+                value += 1.0;
+                ++touched;
+            }
+        }
+    }
+    ASSERT_GT(touched, 0) << "tiny rows carry no footprint metrics";
+
+    const prof::RegressionReport report =
+        prof::compare_runs(baseline, grown);
+    EXPECT_TRUE(report.gate_failed());
+    EXPECT_GE(report.regressed, touched);
+
+    // A shrunk footprint is an improvement, never a regression.
+    prof::BenchRun shrunk = baseline;
+    for (prof::BenchRow &row : shrunk.rows) {
+        for (auto &[key, value] : row.metrics) {
+            if (key == "peak_hbm_bytes") {
+                value -= 1.0;
+            }
+        }
+    }
+    const prof::RegressionReport better =
+        prof::compare_runs(baseline, shrunk);
+    EXPECT_FALSE(better.gate_failed());
+    EXPECT_GT(better.improved, 0);
+}
+
 TEST(GateTest, PerturbedRunFailsAgainstCleanBaseline)
 {
     ::unsetenv("MULTIGRAIN_PERTURB");

@@ -467,6 +467,110 @@ TEST(ServerTest, TinyPresetReusesPlansAndMeetsDeadlines)
     EXPECT_GT(metric(report, "p99_us"), metric(report, "p50_us"));
 }
 
+TEST(ServerTest, MemtightPresetShedsOnMemoryAndPacksRoundsToBytes)
+{
+    ::unsetenv("MULTIGRAIN_PERTURB");
+    const serve::ServeConfig config =
+        serve::serve_preset_by_name("memtight");
+    ASSERT_GT(config.admission.hbm_budget_bytes, 0u);
+    ASSERT_GT(config.scheduler.round_hbm_budget_bytes, 0u);
+    serve::Server server(config, sim::device_spec_by_name("a100"));
+    const serve::ServeReport report = server.run();
+
+    // The memory valve engaged, with exact counters: every shed is a
+    // rejection, and conservation still holds.
+    EXPECT_GT(metric(report, "shed_memory"), 0);
+    EXPECT_LE(metric(report, "shed_memory"), metric(report, "rejected"));
+    EXPECT_EQ(metric(report, "requests"),
+              metric(report, "completed") + metric(report, "rejected") +
+                  metric(report, "timed_out"));
+    // The queue's projected bytes never passed the admission budget ...
+    EXPECT_LE(report.admission.max_queued_bytes,
+              config.admission.hbm_budget_bytes);
+    // ... and every round packed under the round byte budget (the
+    // first-batch exemption never fires here: a single tiny batch is
+    // far below the budget).
+    ASSERT_EQ(report.round_hbm_bytes.size(),
+              static_cast<std::size_t>(report.rounds));
+    for (const std::uint64_t bytes : report.round_hbm_bytes) {
+        EXPECT_GT(bytes, 0u);
+        EXPECT_LE(bytes, config.scheduler.round_hbm_budget_bytes);
+    }
+    EXPECT_GT(report.peak_round_hbm_bytes, 0u);
+    EXPECT_LE(report.peak_round_hbm_bytes,
+              config.scheduler.round_hbm_budget_bytes);
+}
+
+TEST(ServerTest, RoundWatermarksAreReportedWithoutAnyBudget)
+{
+    ::unsetenv("MULTIGRAIN_PERTURB");
+    serve::Server server(serve::serve_preset_by_name("tiny"),
+                         sim::device_spec_by_name("a100"));
+    const serve::ServeReport report = server.run();
+
+    // Byte watermarks are observability, not policy: the unbudgeted
+    // preset still carries one per round.
+    EXPECT_EQ(metric(report, "shed_memory"), 0);
+    ASSERT_EQ(report.round_hbm_bytes.size(),
+              static_cast<std::size_t>(report.rounds));
+    EXPECT_GT(report.peak_round_hbm_bytes, 0u);
+}
+
+TEST(ServerTest, MemtightSameSeedSameBytes)
+{
+    ::unsetenv("MULTIGRAIN_PERTURB");
+    const sim::DeviceSpec device = sim::device_spec_by_name("a100");
+    PlanCache::instance().clear();
+    serve::Server first(serve::serve_preset_by_name("memtight"), device);
+    prof::BenchRun a = serve::serve_bench_run(first.run(), "a100");
+    PlanCache::instance().clear();
+    serve::Server second(serve::serve_preset_by_name("memtight"), device);
+    prof::BenchRun b = serve::serve_bench_run(second.run(), "a100");
+
+    EXPECT_EQ(a.name, "serve_memtight@a100");
+    a.manifest.timestamp.clear();
+    b.manifest.timestamp.clear();
+    EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(AdmissionTest, MemoryBudgetShedsAndPushFrontRestores)
+{
+    serve::AdmissionConfig config;
+    config.queue_capacity = 8;
+    config.hbm_budget_bytes = 1000;
+    serve::AdmissionQueue queue(config, {"t"});
+
+    serve::Request a;
+    a.id = 1;
+    a.tenant = "t";
+    a.footprint_bytes = 600;
+    serve::Request b = a;
+    b.id = 2;
+    b.footprint_bytes = 500;
+
+    EXPECT_TRUE(queue.offer(a, 0));
+    EXPECT_EQ(queue.queued_bytes(), 600u);
+    // 600 + 500 > 1000: shed on memory, not on depth.
+    EXPECT_FALSE(queue.offer(b, 0));
+    EXPECT_EQ(queue.stats().shed_memory, 1u);
+    EXPECT_EQ(queue.stats().rejected, 1u);
+
+    // Draining releases the bytes; push_front restores them and the
+    // request's place at its tenant head.
+    std::optional<serve::Request> seed = queue.pop_seed();
+    ASSERT_TRUE(seed.has_value());
+    EXPECT_EQ(queue.queued_bytes(), 0u);
+    queue.push_front(std::move(*seed));
+    EXPECT_EQ(queue.queued_bytes(), 600u);
+    EXPECT_EQ(queue.stats().dispatched, 0u);
+    std::optional<serve::Request> again = queue.pop_seed();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->id, 1u);
+    // Now b fits.
+    EXPECT_TRUE(queue.offer(b, 0));
+    EXPECT_EQ(queue.stats().max_queued_bytes, 600u);
+}
+
 TEST(ServerTest, SameSeedSamePresetSameBytes)
 {
     ::unsetenv("MULTIGRAIN_PERTURB");

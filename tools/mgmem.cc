@@ -1,0 +1,483 @@
+// mgmem — static memory-plan reporting over the LaunchGraph IR.
+//
+// Builds the captured execution plans of the preset matrix (models x
+// devices x slice modes), derives each one's static memory plan
+// (core/memplan.h: live ranges under the happens-before order, greedy
+// arena assignment of plan-local buffers), and reports peak vs naive
+// HBM footprints — the bytes the arena pooling saves. Beyond the
+// single-graph units, composition units (a training step, a two-layer
+// model, a double forward) exercise the append re-namespacing paths
+// where pooling across plan boundaries actually happens.
+//
+// Every plan's arena layout is re-validated here (validate_memplan): no
+// two live-overlapping buffers may alias. A violation is a planner bug,
+// not a report entry — mgmem exits 2, the CI gate.
+//
+// Exit status: 0 = all plans valid (and pooled, under
+// --require-savings), 2 = aliasing validation failure (or a plan with
+// zero savings under --require-savings), 1 = any other error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/launch_graph.h"
+#include "core/memplan.h"
+#include "core/plan_cache.h"
+#include "gpusim/device.h"
+#include "patterns/slice.h"
+#include "transformer/config.h"
+#include "transformer/runner.h"
+#include "transformer/workload.h"
+
+namespace {
+
+using namespace multigrain;
+
+struct Options {
+    std::vector<std::string> models = {"longformer", "qds", "bigbird",
+                                       "poolingformer", "tiny"};
+    std::vector<std::string> devices = {"a100", "rtx3090"};
+    std::vector<std::string> modes = {"multigrain", "coarse-only",
+                                      "fine-only", "dense"};
+    unsigned seed = 2022;
+    std::string out_dir = ".";
+    std::string report_path;  ///< Relative paths resolve under out_dir.
+    bool require_savings = false;
+    bool quiet = false;
+    bool verbose = false;
+};
+
+/// One planned unit: where it came from and its memory plan.
+struct UnitResult {
+    std::string model;
+    std::string device;
+    std::string mode;
+    std::string unit;
+    MemPlan plan;
+    bool valid = false;
+    std::string error;  ///< Validation failure message, if any.
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: mgmem [options]\n"
+          "\n"
+          "Derives and validates the static memory plan (arena layout,\n"
+          "peak vs naive HBM bytes) of every captured execution plan\n"
+          "across the preset matrix, including composed units (training\n"
+          "step, stacked layers, double forward) that pool across\n"
+          "append namespaces.\n"
+          "\n"
+          "  --models M1,M2    comma-separated subset of: longformer |"
+          " qds | bigbird |\n"
+          "                    poolingformer | tiny (default: all)\n"
+          "  --devices D1,D2   subset of: a100 | rtx3090 (default: both)\n"
+          "  --modes P1,P2     subset of: multigrain | coarse-only |"
+          " fine-only | dense\n"
+          "                    (default: all)\n"
+          "  --seed S          workload sampling seed (default 2022)\n"
+          "  --out-dir DIR     directory for artifacts (default .)\n"
+          "  --report PATH     write the mgmem.report JSON document\n"
+          "                    (relative paths land under --out-dir)\n"
+          "  --require-savings exit 2 if any plan pools nothing\n"
+          "                    (peak == naive)\n"
+          "  --quiet           only print the final summary line\n"
+          "  --verbose         also print each plan's arena map\n"
+          "  --help            this text\n";
+}
+
+std::vector<std::string>
+split_csv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string item = comma == std::string::npos
+                                     ? s.substr(pos)
+                                     : s.substr(pos, comma - pos);
+        MG_CHECK(!item.empty()) << "empty item in list \"" << s << "\"";
+        out.push_back(item);
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+Options
+parse_args(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            MG_CHECK(i + 1 < argc) << arg << " needs a value";
+            return argv[++i];
+        };
+        if (arg == "--models") {
+            opt.models = split_csv(next());
+        } else if (arg == "--devices") {
+            opt.devices = split_csv(next());
+        } else if (arg == "--modes") {
+            opt.modes = split_csv(next());
+        } else if (arg == "--seed") {
+            opt.seed = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--out-dir") {
+            opt.out_dir = next();
+            MG_CHECK(!opt.out_dir.empty()) << "--out-dir must be non-empty";
+        } else if (arg == "--report") {
+            opt.report_path = next();
+        } else if (arg == "--require-savings") {
+            opt.require_savings = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+            set_log_level(LogLevel::kInfo);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else {
+            usage(std::cerr);
+            throw Error("unknown argument \"" + arg + "\"");
+        }
+    }
+    return opt;
+}
+
+std::string
+resolve_out_path(const Options &opt, const std::string &path)
+{
+    if (path.empty() || path.front() == '/' || opt.out_dir == ".") {
+        return path;
+    }
+    return opt.out_dir + "/" + path;
+}
+
+/// Identity stream map [0, n) into `target`, creating the streams there
+/// first: appended copies land on the same logical streams as the
+/// original, so copy k+1 serializes after copy k per stream — the same
+/// layer-to-layer ordering the runner's replay loop produces, and the
+/// ordering that lets consecutive copies pool.
+std::vector<int>
+identity_streams(LaunchGraph &target, const LaunchGraph &src)
+{
+    while (target.num_streams() < src.num_streams()) {
+        target.create_stream();
+    }
+    std::vector<int> map(static_cast<std::size_t>(src.num_streams()));
+    for (std::size_t i = 0; i < map.size(); ++i) {
+        map[i] = static_cast<int>(i);
+    }
+    return map;
+}
+
+void
+plan_unit(std::vector<UnitResult> &results, const std::string &model,
+          const std::string &device, const std::string &mode,
+          const std::string &unit, const LaunchGraph &graph)
+{
+    UnitResult r;
+    r.model = model;
+    r.device = device;
+    r.mode = mode;
+    r.unit = unit;
+    try {
+        r.plan = plan_memory(graph);
+        validate_memplan(graph, r.plan);
+        r.valid = true;
+    } catch (const MemPlanError &e) {
+        r.valid = false;
+        r.error = e.what();
+    }
+    results.push_back(std::move(r));
+}
+
+std::vector<UnitResult>
+plan_combo(const Options &opt, const std::string &model_name,
+           const std::string &device_name, const std::string &mode_name)
+{
+    const ModelConfig model = model_config_by_name(model_name);
+    const sim::DeviceSpec device = sim::device_spec_by_name(device_name);
+    const SliceMode mode = slice_mode_by_name(mode_name);
+
+    Rng rng(opt.seed);
+    const WorkloadSample sample = sample_for_model(rng, model);
+    const TransformerRunner runner(model, mode, sample, /*batch=*/1);
+    const TransformerRunner batched(model, mode, sample, /*batch=*/4);
+
+    std::vector<UnitResult> results;
+    const auto unit = [&](const std::string &name,
+                          const LaunchGraph &graph) {
+        plan_unit(results, model_name, device_name, mode_name, name, graph);
+    };
+    using LayerKind = TransformerRunner::LayerKind;
+
+    const LaunchGraph &infer =
+        *runner.layer_graph(device, LayerKind::kInference);
+    const LaunchGraph &train_fwd =
+        *runner.layer_graph(device, LayerKind::kTrainForward);
+    const LaunchGraph &train_bwd =
+        *runner.layer_graph(device, LayerKind::kTrainBackward);
+
+    // Single captured plans, exactly as the runner replays them.
+    unit("layer.infer.b1", infer);
+    unit("layer.infer.b4",
+         *batched.layer_graph(device, LayerKind::kInference));
+    unit("layer.train_fwd.b1", train_fwd);
+    unit("layer.train_bwd.b1", train_bwd);
+
+    // Composition units: pooling across append boundaries. A training
+    // step appends forward and backward under one shared namespace, so
+    // the backward reads the forward's stashed activations while both
+    // sides' scratch pools.
+    {
+        LaunchGraph step;
+        const std::vector<int> fmap = identity_streams(step, train_fwd);
+        const std::vector<int> bmap = identity_streams(step, train_bwd);
+        const std::string ns = "step";
+        step.append(train_fwd, "F.", &fmap, &ns);
+        step.append(train_bwd, "B.", &bmap, &ns);
+        unit("layer.train_step.b1", step);
+    }
+    // Two stacked inference layers on the same streams, each with its
+    // own (fresh) intermediate namespace — layer 1's scratch reuses
+    // layer 0's arena slots once they drain.
+    {
+        LaunchGraph model2;
+        const std::vector<int> map = identity_streams(model2, infer);
+        model2.append(infer, "L00.", &map);
+        model2.append(infer, "L01.", &map);
+        unit("model.infer.x2.b1", model2);
+    }
+
+    // Attention-engine units: the fused forward, a forward+backward
+    // step sharing one namespace (backward consumes the stashed
+    // probabilities), and a double forward.
+    const auto graphs = runner.attention().forward_graphs(device);
+    const LaunchGraph &fwd = graphs->forward;
+    const LaunchGraph &bwd = *runner.attention().backward_graph(device);
+    {
+        LaunchGraph step;
+        const std::vector<int> fmap = identity_streams(step, fwd);
+        const std::vector<int> bmap = identity_streams(step, bwd);
+        const std::string ns = "step";
+        step.append(fwd, "F.", &fmap, &ns);
+        step.append(bwd, "B.", &bmap, &ns);
+        unit("engine.step.b1", step);
+    }
+    {
+        LaunchGraph twice;
+        const std::vector<int> map = identity_streams(twice, fwd);
+        twice.append(fwd, "A.", &map);
+        twice.append(fwd, "B.", &map);
+        unit("engine.fwd.x2.b1", twice);
+    }
+    return results;
+}
+
+void
+print_arena_map(const UnitResult &r)
+{
+    for (const MemPlanBuffer &b : r.plan.buffers) {
+        if (b.cls != BufferClass::kPooled) {
+            continue;
+        }
+        std::printf("    [%8llu, %8llu) n%03d-n%03d  %s\n",
+                    static_cast<unsigned long long>(b.offset),
+                    static_cast<unsigned long long>(b.offset + b.bytes),
+                    b.first_use, b.last_use, b.name.c_str());
+    }
+}
+
+void
+write_report(const std::string &path, const std::vector<UnitResult> &all)
+{
+    std::ofstream file(path);
+    MG_CHECK(file.good()) << "cannot open " << path << " for writing";
+    JsonWriter w(file);
+    w.begin_object();
+    w.field("schema", "mgmem.report");
+    w.field("version", 1);
+    w.key("plans");
+    w.begin_array();
+    std::size_t invalid = 0, unpooled = 0;
+    std::uint64_t total_naive = 0, total_peak = 0;
+    for (const UnitResult &r : all) {
+        if (!r.valid) {
+            ++invalid;
+        } else if (r.plan.pooling_savings() == 0) {
+            ++unpooled;
+        }
+        total_naive += r.plan.naive_hbm_bytes();
+        total_peak += r.plan.peak_hbm_bytes();
+        w.begin_object();
+        w.field("model", r.model);
+        w.field("device", r.device);
+        w.field("mode", r.mode);
+        w.field("unit", r.unit);
+        w.field("valid", r.valid);
+        if (!r.error.empty()) {
+            w.field("error", r.error);
+        }
+        w.field("nodes", static_cast<std::int64_t>(r.plan.num_nodes));
+        w.field("buffers",
+                static_cast<std::int64_t>(r.plan.buffers.size()));
+        w.field("arena_bytes",
+                static_cast<std::int64_t>(r.plan.arena_bytes));
+        w.field("external_bytes",
+                static_cast<std::int64_t>(r.plan.external_bytes));
+        w.field("naive_hbm_bytes",
+                static_cast<std::int64_t>(r.plan.naive_hbm_bytes()));
+        w.field("peak_hbm_bytes",
+                static_cast<std::int64_t>(r.plan.peak_hbm_bytes()));
+        w.field("pooling_savings",
+                static_cast<std::int64_t>(r.plan.pooling_savings()));
+        w.key("arena");
+        w.begin_array();
+        for (const MemPlanBuffer &b : r.plan.buffers) {
+            if (b.cls != BufferClass::kPooled) {
+                continue;
+            }
+            w.begin_object();
+            w.field("name", b.name);
+            w.field("bytes", static_cast<std::int64_t>(b.bytes));
+            w.field("offset", static_cast<std::int64_t>(b.offset));
+            w.field("first_use", b.first_use);
+            w.field("last_use", b.last_use);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("summary");
+    w.begin_object();
+    w.field("plans", static_cast<std::int64_t>(all.size()));
+    w.field("invalid", static_cast<std::int64_t>(invalid));
+    w.field("unpooled", static_cast<std::int64_t>(unpooled));
+    w.field("naive_hbm_bytes", static_cast<std::int64_t>(total_naive));
+    w.field("peak_hbm_bytes", static_cast<std::int64_t>(total_peak));
+    w.end_object();
+    w.end_object();
+}
+
+/// Reads `path` back and parses it, so a truncated or malformed report
+/// fails the run instead of silently passing CI.
+void
+validate_report(const std::string &path)
+{
+    std::ifstream file(path);
+    MG_CHECK(file.good()) << "cannot reopen " << path;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const JsonValue doc = json_parse(buffer.str());
+    MG_CHECK(doc.is_object()) << path << ": top level is not an object";
+    MG_CHECK(doc.at("schema").as_string() == "mgmem.report")
+        << path << ": schema is not \"mgmem.report\"";
+    MG_CHECK(doc.at("plans").is_array())
+        << path << ": plans is not an array";
+}
+
+int
+run(const Options &opt)
+{
+    std::vector<UnitResult> all;
+    for (const std::string &model : opt.models) {
+        for (const std::string &device : opt.devices) {
+            for (const std::string &mode : opt.modes) {
+                std::vector<UnitResult> combo =
+                    plan_combo(opt, model, device, mode);
+                for (const UnitResult &r : combo) {
+                    const bool noisy = !r.valid ||
+                                       (opt.require_savings &&
+                                        r.plan.pooling_savings() == 0) ||
+                                       opt.verbose;
+                    if (!opt.quiet && noisy) {
+                        std::printf(
+                            "%s | %s | %s | %s: %zu buffers — naive %llu,"
+                            " peak %llu, saved %llu%s%s\n",
+                            r.model.c_str(), r.device.c_str(),
+                            r.mode.c_str(), r.unit.c_str(),
+                            r.plan.buffers.size(),
+                            static_cast<unsigned long long>(
+                                r.plan.naive_hbm_bytes()),
+                            static_cast<unsigned long long>(
+                                r.plan.peak_hbm_bytes()),
+                            static_cast<unsigned long long>(
+                                r.plan.pooling_savings()),
+                            r.valid ? "" : " — INVALID: ",
+                            r.error.c_str());
+                        if (opt.verbose && r.valid) {
+                            print_arena_map(r);
+                        }
+                    }
+                }
+                for (UnitResult &r : combo) {
+                    all.push_back(std::move(r));
+                }
+                // Each combo's plans are one-shot here; don't let the
+                // full matrix accumulate in the process-wide cache.
+                PlanCache::instance().clear();
+            }
+        }
+    }
+
+    std::size_t invalid = 0, unpooled = 0;
+    std::uint64_t naive = 0, peak = 0;
+    for (const UnitResult &r : all) {
+        if (!r.valid) {
+            ++invalid;
+        } else if (r.plan.pooling_savings() == 0) {
+            ++unpooled;
+        }
+        naive += r.plan.naive_hbm_bytes();
+        peak += r.plan.peak_hbm_bytes();
+    }
+    std::printf("mgmem: %zu plan%s — naive %llu bytes, peak %llu bytes"
+                " (saved %llu), %zu invalid, %zu unpooled\n",
+                all.size(), all.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(naive),
+                static_cast<unsigned long long>(peak),
+                static_cast<unsigned long long>(naive - peak), invalid,
+                unpooled);
+
+    if (!opt.report_path.empty()) {
+        const std::string path = resolve_out_path(opt, opt.report_path);
+        write_report(path, all);
+        validate_report(path);
+        if (!opt.quiet) {
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
+
+    if (invalid > 0 || (opt.require_savings && unpooled > 0)) {
+        return 2;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parse_args(argc, argv));
+    } catch (const Error &e) {
+        std::fprintf(stderr, "mgmem: error: %s\n", e.what());
+        return 1;
+    }
+}

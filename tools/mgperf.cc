@@ -49,7 +49,8 @@ struct Options {
     bool verbose_report = false;
     bool quiet = false;
     double tol_scale = 1.0;
-    std::string perturb;  // Accumulated "key=scale" terms.
+    std::string perturb;      // Accumulated "key=scale" terms.
+    std::string perturb_mem;  // MULTIGRAIN_MEM_PERTURB scale.
 };
 
 void
@@ -80,6 +81,9 @@ usage(std::ostream &os)
           "                     likewise --perturb-tensor, --perturb-cuda,"
           "\n"
           "                     --perturb-l2, --perturb-launch\n"
+          "  --perturb-mem X    scale every annotated buffer size by X\n"
+          "                     (memory-gate self-test; trips the exact\n"
+          "                     peak_hbm_bytes policy)\n"
           "  --verbose-report   include in-tolerance deltas in the tables\n"
           "  --list             list registered presets and exit\n"
           "  --quiet            summary lines only (CI logs)\n"
@@ -143,6 +147,8 @@ parse_args(int argc, char **argv)
             add_perturb(opt, "l2", next());
         } else if (arg == "--perturb-launch") {
             add_perturb(opt, "launch", next());
+        } else if (arg == "--perturb-mem") {
+            opt.perturb_mem = next();
         } else if (arg == "--verbose-report") {
             opt.verbose_report = true;
         } else if (arg == "--list") {
@@ -183,6 +189,7 @@ write_report_file(const Options &opt,
         w.field("gate_failed", gate_failed);
         w.field("tol_scale", opt.tol_scale);
         w.field("perturbation", opt.perturb);
+        w.field("mem_perturbation", opt.perturb_mem);
         w.key("manifest");
         prof::write_manifest(w, prof::RunManifest::collect());
         w.key("presets");
@@ -219,6 +226,15 @@ run(const Options &opt)
         if (!opt.quiet) {
             std::fprintf(stderr, "mgperf: MULTIGRAIN_PERTURB=%s\n",
                          opt.perturb.c_str());
+        }
+    }
+    if (!opt.perturb_mem.empty()) {
+        // sim::annotate reads this once per process (static cache), so it
+        // must be set before the first preset runs — which this is.
+        ::setenv("MULTIGRAIN_MEM_PERTURB", opt.perturb_mem.c_str(), 1);
+        if (!opt.quiet) {
+            std::fprintf(stderr, "mgperf: MULTIGRAIN_MEM_PERTURB=%s\n",
+                         opt.perturb_mem.c_str());
         }
     }
 

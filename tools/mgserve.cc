@@ -39,6 +39,10 @@ struct Options {
     /// $MULTIGRAIN_BENCH_DIR/BENCH_serve_<preset>@<device>.json, empty
     /// disables the artifact.
     std::string bench_path = "-";
+    /// Base directory for artifacts; relative --bench paths and the
+    /// default artifact land here. "." preserves the historical layout
+    /// (and lets MULTIGRAIN_BENCH_DIR steer the default path).
+    std::string out_dir = ".";
     std::uint64_t seed = 0;  ///< 0 keeps the preset's seed.
     bool list = false;
     bool quiet = false;
@@ -57,6 +61,8 @@ usage(std::ostream &os)
           "                 $MULTIGRAIN_BENCH_DIR/BENCH_serve_<preset>@"
           "<device>.json;\n"
           "                 empty string disables)\n"
+          "  --out-dir DIR  directory for artifacts (default .; relative\n"
+          "                 --bench paths land under it)\n"
           "  --list         list registered presets and exit\n"
           "  --quiet        summary lines only\n"
           "  --help         this text\n";
@@ -80,6 +86,9 @@ parse_args(int argc, char **argv)
             opt.seed = std::stoull(next());
         } else if (arg == "--bench") {
             opt.bench_path = next();
+        } else if (arg == "--out-dir") {
+            opt.out_dir = next();
+            MG_CHECK(!opt.out_dir.empty()) << "--out-dir must be non-empty";
         } else if (arg == "--list") {
             opt.list = true;
         } else if (arg == "--quiet") {
@@ -193,14 +202,21 @@ run(const Options &opt)
 
     std::string bench_path = opt.bench_path;
     if (bench_path == "-") {
-        std::string dir = ".";
-        if (const char *env = std::getenv("MULTIGRAIN_BENCH_DIR")) {
-            if (*env != '\0') {
-                dir = env;
+        std::string dir = opt.out_dir;
+        if (dir == ".") {
+            // Env steering only applies to the historical default layout;
+            // an explicit --out-dir wins.
+            if (const char *env = std::getenv("MULTIGRAIN_BENCH_DIR")) {
+                if (*env != '\0') {
+                    dir = env;
+                }
             }
         }
         bench_path = dir + "/BENCH_serve_" + opt.preset + "@" +
                      opt.device + ".json";
+    } else if (!bench_path.empty() && bench_path.front() != '/' &&
+               opt.out_dir != ".") {
+        bench_path = opt.out_dir + "/" + bench_path;
     }
     if (!bench_path.empty()) {
         const prof::BenchRun run =

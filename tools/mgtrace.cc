@@ -59,6 +59,11 @@ struct Options {
     std::string events_path;    ///< JSONL event log (empty disables).
     std::string trace_path;     ///< Perfetto timeline (empty disables).
     std::string incident_dir = ".";  ///< Empty discards incident dumps.
+    /// Base directory for artifacts; relative --report/--events/--trace
+    /// paths and --incident-dir resolve under it. "." preserves the
+    /// historical layout (and lets MULTIGRAIN_BENCH_DIR steer the
+    /// default report path).
+    std::string out_dir = ".";
     serve::TraceConfig trace;
     bool list = false;
     bool quiet = false;
@@ -83,6 +88,8 @@ usage(std::ostream &os)
           "  --incident-dir DIR\n"
           "                  where flight-recorder dumps go (default .;"
           " empty discards)\n"
+          "  --out-dir DIR   directory for artifacts (default .; relative\n"
+          "                  paths above land under it)\n"
           "  --ring N        flight-recorder window, rounds (default 8)\n"
           "  --shed-burst N  sheds within --shed-window triggering an"
           " incident (default 8)\n"
@@ -124,6 +131,9 @@ parse_args(int argc, char **argv)
             opt.trace_path = next();
         } else if (arg == "--incident-dir") {
             opt.incident_dir = next();
+        } else if (arg == "--out-dir") {
+            opt.out_dir = next();
+            MG_CHECK(!opt.out_dir.empty()) << "--out-dir must be non-empty";
         } else if (arg == "--ring") {
             opt.trace.ring_rounds =
                 static_cast<std::size_t>(std::stoull(next()));
@@ -153,14 +163,30 @@ parse_args(int argc, char **argv)
 }
 
 std::string
-default_artifact_dir()
+default_artifact_dir(const Options &opt)
 {
+    if (opt.out_dir != ".") {
+        // Env steering only applies to the historical default layout;
+        // an explicit --out-dir wins.
+        return opt.out_dir;
+    }
     if (const char *env = std::getenv("MULTIGRAIN_BENCH_DIR")) {
         if (*env != '\0') {
             return env;
         }
     }
     return ".";
+}
+
+/// Resolve a relative artifact path under --out-dir; absolute paths and
+/// the default layout (out_dir ".") pass through untouched.
+std::string
+resolve_out_path(const Options &opt, const std::string &path)
+{
+    if (path.empty() || path.front() == '/' || opt.out_dir == ".") {
+        return path;
+    }
+    return opt.out_dir + "/" + path;
 }
 
 void
@@ -290,8 +316,10 @@ run_one(const Options &opt, const std::string &preset_name)
     // ---- Artifacts ----------------------------------------------------
     std::string report_path = opt.report_path;
     if (report_path == "-") {
-        report_path = default_artifact_dir() + "/mgtrace_" + preset_name +
-                      "@" + opt.device + ".report.json";
+        report_path = default_artifact_dir(opt) + "/mgtrace_" +
+                      preset_name + "@" + opt.device + ".report.json";
+    } else {
+        report_path = resolve_out_path(opt, report_path);
     }
     if (!report_path.empty()) {
         const std::string json = serve::trace_report_json(trace_report);
@@ -303,21 +331,25 @@ run_one(const Options &opt, const std::string &preset_name)
         }
     }
     if (!opt.events_path.empty()) {
+        const std::string events_path =
+            resolve_out_path(opt, opt.events_path);
         std::ostringstream os;
         serve::write_events_jsonl(log.events(), os);
-        prof::write_text_file(opt.events_path, os.str());
+        prof::write_text_file(events_path, os.str());
         if (!opt.quiet) {
             std::fprintf(stderr, "mgtrace: wrote %s (%zu events)\n",
-                         opt.events_path.c_str(), log.events().size());
+                         events_path.c_str(), log.events().size());
         }
     }
     if (!opt.trace_path.empty()) {
-        serve::write_serve_trace_file(log, opt.trace_path);
+        const std::string trace_path =
+            resolve_out_path(opt, opt.trace_path);
+        serve::write_serve_trace_file(log, trace_path);
         json_parse(serve::serve_trace_json(log));
         if (!opt.quiet) {
             std::fprintf(stderr,
                          "mgtrace: wrote %s (open in ui.perfetto.dev)\n",
-                         opt.trace_path.c_str());
+                         trace_path.c_str());
         }
     }
     int incident_index = 0;
@@ -327,7 +359,8 @@ run_one(const Options &opt, const std::string &preset_name)
         verify_incident_replay(inc, json);
         if (!opt.incident_dir.empty()) {
             const std::string path =
-                opt.incident_dir + "/incident_" + preset_name + "@" +
+                resolve_out_path(opt, opt.incident_dir) + "/incident_" +
+                preset_name + "@" +
                 opt.device + "_" + std::to_string(incident_index) +
                 ".json";
             prof::write_text_file(path, json + "\n");
