@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.h"
 #include "common/json.h"
 #include "common/logging.h"
 #include "core/attention.h"
@@ -236,6 +237,85 @@ report_plan_cache()
     for (const PlanCacheMetricDef &metric : plan_cache_metric_registry()) {
         row.metric(metric.key, metric.get(stats));
     }
+}
+
+// ---- Shared CLI plumbing -------------------------------------------------
+// The tools (mgserve, mgtrace, mgmem, mgperf, mgcost) repeat the same
+// three rituals: comma-list parsing, resolving artifact paths against
+// --out-dir, and looking up preset/device names with unknown names
+// surfaced as ValidationError (exit 2) instead of a runtime fault. They
+// live here so every tool resolves paths and classifies bad input the
+// same way.
+
+/// Splits "a,b,c" into {"a","b","c"}; empty items are rejected.
+inline std::vector<std::string>
+split_csv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string item = comma == std::string::npos
+                                     ? s.substr(pos)
+                                     : s.substr(pos, comma - pos);
+        MG_CHECK(!item.empty()) << "empty item in list \"" << s << "\"";
+        out.push_back(item);
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/// Directory for a tool's default ("-") artifact paths: an explicit
+/// --out-dir wins; the historical "." layout honors MULTIGRAIN_BENCH_DIR.
+inline std::string
+default_artifact_dir(const std::string &out_dir)
+{
+    if (out_dir != ".") {
+        return out_dir;
+    }
+    if (const char *env = std::getenv("MULTIGRAIN_BENCH_DIR")) {
+        if (*env != '\0') {
+            return env;
+        }
+    }
+    return ".";
+}
+
+/// Resolves a relative artifact path under --out-dir; empty paths,
+/// absolute paths, and the default layout (out_dir ".") pass through
+/// untouched.
+inline std::string
+resolve_out_path(const std::string &out_dir, const std::string &path)
+{
+    if (path.empty() || path.front() == '/' || out_dir == ".") {
+        return path;
+    }
+    return out_dir + "/" + path;
+}
+
+/// Looks up a serving preset and device by their CLI names, surfacing
+/// unknown names as ValidationError (exit 2, the convention every serve
+/// tool follows: CI probes for it). `seed` 0 keeps the preset's seed;
+/// `device` receives the resolved spec.
+inline serve::ServeConfig
+validated_serve_config(const std::string &preset,
+                       const std::string &device_name,
+                       sim::DeviceSpec *device, std::uint64_t seed = 0)
+{
+    serve::ServeConfig config;
+    try {
+        config = serve::serve_preset_by_name(preset);
+        *device = sim::device_spec_by_name(device_name);
+    } catch (const Error &e) {
+        throw ValidationError(e.what());
+    }
+    if (seed != 0) {
+        config.traffic.seed = seed;
+    }
+    return config;
 }
 
 // ---- Bench-preset registry (the mgperf gate's workload table) -----------

@@ -47,6 +47,10 @@ inline constexpr int kServeTraceReportVersion = 1;
 inline constexpr const char *kServeIncidentSchema = "mgtrace.incident";
 inline constexpr int kServeIncidentVersion = 1;
 
+/// mgcost's per-tenant cost-attribution report (src/serve/cost.h).
+inline constexpr const char *kServeCostReportSchema = "mgcost.report";
+inline constexpr int kServeCostReportVersion = 1;
+
 // ---- JSON ---------------------------------------------------------------
 
 void write_json(const sim::SimResult &result, std::ostream &os);

@@ -141,7 +141,7 @@ default_metric_policy(const std::string &key)
     if (ends_with(key, "pooling_savings")) {
         return {Direction::kHigherIsBetter, 0.0, 0.0};
     }
-    if (key == "shed_memory") {
+    if (key == "shed_memory" || key == "shed_ratelimit") {
         return {Direction::kLowerIsBetter, 0.0, 0.25};
     }
     if (ends_with(key, "_us") || ends_with(key, "_ms")) {

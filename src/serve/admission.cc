@@ -6,14 +6,46 @@
 
 namespace multigrain::serve {
 
+TokenBucket::TokenBucket(double rate_rps, double burst)
+    : rate_rps_(rate_rps), burst_(burst), tokens_(burst)
+{
+    MG_CHECK(rate_rps >= 0) << "token-bucket rate must be non-negative";
+    MG_CHECK(burst >= 1)
+        << "token bucket must hold at least one token of burst";
+}
+
+bool
+TokenBucket::try_take(double t_us)
+{
+    if (!limited()) {
+        return true;
+    }
+    MG_CHECK(t_us >= last_us_)
+        << "token bucket driven backwards in virtual time";
+    tokens_ = std::min(burst_,
+                       tokens_ + (t_us - last_us_) * rate_rps_ / 1e6);
+    last_us_ = t_us;
+    if (tokens_ < 1.0) {
+        return false;
+    }
+    tokens_ -= 1.0;
+    return true;
+}
+
 AdmissionQueue::AdmissionQueue(const AdmissionConfig &config,
-                               std::vector<std::string> tenants)
-    : config_(config), tenant_names_(std::move(tenants))
+                               const std::vector<TenantSpec> &tenants)
+    : config_(config)
 {
     MG_CHECK(config_.queue_capacity > 0) << "queue capacity must be > 0";
     MG_CHECK(config_.max_queue_wait_us >= 0)
         << "max queue wait must be non-negative";
-    queues_.resize(tenant_names_.size());
+    for (const TenantSpec &t : tenants) {
+        tenant_names_.push_back(t.name);
+        queues_.emplace_back();
+        buckets_.push_back(t.rate_rps > 0
+                               ? TokenBucket(t.rate_rps, t.burst)
+                               : TokenBucket());
+    }
 }
 
 std::size_t
@@ -26,6 +58,7 @@ AdmissionQueue::tenant_index(const std::string &name)
     }
     tenant_names_.push_back(name);
     queues_.emplace_back();
+    buckets_.emplace_back();  // Unknown tenants are never rate-limited.
     return tenant_names_.size() - 1;
 }
 
@@ -47,25 +80,56 @@ AdmissionQueue::depth() const
     return total;
 }
 
-bool
+std::vector<std::size_t>
+AdmissionQueue::tenant_depths() const
+{
+    std::vector<std::size_t> depths;
+    depths.reserve(queues_.size());
+    for (const auto &q : queues_) {
+        depths.push_back(q.size());
+    }
+    return depths;
+}
+
+std::vector<double>
+AdmissionQueue::bucket_fills() const
+{
+    std::vector<double> fills;
+    fills.reserve(buckets_.size());
+    for (const TokenBucket &b : buckets_) {
+        fills.push_back(b.fill());
+    }
+    return fills;
+}
+
+AdmitDecision
 AdmissionQueue::offer(Request r, double)
 {
     ++stats_.offered;
+    // The bucket polices the tenant's own rate before the shared valves,
+    // on the request's arrival time: arrivals are ingested in
+    // non-decreasing arrival order, so the refill clock never rewinds.
+    const std::size_t tenant = tenant_index(r.tenant);
+    if (!buckets_[tenant].try_take(r.arrival_us)) {
+        ++stats_.rejected;
+        ++stats_.shed_ratelimit;
+        return {false, AdmitDecision::Shed::kRateLimit};
+    }
     if (depth() >= config_.queue_capacity) {
         ++stats_.rejected;
-        return false;
+        return {false, AdmitDecision::Shed::kCapacity};
     }
     if (config_.hbm_budget_bytes > 0 &&
         queued_bytes_ + r.footprint_bytes > config_.hbm_budget_bytes) {
         ++stats_.rejected;
         ++stats_.shed_memory;
-        return false;
+        return {false, AdmitDecision::Shed::kMemory};
     }
     queued_bytes_ += r.footprint_bytes;
-    queues_[tenant_index(r.tenant)].push_back(std::move(r));
+    queues_[tenant].push_back(std::move(r));
     ++stats_.admitted;
     note_depth();
-    return true;
+    return {true, AdmitDecision::Shed::kNone};
 }
 
 std::vector<Request>

@@ -26,6 +26,13 @@
 /// earliest-deadline-first (EDF), which is what makes the scheduler
 /// SLO-aware: an interactive request overtakes queued batch work the
 /// moment its tighter budget makes it more urgent.
+///
+/// Rate limiting (ISSUE 8) polices each tenant before the shared queue is
+/// even consulted: a per-tenant token bucket on the virtual serving clock
+/// (TenantSpec::rate_rps / burst) sheds a misbehaving tenant's excess at
+/// the door — with its own exact counter, disjoint from depth and memory
+/// shedding — so a noisy neighbor pays for its burst instead of squeezing
+/// everyone else out of the bounded queue.
 namespace multigrain::serve {
 
 struct AdmissionConfig {
@@ -46,10 +53,14 @@ struct AdmissionConfig {
 struct AdmissionStats {
     std::uint64_t offered = 0;
     std::uint64_t admitted = 0;
-    std::uint64_t rejected = 0;   ///< All door sheds (depth or memory).
+    std::uint64_t rejected = 0;   ///< All door sheds (rate/depth/memory).
     /// Subset of `rejected`: shed because the queue's projected HBM
     /// bytes would exceed hbm_budget_bytes.
     std::uint64_t shed_memory = 0;
+    /// Subset of `rejected`: shed by the tenant's token bucket, disjoint
+    /// from both depth sheds and shed_memory (the bucket is checked
+    /// first, so a rate-limited offer never reaches the other valves).
+    std::uint64_t shed_ratelimit = 0;
     std::uint64_t timed_out = 0;  ///< Aged out waiting.
     std::uint64_t dispatched = 0; ///< Handed to the scheduler.
     /// High-water mark of the total queue depth — never exceeds
@@ -60,15 +71,60 @@ struct AdmissionStats {
     std::uint64_t max_queued_bytes = 0;
 };
 
+/// Deterministic token bucket on the virtual serving clock. Refill is
+/// computed lazily from the elapsed virtual time at each take, so the
+/// bucket is a pure function of the offer timestamps — same seed, same
+/// decisions, same fill levels.
+class TokenBucket {
+  public:
+    /// Unlimited: try_take always succeeds and the fill stays at burst.
+    TokenBucket() = default;
+    TokenBucket(double rate_rps, double burst);
+
+    /// Refills by (t_us - last) * rate_rps / 1e6 capped at burst, then
+    /// consumes one token if at least one is available. `t_us` must be
+    /// non-decreasing across calls (the serving clock guarantees it).
+    bool try_take(double t_us);
+
+    /// Current fill, tokens (telemetry). Reflects the last refill point;
+    /// unlimited buckets report their burst capacity.
+    double fill() const { return limited() ? tokens_ : burst_; }
+    bool limited() const { return rate_rps_ > 0; }
+
+  private:
+    double rate_rps_ = 0;  ///< 0 = unlimited.
+    double burst_ = 1;
+    double tokens_ = 1;
+    double last_us_ = 0;
+};
+
+/// The outcome of one offer. Contextually convertible to bool
+/// ("admitted?") so pre-rate-limit call sites keep reading naturally;
+/// the reason distinguishes the three disjoint shed valves for trace
+/// events and per-tenant cost attribution.
+struct AdmitDecision {
+    enum class Shed { kNone = 0, kRateLimit, kCapacity, kMemory };
+
+    bool admitted = false;
+    Shed reason = Shed::kNone;
+
+    explicit operator bool() const { return admitted; }
+};
+
 class AdmissionQueue {
   public:
-    /// `tenants` fixes the fairness rotation order; requests from tenants
-    /// not listed get their own FIFO appended in arrival order.
+    /// `tenants` fixes the fairness rotation order and supplies the
+    /// per-tenant rate limits (TenantSpec::rate_rps / burst); requests
+    /// from tenants not listed get their own FIFO, with an unlimited
+    /// bucket, appended in arrival order.
     AdmissionQueue(const AdmissionConfig &config,
-                   std::vector<std::string> tenants);
+                   const std::vector<TenantSpec> &tenants);
 
-    /// Admits `r` unless the queue is at capacity; false means shed.
-    bool offer(Request r, double now_us);
+    /// Admits `r` unless its tenant's token bucket, the depth bound, or
+    /// the byte budget refuses it — in that order, so every shed has
+    /// exactly one reason. The bucket refills on the request's arrival
+    /// time (arrivals are ingested in non-decreasing order).
+    AdmitDecision offer(Request r, double now_us);
     /// Removes and returns every queued request that has waited longer
     /// than max_queue_wait_us at `now_us` (empty when aging is off).
     std::vector<Request> expire(double now_us);
@@ -100,6 +156,18 @@ class AdmissionQueue {
 
     const AdmissionStats &stats() const { return stats_; }
 
+    // ---- Telemetry views (ISSUE 8) ----------------------------------
+    /// Tenant names in fairness-rotation order (specs first, unknown
+    /// tenants appended as they appear).
+    const std::vector<std::string> &tenant_names() const
+    {
+        return tenant_names_;
+    }
+    /// Queued requests per tenant, parallel to tenant_names().
+    std::vector<std::size_t> tenant_depths() const;
+    /// Token-bucket fill per tenant, parallel to tenant_names().
+    std::vector<double> bucket_fills() const;
+
   private:
     std::size_t tenant_index(const std::string &name);
     void note_depth();
@@ -107,6 +175,7 @@ class AdmissionQueue {
     AdmissionConfig config_;
     std::vector<std::string> tenant_names_;
     std::vector<std::deque<Request>> queues_;  ///< Parallel to names.
+    std::vector<TokenBucket> buckets_;         ///< Parallel to names.
     std::size_t cursor_ = 0;
     std::uint64_t queued_bytes_ = 0;
     AdmissionStats stats_;

@@ -152,6 +152,26 @@ preset_memtight()
     return c;
 }
 
+/// noisy: the tiny traffic shape plus a misbehaving fourth tenant whose
+/// weight claims most of the offered load but whose token bucket only
+/// admits 2000 req/s with a 2-token burst — the rate-limiting preset.
+/// The bucket throttles "hog" at the door (tests assert its
+/// shed_ratelimit > 0) while the victims' tail latency stays bounded.
+ServeConfig
+preset_noisy()
+{
+    ServeConfig c = preset_tiny();
+    c.preset = "noisy";
+    c.traffic.num_requests = 96;
+    c.traffic.tenants = {
+        {"alice", 2.0, SloClass::kInteractive},
+        {"bob", 2.0, SloClass::kStandard},
+        {"carol", 1.0, SloClass::kBatch},
+        {"hog", 8.0, SloClass::kBatch, /*rate_rps=*/2000, /*burst=*/2},
+    };
+    return c;
+}
+
 }  // namespace
 
 const std::vector<ServePresetInfo> &
@@ -167,6 +187,8 @@ serve_presets()
         {"closed", "closed loop of 6 clients with think time"},
         {"memtight", "tiny traffic under a small HBM budget — sheds on "
                      "memory and packs rounds to bytes"},
+        {"noisy", "tiny traffic plus a rate-limited hog tenant — the "
+                  "token-bucket / noisy-neighbor preset"},
     };
     return presets;
 }
@@ -189,8 +211,11 @@ serve_preset_by_name(const std::string &name)
     if (name == "memtight") {
         return preset_memtight();
     }
+    if (name == "noisy") {
+        return preset_noisy();
+    }
     throw Error("unknown serve preset \"" + name +
-                "\" (tiny|steady|overload|closed|memtight)");
+                "\" (tiny|steady|overload|closed|memtight|noisy)");
 }
 
 Server::Server(ServeConfig config, sim::DeviceSpec device)
@@ -284,6 +309,9 @@ Server::dispatch_round(double now_us, std::int64_t round_id,
         f.round = round_id;
         f.dispatch_us = now_us;
         f.finish_us = now_us + result.finish_us(prefixes[j]);
+        f.footprint_bytes =
+            batch_footprint(f.batch.model, f.batch.mode, f.batch.bucket,
+                            f.batch.planned_batch);
         if (trace_ != nullptr) {
             for (const Request &r : f.batch.requests) {
                 TraceEvent e =
@@ -314,8 +342,27 @@ Server::dispatch_round(double now_us, std::int64_t round_id,
 }
 
 void
-Server::complete_round(ServeReport &report, TrafficSource &source)
+Server::complete_round(ServeReport &report, TrafficSource &source,
+                       TenantLedger &ledger)
 {
+    // Charge the round's device span — the exact quantity the serving
+    // loop added to busy (gpu_free_us_ - dispatch time, evaluated on the
+    // same doubles) — down to the batches that occupied it.
+    MG_CHECK(!in_flight_.empty()) << "complete_round with no batches";
+    std::vector<TenantLedger::BatchCharge> charges;
+    charges.reserve(in_flight_.size());
+    for (const InFlightBatch &f : in_flight_) {
+        TenantLedger::BatchCharge charge;
+        charge.device_us = f.finish_us - f.dispatch_us;
+        charge.footprint_bytes = f.footprint_bytes;
+        charge.bucket = f.batch.bucket;
+        charge.planned_batch = f.batch.planned_batch;
+        charge.requests = &f.batch.requests;
+        charges.push_back(charge);
+    }
+    ledger.charge_round(gpu_free_us_ - in_flight_.front().dispatch_us,
+                        charges);
+
     for (InFlightBatch &f : in_flight_) {
         report.batch_histogram[f.batch.size()] += 1;
         for (const Request &r : f.batch.requests) {
@@ -327,6 +374,8 @@ Server::complete_round(ServeReport &report, TrafficSource &source)
             rec.bucket = f.batch.bucket;
             rec.batch_size = f.batch.size();
             rec.deadline_met = f.finish_us <= r.deadline_us;
+            ledger.note_completed(r, rec.queue_us(), rec.latency_us(),
+                                  rec.deadline_met);
             if (trace_ != nullptr) {
                 TraceEvent e = request_event(TraceEventKind::kComplete,
                                              f.finish_us, r);
@@ -366,11 +415,10 @@ Server::run()
 
     const PlanCacheStats cache_before = PlanCache::instance().stats();
     TrafficSource source(config_.traffic);
-    std::vector<std::string> tenants;
-    for (const TenantSpec &t : config_.traffic.tenants) {
-        tenants.push_back(t.name);
-    }
-    AdmissionQueue queue(config_.admission, std::move(tenants));
+    // The specs carry each tenant's token-bucket rate limit; the queue
+    // builds one bucket per tenant from them.
+    AdmissionQueue queue(config_.admission, config_.traffic.tenants);
+    TenantLedger ledger(config_.traffic.tenants);
     Scheduler scheduler(config_.scheduler, config_.traffic.models);
     // Byte packing (scheduler) and memory shedding (admission) both
     // price work with the cached MemPlans' peak footprints.
@@ -386,6 +434,24 @@ Server::run()
 
     // Requests carry the preset's processing method.
     const SliceMode mode = config_.mode;
+
+    // Telemetry snapshot at a virtual-clock event; guarded like trace
+    // emissions so an uninstrumented run skips all of it.
+    const auto observe = [this, &queue](double t_us) {
+        if (telemetry_ == nullptr) {
+            return;
+        }
+        TelemetrySample s;
+        for (const InFlightBatch &f : in_flight_) {
+            s.in_flight += f.batch.size();
+        }
+        if (gpu_busy_ && !round_bytes_.empty()) {
+            s.round_hbm_bytes = round_bytes_.back();
+        }
+        s.queue_depth = queue.tenant_depths();
+        s.bucket_fill = queue.bucket_fills();
+        telemetry_->observe(t_us, std::move(s));
+    };
 
     double now = 0;
     int rounds = 0;
@@ -413,10 +479,17 @@ Server::run()
                 e.deadline_us = r.deadline_us;
                 trace_->record(std::move(e));
             }
-            if (!queue.offer(std::move(r), now)) {
+            const AdmitDecision decision = queue.offer(std::move(r), now);
+            if (!decision) {
+                ledger.note_shed(copy, decision.reason);
                 if (trace_ != nullptr) {
-                    trace_->record(request_event(TraceEventKind::kShed,
-                                                 now, copy));
+                    // A token-bucket shed gets its own event kind; the
+                    // capacity and memory valves keep the original kShed.
+                    const TraceEventKind kind =
+                        decision.reason == AdmitDecision::Shed::kRateLimit
+                            ? TraceEventKind::kShedRateLimit
+                            : TraceEventKind::kShed;
+                    trace_->record(request_event(kind, now, copy));
                 }
                 RequestRecord rec;
                 rec.request = std::move(copy);
@@ -430,6 +503,7 @@ Server::run()
         }
         // Age out requests that waited past the admission bound.
         for (Request &r : queue.expire(now)) {
+            ledger.note_aged_out(r, now - r.arrival_us);
             if (trace_ != nullptr) {
                 trace_->record(
                     request_event(TraceEventKind::kAgeOut, now, r));
@@ -446,8 +520,10 @@ Server::run()
             dispatch_round(now, rounds, scheduler, queue);
             ++rounds;
             busy += gpu_free_us_ - now;
+            observe(now);
             continue;
         }
+        observe(now);
 
         double next = source.peek_us();
         if (gpu_busy_) {
@@ -458,11 +534,14 @@ Server::run()
         }
         now = next;
         if (gpu_busy_ && now >= gpu_free_us_) {
-            complete_round(report, source);
+            complete_round(report, source, ledger);
         }
     }
     MG_CHECK(source.exhausted() && queue.empty() && !gpu_busy_)
         << "serving loop ended with work in the system";
+    if (telemetry_ != nullptr) {
+        telemetry_->finish(now);
+    }
 
     // ---- Reduce the records into the report ----------------------------
     report.rounds = rounds;
@@ -475,6 +554,7 @@ Server::run()
     }
     report.plan_cache =
         stats_delta(cache_before, PlanCache::instance().stats());
+    report.cost = ledger.finish(busy);
 
     std::vector<double> latencies;
     latencies.reserve(report.records.size());
@@ -545,6 +625,11 @@ serve_metric_registry()
          "Requests shed on projected HBM pressure (subset of rejected)",
          [](const ServeReport &r) {
              return static_cast<double>(r.admission.shed_memory);
+         }},
+        {"shed_ratelimit", "count",
+         "Requests shed by per-tenant token buckets (subset of rejected)",
+         [](const ServeReport &r) {
+             return static_cast<double>(r.admission.shed_ratelimit);
          }},
         {"timed_out", "count", "Requests aged out of the queue",
          [](const ServeReport &r) {
@@ -645,6 +730,24 @@ append_serve_rows(prof::BenchRun &run, const ServeReport &report)
         row.series = "batch_hist";
         row.labels.emplace_back("size", std::to_string(size));
         row.metrics.emplace_back("count", static_cast<double>(count));
+        run.rows.push_back(std::move(row));
+    }
+
+    // Per-tenant ledger rows: the gate watches each tenant's charged
+    // device time (lower is better) and its rate-limit shed count.
+    for (const TenantCost &t : report.cost.tenants) {
+        prof::BenchRow row;
+        row.series = "tenant";
+        row.labels.emplace_back("tenant", t.tenant);
+        row.metrics.emplace_back("completed",
+                                 static_cast<double>(t.total.completed));
+        row.metrics.emplace_back(
+            "shed_ratelimit",
+            static_cast<double>(t.total.shed_ratelimit));
+        row.metrics.emplace_back("charged_us", t.total.device_us());
+        row.metrics.emplace_back("pad_us", t.total.pad_us);
+        row.metrics.emplace_back("queue_us", t.total.queue_us);
+        row.metrics.emplace_back("p99_us", t.latency.p99);
         run.rows.push_back(std::move(row));
     }
 }

@@ -12,6 +12,7 @@
 #include "profiler/history.h"
 #include "profiler/percentile.h"
 #include "serve/admission.h"
+#include "serve/cost.h"
 #include "serve/scheduler.h"
 #include "serve/traffic.h"
 #include "transformer/runner.h"
@@ -47,7 +48,7 @@ struct ServeConfig {
 };
 
 /// Registered traffic presets ("tiny" | "steady" | "overload" |
-/// "closed" | "memtight"); throws Error on unknown names.
+/// "closed" | "memtight" | "noisy"); throws Error on unknown names.
 ServeConfig serve_preset_by_name(const std::string &name);
 
 struct ServePresetInfo {
@@ -100,6 +101,9 @@ struct ServeReport {
     /// per-round byte watermarks, and their maximum.
     std::vector<std::uint64_t> round_hbm_bytes;
     std::uint64_t peak_round_hbm_bytes = 0;
+    /// Per-tenant cost attribution (serve/cost.h): every run carries its
+    /// ledger so bench rows and mgcost read the same numbers.
+    CostReport cost;
 };
 
 class TraceLog;  // serve/trace.h
@@ -115,6 +119,14 @@ class Server {
     /// The log must outlive run().
     void set_trace(TraceLog *trace) { trace_ = trace; }
 
+    /// Attaches a fixed-interval time-series sampler (serve/cost.h).
+    /// Same contract as set_trace: a pure observer of the virtual clock,
+    /// off by default, must outlive run().
+    void set_telemetry(TelemetryRecorder *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
     /// Runs the preset to completion. May be called once.
     ServeReport run();
 
@@ -125,6 +137,9 @@ class Server {
         std::int64_t round = -1;  ///< Round that dispatched it.
         double dispatch_us = 0;
         double finish_us = 0;
+        /// The batch's projected HBM footprint (batch_footprint), kept
+        /// for the ledger's byte-time charge.
+        std::uint64_t footprint_bytes = 0;
     };
 
     TransformerRunner &runner_for(const Batch &batch);
@@ -138,7 +153,8 @@ class Server {
                                   index_t bucket, int planned_batch);
     void dispatch_round(double now_us, std::int64_t round,
                         const Scheduler &scheduler, AdmissionQueue &queue);
-    void complete_round(ServeReport &report, TrafficSource &source);
+    void complete_round(ServeReport &report, TrafficSource &source,
+                        TenantLedger &ledger);
 
     ServeConfig config_;
     sim::DeviceSpec device_;
@@ -152,6 +168,7 @@ class Server {
     std::vector<std::uint64_t> round_bytes_;
     std::vector<InFlightBatch> in_flight_;
     TraceLog *trace_ = nullptr;
+    TelemetryRecorder *telemetry_ = nullptr;
     std::int64_t next_batch_id_ = 0;
     std::int64_t current_round_ = -1;
     double gpu_free_us_ = 0;

@@ -14,6 +14,7 @@
 #include "gpusim/trace.h"
 #include "profiler/export.h"
 #include "profiler/history.h"
+#include "serve/cost.h"
 
 namespace multigrain::serve {
 
@@ -29,6 +30,8 @@ to_string(TraceEventKind kind)
         return "admit";
       case TraceEventKind::kShed:
         return "shed";
+      case TraceEventKind::kShedRateLimit:
+        return "shed_ratelimit";
       case TraceEventKind::kAgeOut:
         return "age_out";
       case TraceEventKind::kBatchForm:
@@ -50,10 +53,10 @@ trace_event_kind_by_name(const std::string &name)
 {
     static const TraceEventKind kinds[] = {
         TraceEventKind::kArrive,        TraceEventKind::kAdmit,
-        TraceEventKind::kShed,          TraceEventKind::kAgeOut,
-        TraceEventKind::kBatchForm,     TraceEventKind::kRoundDispatch,
-        TraceEventKind::kBatchDone,     TraceEventKind::kComplete,
-        TraceEventKind::kRoundDone,
+        TraceEventKind::kShed,          TraceEventKind::kShedRateLimit,
+        TraceEventKind::kAgeOut,        TraceEventKind::kBatchForm,
+        TraceEventKind::kRoundDispatch, TraceEventKind::kBatchDone,
+        TraceEventKind::kComplete,      TraceEventKind::kRoundDone,
     };
     for (const TraceEventKind kind : kinds) {
         if (name == to_string(kind)) {
@@ -90,6 +93,7 @@ write_event(JsonWriter &w, const TraceEvent &e)
         break;
       case TraceEventKind::kAdmit:
       case TraceEventKind::kShed:
+      case TraceEventKind::kShedRateLimit:
       case TraceEventKind::kAgeOut:
         w.field("request", e.request);
         break;
@@ -248,7 +252,23 @@ void
 TraceLog::detect(const TraceEvent &event)
 {
     switch (event.kind) {
+      case TraceEventKind::kAdmit:
+        ratelimit_run_ = 0;
+        break;
+      case TraceEventKind::kShedRateLimit: {
+        ++ratelimit_run_;
+        if (config_.ratelimit_streak > 0 &&
+            ratelimit_run_ >= config_.ratelimit_streak) {
+            std::ostringstream os;
+            os << ratelimit_run_
+               << " consecutive token-bucket sheds";
+            fire("ratelimit_burst", event.t_us, os.str());
+            ratelimit_run_ = 0;
+        }
+        break;
+      }
       case TraceEventKind::kShed: {
+        ratelimit_run_ = 0;
         recent_shed_us_.push_back(event.t_us);
         while (!recent_shed_us_.empty() &&
                recent_shed_us_.front() <
@@ -339,6 +359,7 @@ incident_to_json(const Incident &incident, const TraceRunInfo &info,
         w.field("shed_window_us", config.shed_window_us);
         w.field("miss_streak", config.miss_streak);
         w.field("stall_us", config.stall_us);
+        w.field("ratelimit_streak", config.ratelimit_streak);
         w.end_object();
         w.key("events");
         w.begin_array();
@@ -421,13 +442,15 @@ spans_from_events(const std::vector<TraceEvent> &events)
                 it->second.dispatched_us = it->second.finish_us = e.t_us;
             break;
           }
-          case TraceEventKind::kShed: {
+          case TraceEventKind::kShed:
+          case TraceEventKind::kShedRateLimit: {
             const auto it = by_request.find(e.request);
             if (it == by_request.end()) {
                 break;
             }
             RequestSpans &s = it->second;
-            s.outcome = "shed";
+            s.outcome = e.kind == TraceEventKind::kShed ? "shed"
+                                                        : "rate_limited";
             s.deadline_met = false;
             s.admit_us = s.batched_us = s.dispatched_us = s.finish_us =
                 e.t_us;
@@ -662,6 +685,8 @@ build_trace_report(const TraceLog &log, const ServeReport &report,
                        sum, s.latency_us()));
         if (s.outcome == "shed") {
             ++tr.shed;
+        } else if (s.outcome == "rate_limited") {
+            ++tr.rate_limited;
         } else if (s.outcome == "aged_out") {
             ++tr.aged_out;
         } else {
@@ -683,9 +708,14 @@ build_trace_report(const TraceLog &log, const ServeReport &report,
     check(tr.requests == report.admission.offered,
           mismatch("offered requests", static_cast<double>(tr.requests),
                    static_cast<double>(report.admission.offered)));
-    check(tr.shed == report.admission.rejected,
-          mismatch("shed requests", static_cast<double>(tr.shed),
+    check(tr.shed + tr.rate_limited == report.admission.rejected,
+          mismatch("shed requests",
+                   static_cast<double>(tr.shed + tr.rate_limited),
                    static_cast<double>(report.admission.rejected)));
+    check(tr.rate_limited == report.admission.shed_ratelimit,
+          mismatch("rate-limited requests",
+                   static_cast<double>(tr.rate_limited),
+                   static_cast<double>(report.admission.shed_ratelimit)));
     check(tr.aged_out == report.admission.timed_out,
           mismatch("aged-out requests", static_cast<double>(tr.aged_out),
                    static_cast<double>(report.admission.timed_out)));
@@ -773,6 +803,8 @@ trace_report_json(const TraceReport &report)
         w.field("requests", static_cast<std::int64_t>(report.requests));
         w.field("completed", static_cast<std::int64_t>(report.completed));
         w.field("shed", static_cast<std::int64_t>(report.shed));
+        w.field("rate_limited",
+                static_cast<std::int64_t>(report.rate_limited));
         w.field("aged_out", static_cast<std::int64_t>(report.aged_out));
         w.field("deadline_miss",
                 static_cast<std::int64_t>(report.deadline_miss));
@@ -858,7 +890,8 @@ async_event(JsonWriter &w, const char *ph, std::int64_t id,
 }
 
 void
-counter_event(JsonWriter &w, const char *name, double ts, double value)
+counter_event(JsonWriter &w, const std::string &name, double ts,
+              double value)
 {
     w.begin_object();
     w.field("ph", "C");
@@ -1008,6 +1041,7 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
         double queue_depth = 0;
         double in_flight = 0;
         double sheds = 0;
+        double ratelimit_sheds = 0;
         for (const TraceEvent &e : events) {
             switch (e.kind) {
               case TraceEventKind::kAdmit:
@@ -1026,8 +1060,35 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
               case TraceEventKind::kShed:
                 counter_event(w, "sheds", e.t_us, ++sheds);
                 break;
+              case TraceEventKind::kShedRateLimit:
+                counter_event(w, "sheds", e.t_us, ++sheds);
+                counter_event(w, "ratelimit_sheds", e.t_us,
+                              ++ratelimit_sheds);
+                break;
               default:
                 break;
+            }
+        }
+    }
+
+    // ---- mgcost time-series counter tracks ----------------------------
+    // Fixed-interval samples from the TelemetryRecorder, prefixed
+    // "tele." so they sit beside — not inside — the event-edge counters
+    // above (the events fire at state changes, the samples on a grid).
+    if (options.telemetry != nullptr) {
+        const TelemetryRecorder &tele = *options.telemetry;
+        const std::vector<std::string> &tenants = tele.tenants();
+        for (const TelemetrySample &s : tele.samples()) {
+            counter_event(w, "tele.in_flight", s.t_us,
+                          static_cast<double>(s.in_flight));
+            counter_event(w, "tele.round_hbm_bytes", s.t_us,
+                          static_cast<double>(s.round_hbm_bytes));
+            for (std::size_t t = 0; t < tenants.size(); ++t) {
+                counter_event(w, "tele.queue_depth." + tenants[t],
+                              s.t_us,
+                              static_cast<double>(s.queue_depth[t]));
+                counter_event(w, "tele.bucket_fill." + tenants[t],
+                              s.t_us, s.bucket_fill[t]);
             }
         }
     }

@@ -56,7 +56,8 @@ namespace multigrain::serve {
 enum class TraceEventKind {
     kArrive = 0,     ///< Request issued by the traffic source.
     kAdmit,          ///< Admission accepted it into the tenant queue.
-    kShed,           ///< Terminal: rejected at the door (queue full).
+    kShed,           ///< Terminal: rejected at the door (queue/memory).
+    kShedRateLimit,  ///< Terminal: shed by the tenant's token bucket.
     kAgeOut,         ///< Terminal: expired waiting past the queue bound.
     kBatchForm,      ///< Packed into a batch (one event per member).
     kRoundDispatch,  ///< A round of batches started on the device.
@@ -121,12 +122,18 @@ struct TraceConfig {
     /// Anomaly trigger: device idle for longer than this between rounds
     /// (an empty-round stall). 0 disables.
     double stall_us = 0;
+    /// Anomaly trigger: this many consecutive offers shed by a token
+    /// bucket (no admit or other shed in between) — a tenant hammering
+    /// past its rate allowance. 0 disables.
+    int ratelimit_streak = 6;
 };
 
 /// A frozen flight-recorder window: the trigger plus a copy of the ring
 /// at the moment it fired.
 struct Incident {
-    std::string trigger;  ///< "shed_burst"|"deadline_miss_streak"|"empty_round_stall".
+    /// "shed_burst" | "deadline_miss_streak" | "empty_round_stall" |
+    /// "ratelimit_burst".
+    std::string trigger;
     double t_us = 0;      ///< Serving-clock time of the trigger.
     std::string detail;   ///< Human-readable trigger context.
     std::uint64_t first_seq = 0;
@@ -195,6 +202,7 @@ class TraceLog {
     /// Detector state.
     std::deque<double> recent_shed_us_;
     int miss_run_ = 0;
+    int ratelimit_run_ = 0;
     double last_round_done_us_ = -1;  ///< -1 until a round completes.
 };
 
@@ -212,7 +220,8 @@ struct RequestSpans {
     std::string tenant;
     std::string model;
     int slo = 0;
-    std::string outcome;  ///< "completed" | "shed" | "aged_out".
+    /// "completed" | "shed" | "rate_limited" | "aged_out".
+    std::string outcome;
     bool deadline_met = true;
     index_t valid_len = 0;
     index_t bucket = 0;
@@ -281,7 +290,8 @@ struct TraceReport {
     std::size_t events = 0;
     std::size_t requests = 0;
     std::size_t completed = 0;
-    std::size_t shed = 0;
+    std::size_t shed = 0;          ///< Depth/memory sheds.
+    std::size_t rate_limited = 0;  ///< Token-bucket sheds.
     std::size_t aged_out = 0;
     std::size_t deadline_miss = 0;
     std::int64_t rounds = 0;
@@ -311,6 +321,8 @@ std::string trace_report_json(const TraceReport &report);
 
 // ---- Perfetto export ----------------------------------------------------
 
+class TelemetryRecorder;  // serve/cost.h
+
 struct ServeTraceOptions {
     /// Serving counter tracks: queue depth, in-flight requests,
     /// cumulative sheds.
@@ -318,6 +330,11 @@ struct ServeTraceOptions {
     /// Overlay each captured round's kernel replay (needs a TraceLog
     /// built with capture_sim).
     bool device_lanes = true;
+    /// When set, the mgcost time-series samples are rendered as extra
+    /// counter tracks ("tele.*": per-tenant queue depth and bucket fill,
+    /// in-flight requests, round HBM watermark) beside the event-derived
+    /// lanes above. Must outlive the export call.
+    const TelemetryRecorder *telemetry = nullptr;
 };
 
 /// Renders the traced run as one Chrome/Perfetto timeline: async

@@ -63,6 +63,15 @@ struct TenantSpec {
     /// Relative share of generated requests.
     double weight = 1.0;
     SloClass slo = SloClass::kStandard;
+    /// Token-bucket admission rate on the virtual serving clock,
+    /// requests/s; 0 disables rate limiting for this tenant. Offers
+    /// beyond the bucket are shed at the door with a distinct counter
+    /// (AdmissionStats::shed_ratelimit).
+    double rate_rps = 0;
+    /// Token-bucket capacity (burst allowance), tokens. Only meaningful
+    /// when rate_rps > 0; a full bucket admits `burst` back-to-back
+    /// arrivals before the refill rate governs.
+    double burst = 1;
 };
 
 struct TrafficConfig {

@@ -261,7 +261,7 @@ TEST(AdmissionTest, ShedsAtCapacity)
 {
     serve::AdmissionConfig config;
     config.queue_capacity = 2;
-    serve::AdmissionQueue queue(config, {"a"});
+    serve::AdmissionQueue queue(config, {{"a"}});
     EXPECT_TRUE(queue.offer(make_request(0, "a", 0, kInf), 0));
     EXPECT_TRUE(queue.offer(make_request(1, "a", 0, kInf), 0));
     EXPECT_FALSE(queue.offer(make_request(2, "a", 0, kInf), 0));
@@ -276,7 +276,7 @@ TEST(AdmissionTest, AgesOutStaleRequests)
     serve::AdmissionConfig config;
     config.queue_capacity = 8;
     config.max_queue_wait_us = 100;
-    serve::AdmissionQueue queue(config, {"a"});
+    serve::AdmissionQueue queue(config, {{"a"}});
     EXPECT_TRUE(queue.offer(make_request(0, "a", 0, kInf), 0));
     EXPECT_TRUE(queue.offer(make_request(1, "a", 90, kInf), 90));
 
@@ -291,7 +291,7 @@ TEST(AdmissionTest, AgesOutStaleRequests)
 TEST(AdmissionTest, PopsEarliestDeadlineWithTenantRotation)
 {
     serve::AdmissionConfig config;
-    serve::AdmissionQueue queue(config, {"a", "b"});
+    serve::AdmissionQueue queue(config, {{"a"}, {"b"}});
     // b's head has the earlier deadline: EDF picks it over a.
     ASSERT_TRUE(queue.offer(make_request(0, "a", 0, 400), 0));
     ASSERT_TRUE(queue.offer(make_request(1, "b", 0, 200), 0));
@@ -320,7 +320,7 @@ TEST(AdmissionTest, CountersStayExactUnderSimultaneousShedAndAgeOut)
     serve::AdmissionConfig config;
     config.queue_capacity = 4;
     config.max_queue_wait_us = 100;
-    serve::AdmissionQueue queue(config, {"a", "b"});
+    serve::AdmissionQueue queue(config, {{"a"}, {"b"}});
 
     // Fill to capacity at t=0, then shed two more at t=0.
     for (std::uint64_t id = 0; id < 4; ++id) {
@@ -385,7 +385,7 @@ TEST(SchedulerTest, BatchesOnlyCompatibleRequests)
     config.max_concurrent_batches = 4;
     const serve::Scheduler scheduler(config, {"tiny"});
 
-    serve::AdmissionQueue queue(serve::AdmissionConfig{}, {"a"});
+    serve::AdmissionQueue queue(serve::AdmissionConfig{}, {{"a"}});
     // Two bucket-64 requests and one bucket-128 request: the round must
     // not mix them into one plan.
     serve::Request r0 = make_request(0, "a", 0, kInf);
@@ -538,7 +538,7 @@ TEST(AdmissionTest, MemoryBudgetShedsAndPushFrontRestores)
     serve::AdmissionConfig config;
     config.queue_capacity = 8;
     config.hbm_budget_bytes = 1000;
-    serve::AdmissionQueue queue(config, {"t"});
+    serve::AdmissionQueue queue(config, {{"t"}});
 
     serve::Request a;
     a.id = 1;

@@ -56,7 +56,8 @@ run_info(const std::string &preset, const std::string &device)
 
 TEST(TraceReconcileTest, EveryPresetAndDeviceReconciles)
 {
-    for (const char *preset : {"tiny", "steady", "overload", "closed"}) {
+    for (const char *preset : {"tiny", "steady", "overload", "closed",
+                               "memtight", "noisy"}) {
         for (const char *device : {"a100", "rtx3090"}) {
             SCOPED_TRACE(std::string(preset) + "@" + device);
             TracedRun run = traced_run(preset, device);
@@ -294,6 +295,55 @@ TEST(FlightRecorderTest, EmptyRoundStallFires)
     log.record(dispatch);
     ASSERT_EQ(log.incidents().size(), 1u);
     EXPECT_EQ(log.incidents()[0].trigger, "empty_round_stall");
+}
+
+TEST(FlightRecorderTest, RateLimitBurstFiresAfterAnUnbrokenStreak)
+{
+    TraceConfig config;
+    config.shed_burst = 0;
+    config.miss_streak = 0;
+    config.ratelimit_streak = 3;
+    TraceLog log(config);
+    TraceEvent rl;
+    rl.kind = TraceEventKind::kShedRateLimit;
+    TraceEvent admit;
+    admit.kind = TraceEventKind::kAdmit;
+
+    rl.t_us = 10;
+    log.record(rl);
+    rl.t_us = 20;
+    log.record(rl);
+    admit.t_us = 25;
+    log.record(admit);  // An admit breaks the streak.
+    rl.t_us = 30;
+    log.record(rl);
+    rl.t_us = 40;
+    log.record(rl);
+    EXPECT_TRUE(log.incidents().empty());
+    rl.t_us = 50;
+    log.record(rl);
+    ASSERT_EQ(log.incidents().size(), 1u);
+    EXPECT_EQ(log.incidents()[0].trigger, "ratelimit_burst");
+    EXPECT_EQ(log.incidents()[0].t_us, 50);
+    // The streak resets when it fires: one more shed cannot re-fire.
+    rl.t_us = 60;
+    log.record(rl);
+    EXPECT_EQ(log.incidents().size(), 1u);
+}
+
+TEST(TraceReportTest, NoisyPresetCountsRateLimitShedsApart)
+{
+    TracedRun run = traced_run("noisy", "a100");
+    const TraceReport report = build_trace_report(
+        run.log, run.report, run_info("noisy", "a100"));
+    EXPECT_TRUE(report.reconciled());
+    EXPECT_GT(report.rate_limited, 0u);
+    EXPECT_EQ(report.rate_limited,
+              static_cast<std::size_t>(
+                  run.report.admission.shed_ratelimit));
+    // Token-bucket sheds are not double-counted as depth/memory sheds.
+    EXPECT_EQ(report.shed + report.rate_limited,
+              static_cast<std::size_t>(run.report.admission.rejected));
 }
 
 TEST(FlightRecorderTest, RingIsBoundedToTheConfiguredRounds)

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/error.h"
 #include "common/json.h"
 #include "common/logging.h"
@@ -96,26 +97,6 @@ usage(std::ostream &os)
           "  --help            this text\n";
 }
 
-std::vector<std::string>
-split_csv(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t pos = 0;
-    while (pos <= s.size()) {
-        const std::size_t comma = s.find(',', pos);
-        const std::string item = comma == std::string::npos
-                                     ? s.substr(pos)
-                                     : s.substr(pos, comma - pos);
-        MG_CHECK(!item.empty()) << "empty item in list \"" << s << "\"";
-        out.push_back(item);
-        if (comma == std::string::npos) {
-            break;
-        }
-        pos = comma + 1;
-    }
-    return out;
-}
-
 Options
 parse_args(int argc, char **argv)
 {
@@ -127,11 +108,11 @@ parse_args(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--models") {
-            opt.models = split_csv(next());
+            opt.models = bench::split_csv(next());
         } else if (arg == "--devices") {
-            opt.devices = split_csv(next());
+            opt.devices = bench::split_csv(next());
         } else if (arg == "--modes") {
-            opt.modes = split_csv(next());
+            opt.modes = bench::split_csv(next());
         } else if (arg == "--seed") {
             opt.seed = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--out-dir") {
@@ -155,15 +136,6 @@ parse_args(int argc, char **argv)
         }
     }
     return opt;
-}
-
-std::string
-resolve_out_path(const Options &opt, const std::string &path)
-{
-    if (path.empty() || path.front() == '/' || opt.out_dir == ".") {
-        return path;
-    }
-    return opt.out_dir + "/" + path;
 }
 
 /// Identity stream map [0, n) into `target`, creating the streams there
@@ -455,7 +427,7 @@ run(const Options &opt)
                 unpooled);
 
     if (!opt.report_path.empty()) {
-        const std::string path = resolve_out_path(opt, opt.report_path);
+        const std::string path = bench::resolve_out_path(opt.out_dir, opt.report_path);
         write_report(path, all);
         validate_report(path);
         if (!opt.quiet) {

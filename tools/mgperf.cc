@@ -44,6 +44,10 @@ struct Options {
     std::string baseline_dir = "bench/baselines";
     std::string history_path = "bench_history.jsonl";
     std::string report_path = "mgperf_report.json";
+    /// Base directory for artifacts; relative --history/--report paths
+    /// land under it. --baseline is an input, not an artifact, and is
+    /// deliberately not resolved against it.
+    std::string out_dir = ".";
     bool update_baselines = false;
     bool list = false;
     bool verbose_report = false;
@@ -71,6 +75,9 @@ usage(std::ostream &os)
           "  --report PATH      machine-readable report (default\n"
           "                     mgperf_report.json; empty string"
           " disables)\n"
+          "  --out-dir DIR      directory for artifacts (default .;"
+          " relative\n"
+          "                     --history/--report paths land under it)\n"
           "  --update-baselines write the current runs to the baseline"
           " directory\n"
           "                     instead of diffing (the documented refresh"
@@ -88,20 +95,6 @@ usage(std::ostream &os)
           "  --list             list registered presets and exit\n"
           "  --quiet            summary lines only (CI logs)\n"
           "  --help             this text\n";
-}
-
-std::vector<std::string>
-split_csv(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::istringstream is(s);
-    std::string item;
-    while (std::getline(is, item, ',')) {
-        if (!item.empty()) {
-            out.push_back(item);
-        }
-    }
-    return out;
 }
 
 void
@@ -126,13 +119,16 @@ parse_args(int argc, char **argv)
         if (arg == "--baseline") {
             opt.baseline_dir = next();
         } else if (arg == "--presets") {
-            opt.presets = split_csv(next());
+            opt.presets = bench::split_csv(next());
         } else if (arg == "--devices") {
-            opt.devices = split_csv(next());
+            opt.devices = bench::split_csv(next());
         } else if (arg == "--history") {
             opt.history_path = next();
         } else if (arg == "--report") {
             opt.report_path = next();
+        } else if (arg == "--out-dir") {
+            opt.out_dir = next();
+            MG_CHECK(!opt.out_dir.empty()) << "--out-dir must be non-empty";
         } else if (arg == "--update-baselines") {
             opt.update_baselines = true;
         } else if (arg == "--tol-scale") {
@@ -172,6 +168,10 @@ parse_args(int argc, char **argv)
     }
     MG_CHECK(!opt.devices.empty()) << "--devices must name a device";
     MG_CHECK(opt.tol_scale >= 0) << "--tol-scale must be non-negative";
+    opt.history_path =
+        bench::resolve_out_path(opt.out_dir, opt.history_path);
+    opt.report_path =
+        bench::resolve_out_path(opt.out_dir, opt.report_path);
     return opt;
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/error.h"
 #include "common/json.h"
 #include "common/logging.h"
@@ -56,6 +57,9 @@ struct Options {
     std::string json_path;
     std::string csv_path;
     std::string trace_path;
+    /// Base directory for artifacts; relative --json/--csv/--trace paths
+    /// land under it.
+    std::string out_dir = ".";
 };
 
 void
@@ -82,6 +86,9 @@ usage(std::ostream &os)
           "  --json PATH  write the mgprof.profile JSON document\n"
           "  --csv PATH   write the carved-phase CSV\n"
           "  --trace PATH write the enriched Perfetto/Chrome trace\n"
+          "  --out-dir DIR\n"
+          "               directory for artifacts (default .; relative\n"
+          "               --json/--csv/--trace paths land under it)\n"
           "  --top N      kernels shown in the console table (default 20)\n"
           "  --quiet      suppress the console tables and the per-artifact"
           "\n"
@@ -122,6 +129,9 @@ parse_args(int argc, char **argv)
             opt.csv_path = next();
         } else if (arg == "--trace") {
             opt.trace_path = next();
+        } else if (arg == "--out-dir") {
+            opt.out_dir = next();
+            MG_CHECK(!opt.out_dir.empty()) << "--out-dir must be non-empty";
         } else if (arg == "--top") {
             opt.top_kernels = std::stoi(next());
         } else if (arg == "--quiet") {
@@ -139,6 +149,9 @@ parse_args(int argc, char **argv)
     }
     MG_CHECK(opt.batch > 0) << "--batch must be positive";
     MG_CHECK(opt.steps > 0) << "--steps must be positive";
+    opt.json_path = bench::resolve_out_path(opt.out_dir, opt.json_path);
+    opt.csv_path = bench::resolve_out_path(opt.out_dir, opt.csv_path);
+    opt.trace_path = bench::resolve_out_path(opt.out_dir, opt.trace_path);
     return opt;
 }
 

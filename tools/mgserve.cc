@@ -22,6 +22,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_util.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "gpusim/device.h"
@@ -171,20 +172,9 @@ run(const Options &opt)
         return 0;
     }
 
-    serve::ServeConfig config;
     sim::DeviceSpec device;
-    // Unknown presets/devices are user input errors, not runtime faults:
-    // surface them through the shared ValidationError exit-2 path so
-    // scripts can tell "bad invocation" from "the run itself failed".
-    try {
-        config = serve::serve_preset_by_name(opt.preset);
-        device = sim::device_spec_by_name(opt.device);
-    } catch (const Error &e) {
-        throw ValidationError(e.what());
-    }
-    if (opt.seed != 0) {
-        config.traffic.seed = opt.seed;
-    }
+    const serve::ServeConfig config = bench::validated_serve_config(
+        opt.preset, opt.device, &device, opt.seed);
 
     serve::Server server(config, device);
     const serve::ServeReport report = server.run();
@@ -202,21 +192,11 @@ run(const Options &opt)
 
     std::string bench_path = opt.bench_path;
     if (bench_path == "-") {
-        std::string dir = opt.out_dir;
-        if (dir == ".") {
-            // Env steering only applies to the historical default layout;
-            // an explicit --out-dir wins.
-            if (const char *env = std::getenv("MULTIGRAIN_BENCH_DIR")) {
-                if (*env != '\0') {
-                    dir = env;
-                }
-            }
-        }
-        bench_path = dir + "/BENCH_serve_" + opt.preset + "@" +
-                     opt.device + ".json";
-    } else if (!bench_path.empty() && bench_path.front() != '/' &&
-               opt.out_dir != ".") {
-        bench_path = opt.out_dir + "/" + bench_path;
+        bench_path = bench::default_artifact_dir(opt.out_dir) +
+                     "/BENCH_serve_" + opt.preset + "@" + opt.device +
+                     ".json";
+    } else {
+        bench_path = bench::resolve_out_path(opt.out_dir, bench_path);
     }
     if (!bench_path.empty()) {
         const prof::BenchRun run =

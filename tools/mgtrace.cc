@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/error.h"
 #include "common/json.h"
 #include "common/logging.h"
@@ -162,33 +163,6 @@ parse_args(int argc, char **argv)
     return opt;
 }
 
-std::string
-default_artifact_dir(const Options &opt)
-{
-    if (opt.out_dir != ".") {
-        // Env steering only applies to the historical default layout;
-        // an explicit --out-dir wins.
-        return opt.out_dir;
-    }
-    if (const char *env = std::getenv("MULTIGRAIN_BENCH_DIR")) {
-        if (*env != '\0') {
-            return env;
-        }
-    }
-    return ".";
-}
-
-/// Resolve a relative artifact path under --out-dir; absolute paths and
-/// the default layout (out_dir ".") pass through untouched.
-std::string
-resolve_out_path(const Options &opt, const std::string &path)
-{
-    if (path.empty() || path.front() == '/' || opt.out_dir == ".") {
-        return path;
-    }
-    return opt.out_dir + "/" + path;
-}
-
 void
 print_breakdown_row(const char *label, const serve::SpanBreakdown &b)
 {
@@ -274,19 +248,9 @@ verify_incident_replay(const serve::Incident &incident,
 int
 run_one(const Options &opt, const std::string &preset_name)
 {
-    serve::ServeConfig config;
     sim::DeviceSpec device;
-    try {
-        config = serve::serve_preset_by_name(preset_name);
-        device = sim::device_spec_by_name(opt.device);
-    } catch (const Error &e) {
-        // Unknown preset/device names are validation failures (exit 2),
-        // not malformed invocations: CI probes for them explicitly.
-        throw ValidationError(e.what());
-    }
-    if (opt.seed != 0) {
-        config.traffic.seed = opt.seed;
-    }
+    const serve::ServeConfig config = bench::validated_serve_config(
+        preset_name, opt.device, &device, opt.seed);
     const serve::TraceRunInfo info{preset_name, opt.device,
                                    config.traffic.seed};
 
@@ -316,10 +280,10 @@ run_one(const Options &opt, const std::string &preset_name)
     // ---- Artifacts ----------------------------------------------------
     std::string report_path = opt.report_path;
     if (report_path == "-") {
-        report_path = default_artifact_dir(opt) + "/mgtrace_" +
+        report_path = bench::default_artifact_dir(opt.out_dir) + "/mgtrace_" +
                       preset_name + "@" + opt.device + ".report.json";
     } else {
-        report_path = resolve_out_path(opt, report_path);
+        report_path = bench::resolve_out_path(opt.out_dir, report_path);
     }
     if (!report_path.empty()) {
         const std::string json = serve::trace_report_json(trace_report);
@@ -332,7 +296,7 @@ run_one(const Options &opt, const std::string &preset_name)
     }
     if (!opt.events_path.empty()) {
         const std::string events_path =
-            resolve_out_path(opt, opt.events_path);
+            bench::resolve_out_path(opt.out_dir, opt.events_path);
         std::ostringstream os;
         serve::write_events_jsonl(log.events(), os);
         prof::write_text_file(events_path, os.str());
@@ -343,7 +307,7 @@ run_one(const Options &opt, const std::string &preset_name)
     }
     if (!opt.trace_path.empty()) {
         const std::string trace_path =
-            resolve_out_path(opt, opt.trace_path);
+            bench::resolve_out_path(opt.out_dir, opt.trace_path);
         serve::write_serve_trace_file(log, trace_path);
         json_parse(serve::serve_trace_json(log));
         if (!opt.quiet) {
@@ -359,7 +323,7 @@ run_one(const Options &opt, const std::string &preset_name)
         verify_incident_replay(inc, json);
         if (!opt.incident_dir.empty()) {
             const std::string path =
-                resolve_out_path(opt, opt.incident_dir) + "/incident_" +
+                bench::resolve_out_path(opt.out_dir, opt.incident_dir) + "/incident_" +
                 preset_name + "@" +
                 opt.device + "_" + std::to_string(incident_index) +
                 ".json";
