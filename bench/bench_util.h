@@ -22,6 +22,7 @@
 #include "patterns/slice.h"
 #include "profiler/export.h"
 #include "profiler/history.h"
+#include "serve/cluster.h"
 #include "serve/server.h"
 #include "transformer/config.h"
 #include "transformer/runner.h"
@@ -318,6 +319,64 @@ validated_serve_config(const std::string &preset,
     return config;
 }
 
+/// The registered serving preset names, in registry order — the list the
+/// serve tools' --all and --list modes walk.
+inline std::vector<std::string>
+serve_preset_names()
+{
+    std::vector<std::string> names;
+    for (const serve::ServePresetInfo &preset : serve::serve_presets()) {
+        names.push_back(preset.name);
+    }
+    return names;
+}
+
+/// The registered cluster preset names, in registry order (mgcluster's
+/// --all and --list modes).
+inline std::vector<std::string>
+cluster_preset_names()
+{
+    std::vector<std::string> names;
+    for (const serve::ClusterPresetInfo &preset :
+         serve::cluster_presets()) {
+        names.push_back(preset.name);
+    }
+    return names;
+}
+
+/// Shared --all driver: runs `run_one(name)` over every preset name and
+/// ORs the statuses — the loop mgcost, mgtrace, and mgcluster all repeat.
+template <typename RunOne>
+inline int
+run_preset_matrix(const std::vector<std::string> &presets, RunOne &&run_one)
+{
+    int status = 0;
+    for (const std::string &name : presets) {
+        status |= run_one(name);
+    }
+    return status;
+}
+
+/// Shared matrix driver for the model × device × mode cross products
+/// (mgmem's planning sweep): runs `body(model, device, mode)` for every
+/// combination and clears the process-wide PlanCache after each combo so
+/// one-shot plans don't accumulate across the full matrix.
+template <typename Body>
+inline void
+for_each_combo(const std::vector<std::string> &models,
+               const std::vector<std::string> &devices,
+               const std::vector<std::string> &modes, Body &&body)
+{
+    for (const std::string &model : models) {
+        for (const std::string &device : devices) {
+            for (const std::string &mode : modes) {
+                body(model, device, mode);
+                PlanCache::instance().clear();
+            }
+        }
+    }
+}
+
 // ---- Bench-preset registry (the mgperf gate's workload table) -----------
 
 /// One registered preset: a deterministic in-process benchmark whose rows
@@ -531,6 +590,79 @@ preset_serve_tiny(const sim::DeviceSpec &device)
     return run;
 }
 
+/// Cluster preset: a 2-replica homogeneous fleet of the tiny traffic
+/// preset behind the round-robin router (serve/cluster.h) — the
+/// scale-out layer reduced to one deterministic run the gate can diff.
+/// Fleet latency percentiles regress when the device slows down; the
+/// exact router/outcome counters regress when placement or failover
+/// behavior changes.
+inline prof::BenchRun
+preset_cluster_tiny(const sim::DeviceSpec &device)
+{
+    serve::ClusterConfig config;
+    config.preset = "cluster_tiny";
+    config.serve = serve::serve_preset_by_name("tiny");
+    config.serve.preset = "cluster_tiny";
+    config.serve.traffic.num_requests = 96;
+    // Price footprints (the least-bytes signal) without ever shedding.
+    config.serve.admission.hbm_budget_bytes = 1ull << 30;
+    config.devices = {device, device};
+    config.device_names = {"dev", "dev"};
+    config.router_seed = config.serve.traffic.seed;
+    serve::Cluster cluster(std::move(config));
+    const serve::ClusterReport report = cluster.run();
+    MG_CHECK(serve::reconcile_cluster(report).empty())
+        << "cluster_tiny does not conserve";
+
+    prof::BenchRun run;
+    prof::BenchRow &fleet = preset_row(run, "cluster");
+    fleet.labels.emplace_back("policy", to_string(report.policy));
+    fleet.metrics.emplace_back("arrivals",
+                               static_cast<double>(report.arrivals));
+    fleet.metrics.emplace_back("completed",
+                               static_cast<double>(report.completed));
+    fleet.metrics.emplace_back(
+        "deadline_miss", static_cast<double>(report.deadline_miss));
+    fleet.metrics.emplace_back("rejected",
+                               static_cast<double>(report.rejected));
+    fleet.metrics.emplace_back("timed_out",
+                               static_cast<double>(report.timed_out));
+    fleet.metrics.emplace_back(
+        "lost_in_flight", static_cast<double>(report.lost_in_flight));
+    fleet.metrics.emplace_back("rounds",
+                               static_cast<double>(report.rounds));
+    fleet.metrics.emplace_back("makespan_us", report.makespan_us);
+    fleet.metrics.emplace_back("busy_us", report.busy_us);
+    fleet.metrics.emplace_back("throughput_rps", report.throughput_rps);
+    fleet.metrics.emplace_back("util_skew", report.util_skew);
+    fleet.metrics.emplace_back("p50_us", report.latency.p50);
+    fleet.metrics.emplace_back("p95_us", report.latency.p95);
+    fleet.metrics.emplace_back("p99_us", report.latency.p99);
+    fleet.metrics.emplace_back(
+        "routed", static_cast<double>(report.router.routed));
+    fleet.metrics.emplace_back(
+        "rerouted", static_cast<double>(report.router.rerouted));
+    fleet.metrics.emplace_back(
+        "failover_sheds",
+        static_cast<double>(report.router.failover_sheds()));
+    for (std::size_t k = 0; k < report.replicas.size(); ++k) {
+        const serve::ServeReport &rep = report.replicas[k];
+        prof::BenchRow &row = preset_row(run, "cluster_replica");
+        row.labels.emplace_back("replica", std::to_string(k));
+        row.metrics.emplace_back("offered",
+                                 static_cast<double>(
+                                     rep.admission.offered));
+        row.metrics.emplace_back("completed",
+                                 static_cast<double>(rep.completed));
+        row.metrics.emplace_back("rounds",
+                                 static_cast<double>(rep.rounds));
+        row.metrics.emplace_back("busy_us", rep.busy_us);
+        row.metrics.emplace_back("p99_us", rep.latency.p99);
+        row.metrics.emplace_back("util", report.replica_util[k]);
+    }
+    return run;
+}
+
 }  // namespace detail
 
 /// The registered presets, in baseline-file order.
@@ -548,6 +680,9 @@ bench_presets()
          &detail::preset_tiny},
         {"serve_tiny", "mgserve tiny traffic preset (serving-layer gate)",
          &detail::preset_serve_tiny},
+        {"cluster_tiny",
+         "2-replica round-robin fleet of the tiny preset (mgcluster gate)",
+         &detail::preset_cluster_tiny},
     };
     return presets;
 }

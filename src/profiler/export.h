@@ -51,6 +51,12 @@ inline constexpr int kServeIncidentVersion = 1;
 inline constexpr const char *kServeCostReportSchema = "mgcost.report";
 inline constexpr int kServeCostReportVersion = 1;
 
+/// mgcluster's fleet report (src/serve/cluster.h): per-replica serving
+/// summaries, router counters, the merged tenant ledger, and the
+/// fleet-wide conservation verdict.
+inline constexpr const char *kClusterReportSchema = "mgcluster.report";
+inline constexpr int kClusterReportVersion = 1;
+
 // ---- JSON ---------------------------------------------------------------
 
 void write_json(const sim::SimResult &result, std::ostream &os);

@@ -40,11 +40,14 @@ AdmissionQueue::AdmissionQueue(const AdmissionConfig &config,
     MG_CHECK(config_.max_queue_wait_us >= 0)
         << "max queue wait must be non-negative";
     for (const TenantSpec &t : tenants) {
+        MG_CHECK(t.weight > 0) << "tenant weight must be positive";
         tenant_names_.push_back(t.name);
         queues_.emplace_back();
         buckets_.push_back(t.rate_rps > 0
                                ? TokenBucket(t.rate_rps, t.burst)
                                : TokenBucket());
+        weights_.push_back(t.weight);
+        charged_us_.push_back(0.0);
     }
 }
 
@@ -59,7 +62,15 @@ AdmissionQueue::tenant_index(const std::string &name)
     tenant_names_.push_back(name);
     queues_.emplace_back();
     buckets_.emplace_back();  // Unknown tenants are never rate-limited.
+    weights_.push_back(1.0);
+    charged_us_.push_back(0.0);
     return tenant_names_.size() - 1;
+}
+
+void
+AdmissionQueue::set_charged(const std::string &tenant, double device_us)
+{
+    charged_us_[tenant_index(tenant)] = device_us;
 }
 
 void
@@ -103,18 +114,8 @@ AdmissionQueue::bucket_fills() const
 }
 
 AdmitDecision
-AdmissionQueue::offer(Request r, double)
+AdmissionQueue::admit(Request r, std::size_t tenant)
 {
-    ++stats_.offered;
-    // The bucket polices the tenant's own rate before the shared valves,
-    // on the request's arrival time: arrivals are ingested in
-    // non-decreasing arrival order, so the refill clock never rewinds.
-    const std::size_t tenant = tenant_index(r.tenant);
-    if (!buckets_[tenant].try_take(r.arrival_us)) {
-        ++stats_.rejected;
-        ++stats_.shed_ratelimit;
-        return {false, AdmitDecision::Shed::kRateLimit};
-    }
     if (depth() >= config_.queue_capacity) {
         ++stats_.rejected;
         return {false, AdmitDecision::Shed::kCapacity};
@@ -130,6 +131,33 @@ AdmissionQueue::offer(Request r, double)
     ++stats_.admitted;
     note_depth();
     return {true, AdmitDecision::Shed::kNone};
+}
+
+AdmitDecision
+AdmissionQueue::offer(Request r, double)
+{
+    ++stats_.offered;
+    // The bucket polices the tenant's own rate before the shared valves,
+    // on the request's arrival time: arrivals are ingested in
+    // non-decreasing arrival order, so the refill clock never rewinds.
+    const std::size_t tenant = tenant_index(r.tenant);
+    if (!buckets_[tenant].try_take(r.arrival_us)) {
+        ++stats_.rejected;
+        ++stats_.shed_ratelimit;
+        return {false, AdmitDecision::Shed::kRateLimit};
+    }
+    return admit(std::move(r), tenant);
+}
+
+AdmitDecision
+AdmissionQueue::reoffer(Request r, double)
+{
+    // No bucket: the arrival was already rate-policed where it first
+    // landed, and its (old) arrival timestamp would rewind this queue's
+    // bucket clock. Only the shared valves apply.
+    ++stats_.offered;
+    const std::size_t tenant = tenant_index(r.tenant);
+    return admit(std::move(r), tenant);
 }
 
 std::vector<Request>
@@ -154,22 +182,44 @@ AdmissionQueue::expire(double now_us)
     return expired;
 }
 
+std::vector<Request>
+AdmissionQueue::drain()
+{
+    std::vector<Request> drained;
+    drained.reserve(depth());
+    for (auto &q : queues_) {
+        while (!q.empty()) {
+            queued_bytes_ -= q.front().footprint_bytes;
+            drained.push_back(std::move(q.front()));
+            q.pop_front();
+            ++stats_.drained;
+        }
+    }
+    return drained;
+}
+
 std::optional<Request>
 AdmissionQueue::pop_seed()
 {
     std::size_t best = tenant_names_.size();
     double best_deadline = 0;
-    // Visit tenants from the cursor so equal deadlines rotate fairly;
-    // strict < keeps the first (cursor-closest) head on ties.
+    double best_debt = 0;
+    // Visit tenants from the cursor so equal keys rotate fairly; strict
+    // < keeps the first (cursor-closest) head on ties. Under WFQ the
+    // primary key is the tenant's charged device time per weight (its
+    // ledger debt), with EDF breaking debt ties; otherwise pure EDF.
     for (std::size_t step = 0; step < queues_.size(); ++step) {
         const std::size_t i = (cursor_ + step) % queues_.size();
         if (queues_[i].empty()) {
             continue;
         }
         const double deadline = queues_[i].front().deadline_us;
-        if (best == tenant_names_.size() || deadline < best_deadline) {
+        const double debt = config_.wfq ? charged_us_[i] / weights_[i] : 0;
+        if (best == tenant_names_.size() || debt < best_debt ||
+            (debt == best_debt && deadline < best_deadline)) {
             best = i;
             best_deadline = deadline;
+            best_debt = debt;
         }
     }
     if (best == tenant_names_.size()) {

@@ -48,6 +48,15 @@ struct AdmissionConfig {
     /// an exact counter (shed_memory) — the byte-budget analogue of the
     /// depth bound above.
     std::uint64_t hbm_budget_bytes = 0;
+    /// Burst-aware weighted fair queueing (ISSUE 9): when enabled,
+    /// pop_seed picks the tenant head with the smallest charged device
+    /// time per TenantSpec::weight (fed back from the TenantLedger via
+    /// set_charged) instead of pure EDF — a tenant that already burned
+    /// its share of the device waits behind tenants that have not, even
+    /// if its deadlines are tighter. Deadlines still break debt ties, so
+    /// the policy degrades to EDF while charges are equal (e.g. at the
+    /// start of a run).
+    bool wfq = false;
 };
 
 struct AdmissionStats {
@@ -63,6 +72,12 @@ struct AdmissionStats {
     std::uint64_t shed_ratelimit = 0;
     std::uint64_t timed_out = 0;  ///< Aged out waiting.
     std::uint64_t dispatched = 0; ///< Handed to the scheduler.
+    /// Admitted-but-undispatched requests removed by drain() when the
+    /// replica holding this queue went down (ISSUE 9). Disjoint from
+    /// every terminal counter above: a drained request leaves this queue
+    /// alive and is re-offered elsewhere by the cluster router, so
+    /// offered == completed-or-shed outcomes + drained per queue.
+    std::uint64_t drained = 0;
     /// High-water mark of the total queue depth — never exceeds
     /// queue_capacity (asserted by tests/serve_test.cc through the serve
     /// metric registry).
@@ -125,9 +140,24 @@ class AdmissionQueue {
     /// exactly one reason. The bucket refills on the request's arrival
     /// time (arrivals are ingested in non-decreasing order).
     AdmitDecision offer(Request r, double now_us);
+    /// Failover re-admission (ISSUE 9): offers a request the cluster
+    /// router moved here after its original replica died. The tenant's
+    /// token bucket is skipped — the tenant already paid for this
+    /// arrival at the replica that admitted it, and a fault-caused move
+    /// must not double-bill its rate budget (nor rewind this queue's
+    /// bucket clock to the request's old arrival time). Depth and byte
+    /// valves still apply, so a reroute into a full replica sheds with
+    /// the usual exact counters.
+    AdmitDecision reoffer(Request r, double now_us);
     /// Removes and returns every queued request that has waited longer
     /// than max_queue_wait_us at `now_us` (empty when aging is off).
     std::vector<Request> expire(double now_us);
+    /// Removes and returns everything queued, in tenant-rotation order
+    /// and FIFO within each tenant — the failover path when this
+    /// queue's replica goes down. Counted in AdmissionStats::drained
+    /// (not dispatched, not timed out): the requests are not terminal
+    /// here, the router re-offers them fleet-wide.
+    std::vector<Request> drain();
 
     std::size_t depth() const;
     bool empty() const { return depth() == 0; }
@@ -154,6 +184,12 @@ class AdmissionQueue {
     /// footprint_bytes).
     std::uint64_t queued_bytes() const { return queued_bytes_; }
 
+    /// WFQ feedback: the tenant's cumulative charged device time from
+    /// the TenantLedger (absolute, not a delta — the Server pushes the
+    /// ledger's running totals after every completed round). Ignored
+    /// unless AdmissionConfig::wfq is set.
+    void set_charged(const std::string &tenant, double device_us);
+
     const AdmissionStats &stats() const { return stats_; }
 
     // ---- Telemetry views (ISSUE 8) ----------------------------------
@@ -171,11 +207,16 @@ class AdmissionQueue {
   private:
     std::size_t tenant_index(const std::string &name);
     void note_depth();
+    /// The shared depth/byte valves behind offer and reoffer (the token
+    /// bucket is offer-only).
+    AdmitDecision admit(Request r, std::size_t tenant);
 
     AdmissionConfig config_;
     std::vector<std::string> tenant_names_;
     std::vector<std::deque<Request>> queues_;  ///< Parallel to names.
     std::vector<TokenBucket> buckets_;         ///< Parallel to names.
+    std::vector<double> weights_;              ///< WFQ weights, parallel.
+    std::vector<double> charged_us_;           ///< WFQ debt, parallel.
     std::size_t cursor_ = 0;
     std::uint64_t queued_bytes_ = 0;
     AdmissionStats stats_;

@@ -157,7 +157,29 @@ TenantLedger::note_aged_out(const Request &r, double waited_us)
     charged_queue_us_ += waited_us;
 }
 
-namespace {
+void
+TenantLedger::note_lost(const Request &r, double queue_us)
+{
+    CostCell &cell = cell_for(r);
+    ++cell.lost_in_flight;
+    cell.queue_us += queue_us;
+    charged_queue_us_ += queue_us;
+}
+
+std::vector<std::pair<std::string, double>>
+TenantLedger::charged_device_by_tenant() const
+{
+    std::vector<std::pair<std::string, double>> charged;
+    charged.reserve(tenants_.size());
+    for (const TenantState &state : tenants_) {
+        double device_us = 0;
+        for (int c = 0; c < kNumSloClasses; ++c) {
+            device_us += state.by_class[c].device_us();
+        }
+        charged.emplace_back(state.name, device_us);
+    }
+    return charged;
+}
 
 void
 add_cell(CostCell &into, const CostCell &cell)
@@ -172,9 +194,8 @@ add_cell(CostCell &into, const CostCell &cell)
     into.shed_ratelimit += cell.shed_ratelimit;
     into.aged_out += cell.aged_out;
     into.deadline_miss += cell.deadline_miss;
+    into.lost_in_flight += cell.lost_in_flight;
 }
-
-}  // namespace
 
 CostReport
 TenantLedger::finish(double busy_us) const
@@ -285,14 +306,23 @@ reconcile_cost(const CostReport &cost, const ServeReport &report)
           mismatch("deadline_miss",
                    static_cast<double>(counts.deadline_miss),
                    static_cast<double>(report.deadline_miss)));
-    check(counts.offered() == adm.offered,
-          mismatch("offered", static_cast<double>(counts.offered()),
+    check(counts.lost_in_flight == report.lost_in_flight,
+          mismatch("lost_in_flight",
+                   static_cast<double>(counts.lost_in_flight),
+                   static_cast<double>(report.lost_in_flight)));
+    // Every offer either reached a terminal cell here or was drained to
+    // the router when the replica died — drained requests are the one
+    // non-terminal exit, so they reconcile the offered count.
+    check(counts.offered() + adm.drained == adm.offered,
+          mismatch("offered",
+                   static_cast<double>(counts.offered() + adm.drained),
                    static_cast<double>(adm.offered)));
 
     // ---- Queue occupancy re-derived from the request records ----------
     double want_queue = 0;
     for (const RequestRecord &rec : report.records) {
-        if (rec.outcome == RequestRecord::Outcome::kCompleted) {
+        if (rec.outcome == RequestRecord::Outcome::kCompleted ||
+            rec.outcome == RequestRecord::Outcome::kLostReplica) {
             want_queue += rec.queue_us();
         } else if (rec.outcome == RequestRecord::Outcome::kTimedOut) {
             want_queue += rec.finish_us - rec.request.arrival_us;
@@ -309,6 +339,7 @@ reconcile_cost(const CostReport &cost, const ServeReport &report)
         std::uint64_t completed = 0;
         std::uint64_t rejected = 0;
         std::uint64_t aged = 0;
+        std::uint64_t lost = 0;
         for (const RequestRecord &rec : report.records) {
             if (rec.request.tenant != t.tenant) {
                 continue;
@@ -322,6 +353,9 @@ reconcile_cost(const CostReport &cost, const ServeReport &report)
                 break;
               case RequestRecord::Outcome::kTimedOut:
                 ++aged;
+                break;
+              case RequestRecord::Outcome::kLostReplica:
+                ++lost;
                 break;
             }
         }
@@ -341,6 +375,10 @@ reconcile_cost(const CostReport &cost, const ServeReport &report)
               mismatch("tenant " + t.tenant + " aged_out",
                        static_cast<double>(t.total.aged_out),
                        static_cast<double>(aged)));
+        check(t.total.lost_in_flight == lost,
+              mismatch("tenant " + t.tenant + " lost_in_flight",
+                       static_cast<double>(t.total.lost_in_flight),
+                       static_cast<double>(lost)));
         check(t.latency.count == t.total.completed,
               mismatch("tenant " + t.tenant + " latency samples",
                        static_cast<double>(t.latency.count),
@@ -364,10 +402,8 @@ scale_tenant_charges(CostReport &cost, std::size_t tenant_index,
 
 // ---- Report document ----------------------------------------------------
 
-namespace {
-
 void
-write_cell(JsonWriter &w, const CostCell &cell, double busy_us)
+write_cost_cell(JsonWriter &w, const CostCell &cell, double busy_us)
 {
     w.field("completed", static_cast<std::int64_t>(cell.completed));
     w.field("shed_capacity",
@@ -376,6 +412,8 @@ write_cell(JsonWriter &w, const CostCell &cell, double busy_us)
     w.field("shed_ratelimit",
             static_cast<std::int64_t>(cell.shed_ratelimit));
     w.field("aged_out", static_cast<std::int64_t>(cell.aged_out));
+    w.field("lost_in_flight",
+            static_cast<std::int64_t>(cell.lost_in_flight));
     w.field("deadline_miss",
             static_cast<std::int64_t>(cell.deadline_miss));
     w.field("compute_us", cell.compute_us);
@@ -386,8 +424,6 @@ write_cell(JsonWriter &w, const CostCell &cell, double busy_us)
     w.field("device_share",
             busy_us > 0 ? cell.device_us() / busy_us : 0.0);
 }
-
-}  // namespace
 
 std::string
 cost_report_json(const CostReport &cost, const CostRunInfo &info,
@@ -422,7 +458,7 @@ cost_report_json(const CostReport &cost, const CostRunInfo &info,
         for (const TenantCost &t : cost.tenants) {
             w.begin_object();
             w.field("tenant", t.tenant);
-            write_cell(w, t.total, cost.busy_us);
+            write_cost_cell(w, t.total, cost.busy_us);
             w.key("latency");
             w.begin_object();
             w.field("count", static_cast<std::int64_t>(t.latency.count));
@@ -438,7 +474,7 @@ cost_report_json(const CostReport &cost, const CostRunInfo &info,
                 w.begin_object();
                 w.field("class",
                         to_string(static_cast<SloClass>(c)));
-                write_cell(w, t.by_class[c], cost.busy_us);
+                write_cost_cell(w, t.by_class[c], cost.busy_us);
                 w.end_object();
             }
             w.end_array();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -61,15 +62,24 @@ struct CostCell {
     std::uint64_t shed_ratelimit = 0;
     std::uint64_t aged_out = 0;
     std::uint64_t deadline_miss = 0;
+    /// Requests that were on the device (or dispatched) when their
+    /// replica went down (ISSUE 9) — terminal, fleet-unrecoverable work.
+    /// Always 0 in single-server runs.
+    std::uint64_t lost_in_flight = 0;
 
     /// Total device time charged to this cell.
     double device_us() const { return compute_us + pad_us; }
     std::uint64_t offered() const
     {
         return completed + shed_capacity + shed_memory + shed_ratelimit +
-               aged_out;
+               aged_out + lost_in_flight;
     }
 };
+
+/// Accumulates `cell` into `into`, field by field — how tenant totals
+/// telescope from class cells, and how mgcluster merges per-replica
+/// ledgers into the fleet ledger.
+void add_cell(CostCell &into, const CostCell &cell);
 
 struct TenantCost {
     std::string tenant;
@@ -129,6 +139,17 @@ class TenantLedger {
     /// A request aged out after `waited_us` in the queue (charged as
     /// queue occupancy — it held a slot the whole time).
     void note_aged_out(const Request &r, double waited_us);
+    /// A dispatched request died with its replica (ISSUE 9): charges the
+    /// queue occupancy it consumed before dispatch and counts it in the
+    /// lost_in_flight cell. The truncated round's device time is charged
+    /// separately through charge_round.
+    void note_lost(const Request &r, double queue_us);
+
+    /// Cumulative charged device time per tenant (spec order, extras
+    /// appended) — the WFQ feedback the Server pushes into
+    /// AdmissionQueue::set_charged after every completed round.
+    std::vector<std::pair<std::string, double>>
+    charged_device_by_tenant() const;
 
     /// Reduces the cells into the report; `busy_us` is the run's
     /// ServeReport::busy_us (the conservation target).
@@ -181,6 +202,10 @@ struct CostRunInfo {
     std::string device;
     std::uint64_t seed = 0;
 };
+
+/// Writes one cost cell's fields into an open JSON object — shared by
+/// the mgcost document below and mgcluster's merged fleet ledger.
+void write_cost_cell(JsonWriter &w, const CostCell &cell, double busy_us);
 
 /// The validated "mgcost.report" v1 JSON document. The two-argument
 /// form stamps a freshly collected manifest; pass an explicit manifest

@@ -1,0 +1,153 @@
+#include "serve/router.h"
+
+#include "common/error.h"
+
+namespace multigrain::serve {
+
+namespace {
+
+/// FNV-1a over the seed bytes then the tenant name — the seeded,
+/// platform-independent hash behind tenant-affinity pinning.
+std::uint64_t
+affinity_hash(std::uint64_t seed, const std::string &tenant)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t byte) {
+        h ^= byte;
+        h *= 1099511628211ull;
+    };
+    for (int i = 0; i < 8; ++i) {
+        mix((seed >> (8 * i)) & 0xff);
+    }
+    for (const char c : tenant) {
+        mix(static_cast<unsigned char>(c));
+    }
+    return h;
+}
+
+}  // namespace
+
+const char *
+to_string(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::kRoundRobin:
+        return "round-robin";
+      case RoutePolicy::kLeastBytes:
+        return "least-bytes";
+      case RoutePolicy::kTenantAffinity:
+        return "tenant-affinity";
+    }
+    MG_CHECK(false) << "unreachable";
+    return "";
+}
+
+RoutePolicy
+route_policy_by_name(const std::string &name)
+{
+    if (name == "round-robin") {
+        return RoutePolicy::kRoundRobin;
+    }
+    if (name == "least-bytes") {
+        return RoutePolicy::kLeastBytes;
+    }
+    if (name == "tenant-affinity") {
+        return RoutePolicy::kTenantAffinity;
+    }
+    throw Error("unknown route policy \"" + name +
+                "\" (round-robin|least-bytes|tenant-affinity)");
+}
+
+Router::Router(RoutePolicy policy, std::size_t replicas,
+               std::uint64_t seed)
+    : policy_(policy),
+      replicas_(replicas),
+      seed_(seed),
+      cursor_(replicas > 0 ? seed % replicas : 0)
+{
+    MG_CHECK(replicas > 0) << "router needs at least one replica";
+    stats_.per_replica.assign(replicas, 0);
+}
+
+int
+Router::pick(const Request &r, const std::vector<ReplicaView> &views)
+{
+    MG_CHECK(views.size() == replicas_)
+        << "router saw " << views.size() << " views for " << replicas_
+        << " replicas";
+    switch (policy_) {
+      case RoutePolicy::kRoundRobin: {
+        for (std::size_t step = 0; step < replicas_; ++step) {
+            const std::size_t i = (cursor_ + step) % replicas_;
+            if (views[i].alive) {
+                cursor_ = (i + 1) % replicas_;
+                return static_cast<int>(i);
+            }
+        }
+        return -1;
+      }
+      case RoutePolicy::kLeastBytes: {
+        int best = -1;
+        for (std::size_t i = 0; i < replicas_; ++i) {
+            if (!views[i].alive) {
+                continue;
+            }
+            if (best < 0 || views[i].outstanding_bytes <
+                                views[static_cast<std::size_t>(best)]
+                                    .outstanding_bytes) {
+                best = static_cast<int>(i);
+            }
+        }
+        return best;
+      }
+      case RoutePolicy::kTenantAffinity: {
+        const auto [it, inserted] = pins_.try_emplace(
+            r.tenant, affinity_hash(seed_, r.tenant) % replicas_);
+        if (views[it->second].alive) {
+            return static_cast<int>(it->second);
+        }
+        // The pin is dead: move it to the next alive replica after it,
+        // and keep it there (stickiness preserves the plan-cache
+        // working set the tenant builds at the new home).
+        for (std::size_t step = 1; step <= replicas_; ++step) {
+            const std::size_t i = (it->second + step) % replicas_;
+            if (views[i].alive) {
+                it->second = i;
+                ++stats_.affinity_repins;
+                return static_cast<int>(i);
+            }
+        }
+        return -1;
+      }
+    }
+    MG_CHECK(false) << "unreachable";
+    return -1;
+}
+
+int
+Router::route(const Request &r, const std::vector<ReplicaView> &views)
+{
+    const int target = pick(r, views);
+    if (target < 0) {
+        ++stats_.shed_arrivals;
+        return target;
+    }
+    ++stats_.routed;
+    ++stats_.per_replica[static_cast<std::size_t>(target)];
+    return target;
+}
+
+int
+Router::reroute(const Request &r, const std::vector<ReplicaView> &views)
+{
+    const int target = pick(r, views);
+    if (target < 0) {
+        ++stats_.shed_reroutes;
+        return target;
+    }
+    ++stats_.rerouted;
+    ++stats_.per_replica[static_cast<std::size_t>(target)];
+    return target;
+}
+
+}  // namespace multigrain::serve

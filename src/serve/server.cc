@@ -407,154 +407,299 @@ Server::complete_round(ServeReport &report, TrafficSource &source,
     gpu_busy_ = false;
 }
 
-ServeReport
-Server::run()
-{
-    MG_CHECK(!ran_) << "Server::run may be called once";
-    ran_ = true;
+// ---- Step-wise driving (ISSUE 9) ----------------------------------------
 
-    const PlanCacheStats cache_before = PlanCache::instance().stats();
-    TrafficSource source(config_.traffic);
+void
+Server::begin()
+{
+    MG_CHECK(!begun_) << "Server::begin may be called once";
+    begun_ = true;
+    cache_before_ = PlanCache::instance().stats();
     // The specs carry each tenant's token-bucket rate limit; the queue
     // builds one bucket per tenant from them.
-    AdmissionQueue queue(config_.admission, config_.traffic.tenants);
-    TenantLedger ledger(config_.traffic.tenants);
-    Scheduler scheduler(config_.scheduler, config_.traffic.models);
+    queue_.emplace(config_.admission, config_.traffic.tenants);
+    ledger_.emplace(config_.traffic.tenants);
+    scheduler_.emplace(config_.scheduler, config_.traffic.models);
     // Byte packing (scheduler) and memory shedding (admission) both
     // price work with the cached MemPlans' peak footprints.
-    scheduler.set_footprint(
+    scheduler_->set_footprint(
         [this](const std::string &model, SliceMode m, index_t bucket,
                int planned) {
             return batch_footprint(model, m, bucket, planned);
         });
+    report_.preset = config_.preset;
+    report_.device = device_.name;
+}
 
-    ServeReport report;
-    report.preset = config_.preset;
-    report.device = device_.name;
+void
+Server::record_shed(Request copy, AdmitDecision::Shed reason,
+                    double now_us, double finish_us)
+{
+    ledger_->note_shed(copy, reason);
+    if (trace_ != nullptr) {
+        // A token-bucket shed gets its own event kind; the capacity and
+        // memory valves keep the original kShed.
+        const TraceEventKind kind =
+            reason == AdmitDecision::Shed::kRateLimit
+                ? TraceEventKind::kShedRateLimit
+                : TraceEventKind::kShed;
+        trace_->record(request_event(kind, now_us, copy));
+    }
+    RequestRecord rec;
+    rec.request = std::move(copy);
+    rec.outcome = RequestRecord::Outcome::kRejected;
+    rec.finish_us = finish_us;
+    report_.records.push_back(std::move(rec));
+}
 
+void
+Server::ingest(Request r, double now_us)
+{
     // Requests carry the preset's processing method.
-    const SliceMode mode = config_.mode;
+    r.mode = config_.mode;
+    if (config_.admission.hbm_budget_bytes > 0) {
+        // Price the request for memory shedding: what it would cost to
+        // serve alone in its bucket.
+        r.footprint_bytes = batch_footprint(
+            r.model, r.mode, scheduler_->bucket_of(r),
+            scheduler_->planned_batch(1));
+    }
+    Request copy = r;
+    if (trace_ != nullptr) {
+        TraceEvent e =
+            request_event(TraceEventKind::kArrive, r.arrival_us, r);
+        e.tenant = r.tenant;
+        e.model = r.model;
+        e.slo = static_cast<int>(r.slo);
+        e.valid_len = r.valid_len;
+        e.deadline_us = r.deadline_us;
+        trace_->record(std::move(e));
+    }
+    const AdmitDecision decision = queue_->offer(std::move(r), now_us);
+    if (!decision) {
+        const double arrival_us = copy.arrival_us;
+        record_shed(std::move(copy), decision.reason, now_us, arrival_us);
+    } else if (trace_ != nullptr) {
+        trace_->record(request_event(TraceEventKind::kAdmit, now_us, copy));
+    }
+}
 
+bool
+Server::reingest(Request r, double now_us)
+{
+    // The request keeps its original arrival time (latency is measured
+    // from when the user issued it) but is re-priced for this replica's
+    // device, and re-arrives on this replica's trace log at the reroute
+    // time so each replica's log is self-contained.
+    r.mode = config_.mode;
+    if (config_.admission.hbm_budget_bytes > 0) {
+        r.footprint_bytes = batch_footprint(
+            r.model, r.mode, scheduler_->bucket_of(r),
+            scheduler_->planned_batch(1));
+    }
+    Request copy = r;
+    if (trace_ != nullptr) {
+        TraceEvent e = request_event(TraceEventKind::kArrive, now_us, r);
+        e.tenant = r.tenant;
+        e.model = r.model;
+        e.slo = static_cast<int>(r.slo);
+        e.valid_len = r.valid_len;
+        e.deadline_us = r.deadline_us;
+        trace_->record(std::move(e));
+    }
+    const AdmitDecision decision = queue_->reoffer(std::move(r), now_us);
+    if (!decision) {
+        record_shed(std::move(copy), decision.reason, now_us, now_us);
+        return false;
+    }
+    if (trace_ != nullptr) {
+        trace_->record(request_event(TraceEventKind::kAdmit, now_us, copy));
+    }
+    return true;
+}
+
+void
+Server::expire(double now_us)
+{
+    // Age out requests that waited past the admission bound.
+    for (Request &r : queue_->expire(now_us)) {
+        ledger_->note_aged_out(r, now_us - r.arrival_us);
+        if (trace_ != nullptr) {
+            trace_->record(
+                request_event(TraceEventKind::kAgeOut, now_us, r));
+        }
+        RequestRecord rec;
+        rec.request = std::move(r);
+        rec.outcome = RequestRecord::Outcome::kTimedOut;
+        rec.finish_us = now_us;
+        rec.deadline_met = false;
+        report_.records.push_back(std::move(rec));
+    }
+}
+
+bool
+Server::can_dispatch() const
+{
+    return begun_ && !down_ && !gpu_busy_ && !queue_->empty();
+}
+
+void
+Server::dispatch(double now_us)
+{
+    MG_CHECK(can_dispatch()) << "dispatch without can_dispatch";
+    dispatch_round(now_us, rounds_, *scheduler_, *queue_);
+    ++rounds_;
+    busy_accum_us_ += gpu_free_us_ - now_us;
+}
+
+double
+Server::busy_until() const
+{
+    return gpu_busy_ ? gpu_free_us_ : kInf;
+}
+
+void
+Server::complete(TrafficSource &source)
+{
+    complete_round(report_, source, *ledger_);
+    push_wfq_charges();
+}
+
+void
+Server::push_wfq_charges()
+{
+    if (!config_.admission.wfq) {
+        return;
+    }
+    for (const auto &[tenant, device_us] :
+         ledger_->charged_device_by_tenant()) {
+        queue_->set_charged(tenant, device_us);
+    }
+}
+
+void
+Server::observe(double now_us)
+{
     // Telemetry snapshot at a virtual-clock event; guarded like trace
     // emissions so an uninstrumented run skips all of it.
-    const auto observe = [this, &queue](double t_us) {
-        if (telemetry_ == nullptr) {
-            return;
-        }
-        TelemetrySample s;
-        for (const InFlightBatch &f : in_flight_) {
-            s.in_flight += f.batch.size();
-        }
-        if (gpu_busy_ && !round_bytes_.empty()) {
-            s.round_hbm_bytes = round_bytes_.back();
-        }
-        s.queue_depth = queue.tenant_depths();
-        s.bucket_fill = queue.bucket_fills();
-        telemetry_->observe(t_us, std::move(s));
-    };
+    if (telemetry_ == nullptr) {
+        return;
+    }
+    TelemetrySample s;
+    for (const InFlightBatch &f : in_flight_) {
+        s.in_flight += f.batch.size();
+    }
+    if (gpu_busy_ && !round_bytes_.empty()) {
+        s.round_hbm_bytes = round_bytes_.back();
+    }
+    s.queue_depth = queue_->tenant_depths();
+    s.bucket_fill = queue_->bucket_fills();
+    telemetry_->observe(now_us, std::move(s));
+}
 
-    double now = 0;
-    int rounds = 0;
-    double busy = 0;
-    for (;;) {
-        // Ingest every arrival due by now; shed what the queue refuses.
-        while (source.peek_us() <= now) {
-            Request r = source.pop();
-            r.mode = mode;
-            if (config_.admission.hbm_budget_bytes > 0) {
-                // Price the request for memory shedding: what it would
-                // cost to serve alone in its bucket.
-                r.footprint_bytes = batch_footprint(
-                    r.model, r.mode, scheduler.bucket_of(r),
-                    scheduler.planned_batch(1));
+std::uint64_t
+Server::outstanding_bytes() const
+{
+    std::uint64_t bytes = queue_ ? queue_->queued_bytes() : 0;
+    for (const InFlightBatch &f : in_flight_) {
+        bytes += f.footprint_bytes;
+    }
+    return bytes;
+}
+
+std::vector<Request>
+Server::kill(double now_us)
+{
+    MG_CHECK(begun_ && !down_) << "kill on a replica that is not up";
+    down_ = true;
+    if (gpu_busy_) {
+        // The device only ran until the fault: shrink the busy
+        // accumulator back to the truncated span and charge exactly that
+        // span to the batches that occupied it, so charged device time
+        // still telescopes to busy_us on this replica. A batch whose own
+        // finish predates the fault is charged its full span (it held
+        // the device that long), but its requests are still lost — the
+        // round never completed, so its results were never released.
+        busy_accum_us_ -= gpu_free_us_ - now_us;
+        std::vector<TenantLedger::BatchCharge> charges;
+        charges.reserve(in_flight_.size());
+        for (const InFlightBatch &f : in_flight_) {
+            TenantLedger::BatchCharge charge;
+            charge.device_us =
+                std::min(f.finish_us, now_us) - f.dispatch_us;
+            charge.footprint_bytes = f.footprint_bytes;
+            charge.bucket = f.batch.bucket;
+            charge.planned_batch = f.batch.planned_batch;
+            charge.requests = &f.batch.requests;
+            charges.push_back(charge);
+        }
+        ledger_->charge_round(now_us - in_flight_.front().dispatch_us,
+                              charges);
+        for (InFlightBatch &f : in_flight_) {
+            report_.batch_histogram[f.batch.size()] += 1;
+            for (const Request &r : f.batch.requests) {
+                RequestRecord rec;
+                rec.request = r;
+                rec.outcome = RequestRecord::Outcome::kLostReplica;
+                rec.dispatch_us = f.dispatch_us;
+                rec.finish_us = now_us;
+                rec.bucket = f.batch.bucket;
+                rec.batch_size = f.batch.size();
+                rec.deadline_met = false;
+                ledger_->note_lost(r, rec.queue_us());
+                report_.records.push_back(std::move(rec));
             }
-            Request copy = r;
             if (trace_ != nullptr) {
-                TraceEvent e = request_event(TraceEventKind::kArrive,
-                                             r.arrival_us, r);
-                e.tenant = r.tenant;
-                e.model = r.model;
-                e.slo = static_cast<int>(r.slo);
-                e.valid_len = r.valid_len;
-                e.deadline_us = r.deadline_us;
+                TraceEvent e;
+                e.kind = TraceEventKind::kBatchDone;
+                e.t_us = now_us;
+                e.batch = f.id;
+                e.round = f.round;
                 trace_->record(std::move(e));
             }
-            const AdmitDecision decision = queue.offer(std::move(r), now);
-            if (!decision) {
-                ledger.note_shed(copy, decision.reason);
-                if (trace_ != nullptr) {
-                    // A token-bucket shed gets its own event kind; the
-                    // capacity and memory valves keep the original kShed.
-                    const TraceEventKind kind =
-                        decision.reason == AdmitDecision::Shed::kRateLimit
-                            ? TraceEventKind::kShedRateLimit
-                            : TraceEventKind::kShed;
-                    trace_->record(request_event(kind, now, copy));
-                }
-                RequestRecord rec;
-                rec.request = std::move(copy);
-                rec.outcome = RequestRecord::Outcome::kRejected;
-                rec.finish_us = rec.request.arrival_us;
-                report.records.push_back(std::move(rec));
-            } else if (trace_ != nullptr) {
-                trace_->record(
-                    request_event(TraceEventKind::kAdmit, now, copy));
-            }
         }
-        // Age out requests that waited past the admission bound.
-        for (Request &r : queue.expire(now)) {
-            ledger.note_aged_out(r, now - r.arrival_us);
-            if (trace_ != nullptr) {
-                trace_->record(
-                    request_event(TraceEventKind::kAgeOut, now, r));
-            }
-            RequestRecord rec;
-            rec.request = std::move(r);
-            rec.outcome = RequestRecord::Outcome::kTimedOut;
-            rec.finish_us = now;
-            rec.deadline_met = false;
-            report.records.push_back(std::move(rec));
+        if (trace_ != nullptr) {
+            TraceEvent e;
+            e.kind = TraceEventKind::kRoundDone;
+            e.t_us = now_us;
+            e.round = current_round_;
+            trace_->record(std::move(e));
         }
-
-        if (!gpu_busy_ && !queue.empty()) {
-            dispatch_round(now, rounds, scheduler, queue);
-            ++rounds;
-            busy += gpu_free_us_ - now;
-            observe(now);
-            continue;
-        }
-        observe(now);
-
-        double next = source.peek_us();
-        if (gpu_busy_) {
-            next = std::min(next, gpu_free_us_);
-        }
-        if (next == kInf) {
-            break;
-        }
-        now = next;
-        if (gpu_busy_ && now >= gpu_free_us_) {
-            complete_round(report, source, ledger);
-        }
+        in_flight_.clear();
+        gpu_busy_ = false;
+        push_wfq_charges();
     }
-    MG_CHECK(source.exhausted() && queue.empty() && !gpu_busy_)
-        << "serving loop ended with work in the system";
+    return queue_->drain();
+}
+
+void
+Server::revive()
+{
+    MG_CHECK(down_) << "revive on a replica that is up";
+    down_ = false;
+}
+
+ServeReport
+Server::finish(double now_us)
+{
+    MG_CHECK(begun_) << "Server::finish before begin";
     if (telemetry_ != nullptr) {
-        telemetry_->finish(now);
+        telemetry_->finish(now_us);
     }
 
     // ---- Reduce the records into the report ----------------------------
-    report.rounds = rounds;
-    report.busy_us = busy;
-    report.admission = queue.stats();
+    ServeReport report = std::move(report_);
+    report.rounds = rounds_;
+    report.busy_us = busy_accum_us_;
+    report.admission = queue_->stats();
     report.round_hbm_bytes = std::move(round_bytes_);
     for (const std::uint64_t b : report.round_hbm_bytes) {
         report.peak_round_hbm_bytes =
             std::max(report.peak_round_hbm_bytes, b);
     }
     report.plan_cache =
-        stats_delta(cache_before, PlanCache::instance().stats());
-    report.cost = ledger.finish(busy);
+        stats_delta(cache_before_, PlanCache::instance().stats());
+    report.cost = ledger_->finish(busy_accum_us_);
 
     std::vector<double> latencies;
     latencies.reserve(report.records.size());
@@ -562,6 +707,9 @@ Server::run()
     double first_arrival = kInf;
     double last_finish = 0;
     for (const RequestRecord &rec : report.records) {
+        if (rec.outcome == RequestRecord::Outcome::kLostReplica) {
+            ++report.lost_in_flight;
+        }
         if (rec.outcome != RequestRecord::Outcome::kCompleted) {
             continue;
         }
@@ -601,6 +749,46 @@ Server::run()
             static_cast<double>(batch_sum) / batch_count;
     }
     return report;
+}
+
+ServeReport
+Server::run()
+{
+    MG_CHECK(!ran_) << "Server::run may be called once";
+    ran_ = true;
+    begin();
+    TrafficSource source(config_.traffic);
+
+    double now = 0;
+    for (;;) {
+        // Ingest every arrival due by now; shed what the queue refuses.
+        while (source.peek_us() <= now) {
+            ingest(source.pop(), now);
+        }
+        expire(now);
+
+        if (can_dispatch()) {
+            dispatch(now);
+            observe(now);
+            continue;
+        }
+        observe(now);
+
+        double next = source.peek_us();
+        if (gpu_busy_) {
+            next = std::min(next, gpu_free_us_);
+        }
+        if (next == kInf) {
+            break;
+        }
+        now = next;
+        if (gpu_busy_ && now >= gpu_free_us_) {
+            complete(source);
+        }
+    }
+    MG_CHECK(source.exhausted() && queue_->empty() && !gpu_busy_)
+        << "serving loop ended with work in the system";
+    return finish(now);
 }
 
 // ---- Metric registry + bench rows ---------------------------------------

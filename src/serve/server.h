@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,7 +59,15 @@ struct ServePresetInfo {
 const std::vector<ServePresetInfo> &serve_presets();
 
 struct RequestRecord {
-    enum class Outcome { kCompleted, kRejected, kTimedOut };
+    enum class Outcome {
+        kCompleted,
+        kRejected,
+        kTimedOut,
+        /// Dispatched to a replica that went down before the round
+        /// finished (ISSUE 9): the work is lost fleet-wide. finish_us is
+        /// the fault time; deadline_met is always false.
+        kLostReplica,
+    };
 
     Request request;
     Outcome outcome = Outcome::kCompleted;
@@ -88,6 +97,9 @@ struct ServeReport {
     int rounds = 0;
     std::uint64_t completed = 0;
     std::uint64_t deadline_miss = 0;
+    /// Requests lost in flight when this replica was killed (ISSUE 9);
+    /// always 0 in single-server runs.
+    std::uint64_t lost_in_flight = 0;
     double makespan_us = 0;  ///< First arrival to last completion.
     double busy_us = 0;      ///< Device-occupied time (sum of rounds).
     double throughput_rps = 0;
@@ -130,6 +142,59 @@ class Server {
     /// Runs the preset to completion. May be called once.
     ServeReport run();
 
+    // ---- Step-wise driving (ISSUE 9) --------------------------------
+    // run() is a thin driver over the methods below, calling them in a
+    // fixed per-event order; mgcluster drives N replicas' servers on one
+    // shared virtual clock in the same order, which is why a replica's
+    // serving behavior inside a cluster matches a standalone run of the
+    // same event stream operation for operation.
+
+    /// Builds the queue/ledger/scheduler and snapshots the plan cache.
+    /// Must be called once before any other stepping method (run() calls
+    /// it itself).
+    void begin();
+    /// One arrival at `now_us`: stamps the preset's slice mode, prices
+    /// the footprint when a byte budget is configured, offers it to
+    /// admission, and records the shed outcome if refused.
+    void ingest(Request r, double now_us);
+    /// Failover re-admission of a request drained from a dead replica:
+    /// same as ingest but through AdmissionQueue::reoffer (the tenant's
+    /// token bucket is not billed twice for a fault-caused move).
+    /// Returns false when this replica's depth/byte valves shed it —
+    /// then the request is terminal here, recorded as rejected.
+    bool reingest(Request r, double now_us);
+    /// Ages out requests that waited past the admission bound.
+    void expire(double now_us);
+    /// True when a round can start: up, device idle, work queued.
+    bool can_dispatch() const;
+    /// Forms and dispatches the next round; requires can_dispatch().
+    void dispatch(double now_us);
+    bool busy() const { return gpu_busy_; }
+    /// When the running round releases the device; +infinity while idle.
+    double busy_until() const;
+    /// Completes the round due at busy_until(): records, charges the
+    /// ledger, feeds closed-loop traffic, pushes WFQ debt.
+    void complete(TrafficSource &source);
+    /// Telemetry snapshot at a virtual-clock event (no-op untelemetered).
+    void observe(double now_us);
+    /// Queued + in-flight projected HBM bytes — the load figure the
+    /// cluster router's least-bytes policy balances on.
+    std::uint64_t outstanding_bytes() const;
+
+    /// Takes this replica down at `now_us` (ISSUE 9): the running round
+    /// is truncated — its device time up to now_us is charged, its
+    /// requests are recorded as lost in flight — and every
+    /// admitted-but-undispatched request is drained and returned for the
+    /// router to re-offer fleet-wide. The replica stays down (dispatch
+    /// refuses) until revive().
+    std::vector<Request> kill(double now_us);
+    void revive();
+    bool down() const { return down_; }
+
+    /// Finishes instrumentation at `now_us` and reduces the records into
+    /// the final report. Call exactly once, after the event stream ends.
+    ServeReport finish(double now_us);
+
   private:
     struct InFlightBatch {
         Batch batch;
@@ -145,6 +210,14 @@ class Server {
     TransformerRunner &runner_for(const Batch &batch);
     TransformerRunner &runner_for(const std::string &model, SliceMode mode,
                                   index_t bucket, int planned_batch);
+    /// Pushes the ledger's per-tenant charged device time into the
+    /// admission queue (the WFQ debt feedback); no-op unless the
+    /// preset enables weighted fair queueing.
+    void push_wfq_charges();
+    /// Books a door shed: ledger counter, trace event, kRejected record
+    /// terminal at `finish_us`.
+    void record_shed(Request copy, AdmitDecision::Shed reason,
+                     double now_us, double finish_us);
     /// Projected HBM bytes of one batch's execution: the bucketed layer
     /// plan's MemPlan peak x the model's layer count. Memoized per
     /// (model, mode, bucket, planned batch); the MemPlan itself is a
@@ -158,6 +231,17 @@ class Server {
 
     ServeConfig config_;
     sim::DeviceSpec device_;
+    /// Serving-loop state, built by begin(). Optional so a Server can be
+    /// constructed cheaply before the run starts.
+    std::optional<AdmissionQueue> queue_;
+    std::optional<TenantLedger> ledger_;
+    std::optional<Scheduler> scheduler_;
+    ServeReport report_;
+    PlanCacheStats cache_before_;
+    int rounds_ = 0;
+    double busy_accum_us_ = 0;
+    bool begun_ = false;
+    bool down_ = false;
     /// Plan holders per (model, mode, bucket, planned batch) — the
     /// steady-state working set of the serving loop. The underlying
     /// layer graphs live in the process-wide PlanCache.

@@ -858,6 +858,17 @@ constexpr int kDevicePid = 1;
 constexpr int kRoundLane = 5;
 constexpr int kBatchLaneBase = 10;
 
+/// Where one replica's tracks land in the shared timeline: its serving
+/// lanes under `serve_pid`, its gpusim replays under `device_pid`, and
+/// every track name / async category prefixed with `prefix` ("" for the
+/// single-server export — which keeps it byte-identical to the
+/// pre-fleet output).
+struct TrackIds {
+    int serve_pid = kServePid;
+    int device_pid = kDevicePid;
+    std::string prefix;
+};
+
 void
 meta_name(JsonWriter &w, int pid, int tid, const char *what,
           const std::string &name)
@@ -875,14 +886,14 @@ meta_name(JsonWriter &w, int pid, int tid, const char *what,
 }
 
 void
-async_event(JsonWriter &w, const char *ph, std::int64_t id,
-            const std::string &name, double ts)
+async_event(JsonWriter &w, const TrackIds &ids, const char *ph,
+            std::int64_t id, const std::string &name, double ts)
 {
     w.begin_object();
     w.field("ph", ph);
-    w.field("pid", kServePid);
+    w.field("pid", ids.serve_pid);
     w.field("tid", 0);
-    w.field("cat", "request");
+    w.field("cat", ids.prefix + "request");
     w.field("id", id);
     w.field("name", name);
     w.field("ts", ts);
@@ -890,14 +901,14 @@ async_event(JsonWriter &w, const char *ph, std::int64_t id,
 }
 
 void
-counter_event(JsonWriter &w, const std::string &name, double ts,
-              double value)
+counter_event(JsonWriter &w, const TrackIds &ids, const std::string &name,
+              double ts, double value)
 {
     w.begin_object();
     w.field("ph", "C");
-    w.field("pid", kServePid);
+    w.field("pid", ids.serve_pid);
     w.field("tid", 0);
-    w.field("name", name);
+    w.field("name", ids.prefix + name);
     w.field("ts", ts);
     w.key("args");
     w.begin_object();
@@ -906,23 +917,19 @@ counter_event(JsonWriter &w, const std::string &name, double ts,
     w.end_object();
 }
 
-}  // namespace
-
+/// Emits one replica's complete track set into an open traceEvents
+/// array — the whole single-server export body, parameterized by where
+/// the tracks land.
 void
-write_serve_trace(const TraceLog &log, std::ostream &os,
-                  const ServeTraceOptions &options)
+append_serve_tracks(JsonWriter &w, const TraceLog &log,
+                    const ServeTraceOptions &options, const TrackIds &ids)
 {
     const std::vector<TraceEvent> &events = log.events();
     const std::vector<RequestSpans> spans = spans_from_events(events);
 
-    JsonWriter w(os);
-    w.begin_object();
-    w.field("displayTimeUnit", "ns");
-    w.key("traceEvents");
-    w.begin_array();
-
-    meta_name(w, kServePid, 0, "process_name", "serving");
-    meta_name(w, kServePid, kRoundLane, "thread_name", "rounds");
+    meta_name(w, ids.serve_pid, 0, "process_name",
+              ids.prefix + "serving");
+    meta_name(w, ids.serve_pid, kRoundLane, "thread_name", "rounds");
 
     // ---- Async request spans: one track per request, nested phases ----
     for (const RequestSpans &s : spans) {
@@ -933,9 +940,9 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
              << ")";
         w.begin_object();
         w.field("ph", "b");
-        w.field("pid", kServePid);
+        w.field("pid", ids.serve_pid);
         w.field("tid", 0);
-        w.field("cat", "request");
+        w.field("cat", ids.prefix + "request");
         w.field("id", s.request);
         w.field("name", name.str());
         w.field("ts", s.arrive_us);
@@ -955,12 +962,12 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
         w.end_object();
         w.end_object();
         if (s.outcome == "completed") {
-            async_event(w, "b", s.request, "queue", s.admit_us);
-            async_event(w, "e", s.request, "queue", s.dispatched_us);
-            async_event(w, "b", s.request, "device", s.dispatched_us);
-            async_event(w, "e", s.request, "device", s.finish_us);
+            async_event(w, ids, "b", s.request, "queue", s.admit_us);
+            async_event(w, ids, "e", s.request, "queue", s.dispatched_us);
+            async_event(w, ids, "b", s.request, "device", s.dispatched_us);
+            async_event(w, ids, "e", s.request, "device", s.finish_us);
         }
-        async_event(w, "e", s.request, name.str(), s.finish_us);
+        async_event(w, ids, "e", s.request, name.str(), s.finish_us);
     }
 
     // ---- Batch + round lanes ------------------------------------------
@@ -1001,7 +1008,7 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
             const BatchLane &lane = it->second;
             w.begin_object();
             w.field("ph", "X");
-            w.field("pid", kServePid);
+            w.field("pid", ids.serve_pid);
             w.field("tid", kBatchLaneBase + lane.slot);
             std::ostringstream name;
             name << "B" << e.batch << " " << lane.model << " b"
@@ -1023,7 +1030,7 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
             }
             w.begin_object();
             w.field("ph", "X");
-            w.field("pid", kServePid);
+            w.field("pid", ids.serve_pid);
             w.field("tid", kRoundLane);
             w.field("name", "round " + std::to_string(e.round));
             w.field("ts", it->second);
@@ -1032,7 +1039,7 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
         }
     }
     for (int slot = 0; slot <= max_slot; ++slot) {
-        meta_name(w, kServePid, kBatchLaneBase + slot, "thread_name",
+        meta_name(w, ids.serve_pid, kBatchLaneBase + slot, "thread_name",
                   "batch slot " + std::to_string(slot));
     }
 
@@ -1045,24 +1052,27 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
         for (const TraceEvent &e : events) {
             switch (e.kind) {
               case TraceEventKind::kAdmit:
-                counter_event(w, "queue_depth", e.t_us, ++queue_depth);
+                counter_event(w, ids, "queue_depth", e.t_us,
+                              ++queue_depth);
                 break;
               case TraceEventKind::kAgeOut:
-                counter_event(w, "queue_depth", e.t_us, --queue_depth);
+                counter_event(w, ids, "queue_depth", e.t_us,
+                              --queue_depth);
                 break;
               case TraceEventKind::kBatchForm:
-                counter_event(w, "queue_depth", e.t_us, --queue_depth);
-                counter_event(w, "in_flight", e.t_us, ++in_flight);
+                counter_event(w, ids, "queue_depth", e.t_us,
+                              --queue_depth);
+                counter_event(w, ids, "in_flight", e.t_us, ++in_flight);
                 break;
               case TraceEventKind::kComplete:
-                counter_event(w, "in_flight", e.t_us, --in_flight);
+                counter_event(w, ids, "in_flight", e.t_us, --in_flight);
                 break;
               case TraceEventKind::kShed:
-                counter_event(w, "sheds", e.t_us, ++sheds);
+                counter_event(w, ids, "sheds", e.t_us, ++sheds);
                 break;
               case TraceEventKind::kShedRateLimit:
-                counter_event(w, "sheds", e.t_us, ++sheds);
-                counter_event(w, "ratelimit_sheds", e.t_us,
+                counter_event(w, ids, "sheds", e.t_us, ++sheds);
+                counter_event(w, ids, "ratelimit_sheds", e.t_us,
                               ++ratelimit_sheds);
                 break;
               default:
@@ -1079,15 +1089,15 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
         const TelemetryRecorder &tele = *options.telemetry;
         const std::vector<std::string> &tenants = tele.tenants();
         for (const TelemetrySample &s : tele.samples()) {
-            counter_event(w, "tele.in_flight", s.t_us,
+            counter_event(w, ids, "tele.in_flight", s.t_us,
                           static_cast<double>(s.in_flight));
-            counter_event(w, "tele.round_hbm_bytes", s.t_us,
+            counter_event(w, ids, "tele.round_hbm_bytes", s.t_us,
                           static_cast<double>(s.round_hbm_bytes));
             for (std::size_t t = 0; t < tenants.size(); ++t) {
-                counter_event(w, "tele.queue_depth." + tenants[t],
+                counter_event(w, ids, "tele.queue_depth." + tenants[t],
                               s.t_us,
                               static_cast<double>(s.queue_depth[t]));
-                counter_event(w, "tele.bucket_fill." + tenants[t],
+                counter_event(w, ids, "tele.bucket_fill." + tenants[t],
                               s.t_us, s.bucket_fill[t]);
             }
         }
@@ -1095,7 +1105,8 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
 
     // ---- Per-round gpusim replays on the shared clock -----------------
     if (options.device_lanes && !log.round_sims().empty()) {
-        meta_name(w, kDevicePid, 0, "process_name", "gpusim replays");
+        meta_name(w, ids.device_pid, 0, "process_name",
+                  ids.prefix + "gpusim replays");
         std::set<int> streams;
         for (const TraceLog::RoundSim &rs : log.round_sims()) {
             for (const sim::KernelStats &k : rs.result.kernels) {
@@ -1103,15 +1114,28 @@ write_serve_trace(const TraceLog &log, std::ostream &os,
             }
         }
         for (const int s : streams) {
-            meta_name(w, kDevicePid, s, "thread_name",
+            meta_name(w, ids.device_pid, s, "thread_name",
                       "stream " + std::to_string(s));
         }
         for (const TraceLog::RoundSim &rs : log.round_sims()) {
             sim::append_kernel_slices(w, rs.result, rs.dispatch_us,
-                                      kDevicePid);
+                                      ids.device_pid);
         }
     }
+}
 
+}  // namespace
+
+void
+write_serve_trace(const TraceLog &log, std::ostream &os,
+                  const ServeTraceOptions &options)
+{
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.begin_array();
+    append_serve_tracks(w, log, options, TrackIds{});
     w.end_array();
     w.end_object();
 }
@@ -1131,6 +1155,53 @@ write_serve_trace_file(const TraceLog &log, const std::string &path,
     std::ofstream file(path);
     MG_CHECK(file.good()) << "cannot open trace file " << path;
     write_serve_trace(log, file, options);
+    file.flush();
+    MG_CHECK(file.good()) << "failed writing trace file " << path;
+}
+
+void
+write_fleet_trace(const std::vector<FleetReplicaTrace> &replicas,
+                  std::ostream &os, const ServeTraceOptions &options)
+{
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.begin_array();
+    for (std::size_t k = 0; k < replicas.size(); ++k) {
+        const FleetReplicaTrace &replica = replicas[k];
+        MG_CHECK(replica.log != nullptr)
+            << "fleet trace replica " << k << " has no log";
+        ServeTraceOptions replica_options = options;
+        replica_options.telemetry = replica.telemetry;
+        TrackIds ids;
+        ids.serve_pid = static_cast<int>(2 * k);
+        ids.device_pid = static_cast<int>(2 * k + 1);
+        ids.prefix =
+            replica.label.empty() ? "" : replica.label + ".";
+        append_serve_tracks(w, *replica.log, replica_options, ids);
+    }
+    w.end_array();
+    w.end_object();
+}
+
+std::string
+fleet_trace_json(const std::vector<FleetReplicaTrace> &replicas,
+                 const ServeTraceOptions &options)
+{
+    std::ostringstream os;
+    write_fleet_trace(replicas, os, options);
+    return os.str();
+}
+
+void
+write_fleet_trace_file(const std::vector<FleetReplicaTrace> &replicas,
+                       const std::string &path,
+                       const ServeTraceOptions &options)
+{
+    std::ofstream file(path);
+    MG_CHECK(file.good()) << "cannot open trace file " << path;
+    write_fleet_trace(replicas, file, options);
     file.flush();
     MG_CHECK(file.good()) << "failed writing trace file " << path;
 }

@@ -348,6 +348,31 @@ std::string serve_trace_json(const TraceLog &log,
 void write_serve_trace_file(const TraceLog &log, const std::string &path,
                             const ServeTraceOptions &options = {});
 
+/// One replica's contribution to a fleet timeline (ISSUE 9). The label
+/// (e.g. "r0") prefixes the replica's process names, counter tracks and
+/// async categories so N replicas coexist in one Perfetto view; the
+/// optional telemetry recorder overrides ServeTraceOptions::telemetry
+/// for this replica only. Both pointers must outlive the export call.
+struct FleetReplicaTrace {
+    const TraceLog *log = nullptr;
+    const TelemetryRecorder *telemetry = nullptr;
+    std::string label;
+};
+
+/// Renders N replicas' event logs as one correlated timeline on the
+/// shared cluster clock: replica k's serving lanes run under pid 2k and
+/// its gpusim replays under pid 2k+1, every track name prefixed
+/// "<label>.". A single-replica fleet with an empty label is
+/// byte-identical to write_serve_trace of the same log.
+void write_fleet_trace(const std::vector<FleetReplicaTrace> &replicas,
+                       std::ostream &os,
+                       const ServeTraceOptions &options = {});
+std::string fleet_trace_json(const std::vector<FleetReplicaTrace> &replicas,
+                             const ServeTraceOptions &options = {});
+void write_fleet_trace_file(const std::vector<FleetReplicaTrace> &replicas,
+                            const std::string &path,
+                            const ServeTraceOptions &options = {});
+
 }  // namespace multigrain::serve
 
 #endif  // MULTIGRAIN_SERVE_TRACE_H_

@@ -367,45 +367,44 @@ int
 run(const Options &opt)
 {
     std::vector<UnitResult> all;
-    for (const std::string &model : opt.models) {
-        for (const std::string &device : opt.devices) {
-            for (const std::string &mode : opt.modes) {
-                std::vector<UnitResult> combo =
-                    plan_combo(opt, model, device, mode);
-                for (const UnitResult &r : combo) {
-                    const bool noisy = !r.valid ||
-                                       (opt.require_savings &&
-                                        r.plan.pooling_savings() == 0) ||
-                                       opt.verbose;
-                    if (!opt.quiet && noisy) {
-                        std::printf(
-                            "%s | %s | %s | %s: %zu buffers — naive %llu,"
-                            " peak %llu, saved %llu%s%s\n",
-                            r.model.c_str(), r.device.c_str(),
-                            r.mode.c_str(), r.unit.c_str(),
-                            r.plan.buffers.size(),
-                            static_cast<unsigned long long>(
-                                r.plan.naive_hbm_bytes()),
-                            static_cast<unsigned long long>(
-                                r.plan.peak_hbm_bytes()),
-                            static_cast<unsigned long long>(
-                                r.plan.pooling_savings()),
-                            r.valid ? "" : " — INVALID: ",
-                            r.error.c_str());
-                        if (opt.verbose && r.valid) {
-                            print_arena_map(r);
-                        }
+    // for_each_combo clears the process-wide PlanCache after every combo
+    // — each combo's plans are one-shot here, and the full matrix must
+    // not accumulate in the cache.
+    bench::for_each_combo(
+        opt.models, opt.devices, opt.modes,
+        [&](const std::string &model, const std::string &device,
+            const std::string &mode) {
+            std::vector<UnitResult> combo =
+                plan_combo(opt, model, device, mode);
+            for (const UnitResult &r : combo) {
+                const bool noisy = !r.valid ||
+                                   (opt.require_savings &&
+                                    r.plan.pooling_savings() == 0) ||
+                                   opt.verbose;
+                if (!opt.quiet && noisy) {
+                    std::printf(
+                        "%s | %s | %s | %s: %zu buffers — naive %llu,"
+                        " peak %llu, saved %llu%s%s\n",
+                        r.model.c_str(), r.device.c_str(),
+                        r.mode.c_str(), r.unit.c_str(),
+                        r.plan.buffers.size(),
+                        static_cast<unsigned long long>(
+                            r.plan.naive_hbm_bytes()),
+                        static_cast<unsigned long long>(
+                            r.plan.peak_hbm_bytes()),
+                        static_cast<unsigned long long>(
+                            r.plan.pooling_savings()),
+                        r.valid ? "" : " — INVALID: ",
+                        r.error.c_str());
+                    if (opt.verbose && r.valid) {
+                        print_arena_map(r);
                     }
                 }
-                for (UnitResult &r : combo) {
-                    all.push_back(std::move(r));
-                }
-                // Each combo's plans are one-shot here; don't let the
-                // full matrix accumulate in the process-wide cache.
-                PlanCache::instance().clear();
             }
-        }
-    }
+            for (UnitResult &r : combo) {
+                all.push_back(std::move(r));
+            }
+        });
 
     std::size_t invalid = 0, unpooled = 0;
     std::uint64_t naive = 0, peak = 0;

@@ -361,11 +361,9 @@ run(const Options &opt)
     if (!opt.all) {
         return run_one(opt, opt.preset);
     }
-    int status = 0;
-    for (const serve::ServePresetInfo &preset : serve::serve_presets()) {
-        status |= run_one(opt, preset.name);
-    }
-    return status;
+    return bench::run_preset_matrix(
+        bench::serve_preset_names(),
+        [&opt](const std::string &name) { return run_one(opt, name); });
 }
 
 }  // namespace
