@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "core/check.h"
 #include "core/lint.h"
 #include "formats/convert.h"
 #include "kernels/backward.h"
@@ -272,6 +273,17 @@ AttentionEngine::direct_streams(sim::GpuSim &sim) const
 // ---------------------------------------------------------------------------
 // Phase bodies, written once over LaunchSink.
 
+namespace {
+
+// Definedness declarations for the annotate sites below (core/check.h).
+// The o / dq / dk / dv accumulators start on zero-filled allocations and
+// escape the graph as results; the stashed probabilities (%p.*) and the
+// setup-time additive mask flow *into* a graph that never writes them.
+constexpr unsigned kAccumOut = sim::kBufZeroInit | sim::kBufOutput;
+constexpr unsigned kInbound = sim::kBufInput;
+
+}  // namespace
+
 void
 AttentionEngine::build_sddmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                              const Streams &streams,
@@ -383,7 +395,7 @@ AttentionEngine::build_softmax(LaunchSink &sink, const sim::DeviceSpec &dev,
                                           replicas,
                                       2, 2.0, named("softmax.dense.mask")),
                                   {{"%s.full", bb.full},
-                                   {"%mask", bb.mask}},
+                                   {"%mask", bb.mask, kInbound}},
                                   {{"%s.full", bb.full}}));
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_dense_softmax(
@@ -453,7 +465,7 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, *plan_.coarse, dh, replicas,
                                       named("spmm.triton")),
                                   {{"%s.coarse", bb.coarse}, {"v", bb.qkv}},
-                                  {}, {{"o", bb.qkv}}));
+                                  {}, {{"o", bb.qkv, kAccumOut}}));
         return;
       case SliceMode::kFineOnly:
         sink.launch(streams.coarse,
@@ -461,7 +473,7 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, *plan_.fine, dh, replicas,
                                       named("spmm.sputnik")),
                                   {{"%s.fine", bb.fine}, {"v", bb.qkv}},
-                                  {}, {{"o", bb.qkv}}));
+                                  {}, {{"o", bb.qkv, kAccumOut}}));
         return;
       case SliceMode::kDense:
         sink.launch(streams.coarse,
@@ -469,7 +481,7 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, plan_.seq_len, dh, plan_.seq_len,
                                       replicas, named("spmm.dense")),
                                   {{"%s.full", bb.full}, {"v", bb.qkv}},
-                                  {}, {{"o", bb.qkv}}));
+                                  {}, {{"o", bb.qkv, kAccumOut}}));
         return;
       case SliceMode::kMultigrain:
         break;
@@ -483,7 +495,7 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, *plan_.coarse, dh, replicas,
                                       named("spmm.coarse")),
                                   {{"%s.coarse", bb.coarse}, {"v", bb.qkv}},
-                                  {}, {{"o", bb.qkv}}));
+                                  {}, {{"o", bb.qkv, kAccumOut}}));
     }
     if (plan_.has_fine()) {
         sink.launch(streams.fine,
@@ -491,7 +503,7 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, *plan_.fine, dh, replicas,
                                       named("spmm.fine")),
                                   {{"%s.fine", bb.fine}, {"v", bb.qkv}},
-                                  {}, {{"o", bb.qkv}}));
+                                  {}, {{"o", bb.qkv, kAccumOut}}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
@@ -499,7 +511,7 @@ AttentionEngine::build_spmm(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, g, dh, plan_.valid_len, replicas,
                                       named("spmm.global")),
                                   {{"%s.global", bb.global}, {"v", bb.qkv}},
-                                  {}, {{"o", bb.qkv}}));
+                                  {}, {{"o", bb.qkv, kAccumOut}}));
     }
 }
 
@@ -528,14 +540,15 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, L, dh, L, replicas,
                                       named("bwd.spmm_t.dv.dense")),
-                                  {{"%p.full", bb.full}, {"d_out", bb.qkv}},
-                                  {}, {{"dv", bb.qkv}}));
+                                  {{"%p.full", bb.full, kInbound},
+                                   {"d_out", bb.qkv}},
+                                  {}, {{"dv", bb.qkv, kAccumOut}}));
         sink.join_streams();
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_elementwise(
                                       dev, L * L * replicas, 2, 6.0,
                                       named("bwd.softmax.dense")),
-                                  {{"%p.full", bb.full},
+                                  {{"%p.full", bb.full, kInbound},
                                    {"%dp.full", bb.full}},
                                   {{"%dp.full", bb.full}}));
         sink.join_streams();
@@ -544,13 +557,13 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, L, dh, L, replicas,
                                       named("bwd.spmm.dq.dense")),
                                   {{"%dp.full", bb.full}, {"k", bb.qkv}},
-                                  {}, {{"dq", bb.qkv}}));
+                                  {}, {{"dq", bb.qkv, kAccumOut}}));
         sink.launch(streams.coarse,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, L, dh, L, replicas,
                                       named("bwd.spmm_t.dk.dense")),
                                   {{"%dp.full", bb.full}, {"q", bb.qkv}},
-                                  {}, {{"dk", bb.qkv}}));
+                                  {}, {{"dk", bb.qkv, kAccumOut}}));
         sink.join_streams();
         return;
     }
@@ -574,9 +587,9 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                           dev, coarse_transposed(), dh,
                                           replicas,
                                           named("bwd.spmm_t.dv")),
-                                      {{"%p.coarse", bb.coarse},
+                                      {{"%p.coarse", bb.coarse, kInbound},
                                        {"d_out", bb.qkv}},
-                                      {}, {{"dv", bb.qkv}}));
+                                      {}, {{"dv", bb.qkv, kAccumOut}}));
         } else {
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_coarse_sddmm(
@@ -589,9 +602,9 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                           dev, coarse_transposed(), dh,
                                           replicas,
                                           named("bwd.spmm_t.dv")),
-                                      {{"%p.coarse", bb.coarse},
+                                      {{"%p.coarse", bb.coarse, kInbound},
                                        {"d_out", bb.qkv}},
-                                      {}, {{"dv", bb.qkv}}));
+                                      {}, {{"dv", bb.qkv, kAccumOut}}));
         }
     }
     if (has_fine) {
@@ -606,9 +619,9 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_fine_spmm(
                                       dev, fine_transposed(), dh, replicas,
                                       named("bwd.spmm_t.dv.fine")),
-                                  {{"%p.fine", bb.fine},
+                                  {{"%p.fine", bb.fine, kInbound},
                                    {"d_out", bb.qkv}},
-                                  {}, {{"dv", bb.qkv}}));
+                                  {}, {{"dv", bb.qkv, kAccumOut}}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
@@ -621,9 +634,9 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, plan_.valid_len, dh, g, replicas,
                                       named("bwd.spmm_t.dv.global")),
-                                  {{"%p.global", bb.global},
+                                  {{"%p.global", bb.global, kInbound},
                                    {"d_out", bb.qkv}},
-                                  {}, {{"dv", bb.qkv}}));
+                                  {}, {{"dv", bb.qkv, kAccumOut}}));
     }
     sink.join_streams();
 
@@ -636,17 +649,18 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
         if (has_coarse && has_fine) {
             softmax_bwd = sim::annotate(
                 std::move(softmax_bwd),
-                {{"%p.coarse", bb.coarse}, {"%p.fine", bb.fine},
+                {{"%p.coarse", bb.coarse, kInbound},
+                 {"%p.fine", bb.fine, kInbound},
                  {"%dp.coarse", bb.coarse}, {"%dp.fine", bb.fine}},
                 {{"%dp.coarse", bb.coarse}, {"%dp.fine", bb.fine}});
         } else if (has_coarse) {
             softmax_bwd = sim::annotate(std::move(softmax_bwd),
-                                        {{"%p.coarse", bb.coarse},
+                                        {{"%p.coarse", bb.coarse, kInbound},
                                          {"%dp.coarse", bb.coarse}},
                                         {{"%dp.coarse", bb.coarse}});
         } else {
             softmax_bwd = sim::annotate(std::move(softmax_bwd),
-                                        {{"%p.fine", bb.fine},
+                                        {{"%p.fine", bb.fine, kInbound},
                                          {"%dp.fine", bb.fine}},
                                         {{"%dp.fine", bb.fine}});
         }
@@ -657,7 +671,7 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                     sim::annotate(kernels::plan_dense_softmax(
                                       dev, g, plan_.valid_len, replicas,
                                       named("bwd.softmax.global")),
-                                  {{"%p.global", bb.global},
+                                  {{"%p.global", bb.global, kInbound},
                                    {"%dp.global", bb.global}},
                                   {{"%dp.global", bb.global}}));
     }
@@ -672,7 +686,7 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                           named("bwd.spmm.dq")),
                                       {{"%dp.coarse", bb.coarse},
                                        {"k", bb.qkv}},
-                                      {}, {{"dq", bb.qkv}}));
+                                      {}, {{"dq", bb.qkv, kAccumOut}}));
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_triton_spmm(
                                           dev, coarse_transposed(), dh,
@@ -680,7 +694,7 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                           named("bwd.spmm_t.dk")),
                                       {{"%dp.coarse", bb.coarse},
                                        {"q", bb.qkv}},
-                                      {}, {{"dk", bb.qkv}}));
+                                      {}, {{"dk", bb.qkv, kAccumOut}}));
         } else {
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_coarse_spmm(
@@ -688,7 +702,7 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                           named("bwd.spmm.dq")),
                                       {{"%dp.coarse", bb.coarse},
                                        {"k", bb.qkv}},
-                                      {}, {{"dq", bb.qkv}}));
+                                      {}, {{"dq", bb.qkv, kAccumOut}}));
             sink.launch(streams.coarse,
                         sim::annotate(kernels::plan_coarse_spmm(
                                           dev, coarse_transposed(), dh,
@@ -696,7 +710,7 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                           named("bwd.spmm_t.dk")),
                                       {{"%dp.coarse", bb.coarse},
                                        {"q", bb.qkv}},
-                                      {}, {{"dk", bb.qkv}}));
+                                      {}, {{"dk", bb.qkv, kAccumOut}}));
         }
     }
     if (has_fine) {
@@ -705,13 +719,13 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       dev, *plan_.fine, dh, replicas,
                                       named("bwd.spmm.dq.fine")),
                                   {{"%dp.fine", bb.fine}, {"k", bb.qkv}},
-                                  {}, {{"dq", bb.qkv}}));
+                                  {}, {{"dq", bb.qkv, kAccumOut}}));
         sink.launch(streams.fine,
                     sim::annotate(kernels::plan_fine_spmm(
                                       dev, fine_transposed(), dh, replicas,
                                       named("bwd.spmm_t.dk.fine")),
                                   {{"%dp.fine", bb.fine}, {"q", bb.qkv}},
-                                  {}, {{"dk", bb.qkv}}));
+                                  {}, {{"dk", bb.qkv, kAccumOut}}));
     }
     if (plan_.has_special()) {
         sink.launch(streams.special,
@@ -720,14 +734,14 @@ AttentionEngine::build_backward(LaunchSink &sink, const sim::DeviceSpec &dev,
                                       named("bwd.spmm.dq.global")),
                                   {{"%dp.global", bb.global},
                                    {"k", bb.qkv}},
-                                  {}, {{"dq", bb.qkv}}));
+                                  {}, {{"dq", bb.qkv, kAccumOut}}));
         sink.launch(streams.special,
                     sim::annotate(kernels::plan_dense_gemm(
                                       dev, plan_.valid_len, dh, g, replicas,
                                       named("bwd.spmm_t.dk.global")),
                                   {{"%dp.global", bb.global},
                                    {"q", bb.qkv}},
-                                  {}, {{"dk", bb.qkv}}));
+                                  {}, {{"dk", bb.qkv, kAccumOut}}));
     }
     sink.join_streams();
 }
@@ -771,7 +785,11 @@ AttentionEngine::forward_graphs(const sim::DeviceSpec &device) const
         // Plan (and alias-validate) the footprint while the graph is
         // fresh; the phase fragments are not planned — composers account
         // them through the composed graph they are appended into.
-        memplan_for(key, graphs->forward);
+        const auto memplan = memplan_for(key, graphs->forward);
+        // Definedness + arena-aliasing proof (core/check.h). Only the
+        // composed graph: a phase fragment standalone legitimately reads
+        // scores a sibling fragment writes.
+        enforce_capture_check(graphs->forward, memplan.get(), key);
         return graphs;
     });
 }
@@ -800,7 +818,8 @@ AttentionEngine::backward_graph(const sim::DeviceSpec &device) const
         const Streams s = capture_streams(*graph);
         build_backward(*graph, device, s, "");
         enforce_capture_lint(*graph, device, key);
-        memplan_for(key, *graph);
+        const auto memplan = memplan_for(key, *graph);
+        enforce_capture_check(*graph, memplan.get(), key);
         return graph;
     });
 }

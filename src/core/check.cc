@@ -1,0 +1,540 @@
+#include "core/check.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/lint.h"
+#include "gpusim/launch.h"
+
+namespace multigrain {
+
+namespace {
+
+// ---- Per-buffer access collection ---------------------------------------
+
+enum class Mode { kRead, kAccum, kWrite };
+
+/// One annotated access: the node, how it touches the buffer, the
+/// annotated byte size, and the definedness declaration flags.
+struct AccessRef {
+    int node = -1;
+    Mode mode = Mode::kRead;
+    std::uint64_t bytes = 0;
+    unsigned flags = 0;
+};
+
+/// Everything check_graph knows about one buffer, gathered in capture
+/// order. `flags` is the union of the declarations on every access —
+/// a declaration anywhere in the graph covers the whole buffer.
+struct BufferInfo {
+    sim::BufferId id = sim::kNoBuffer;
+    std::string name;
+    bool plan_local = false;
+    unsigned flags = 0;
+    std::vector<AccessRef> accesses;
+
+    bool declared(unsigned flag) const { return (flags & flag) != 0; }
+};
+
+/// Entry i of `v`, or `fallback` when the parallel vector is shorter
+/// than the id vector (hand-built launches may omit bytes/flags).
+template <typename T>
+T
+parallel_entry(const std::vector<T> &v, std::size_t i, T fallback)
+{
+    return i < v.size() ? v[i] : fallback;
+}
+
+std::vector<BufferInfo>
+collect_buffers(const std::vector<LaunchGraphNode> &nodes)
+{
+    std::map<sim::BufferId, BufferInfo> by_id;
+    const auto add = [&](sim::BufferId id, AccessRef ref) {
+        BufferInfo &info = by_id[id];
+        if (info.accesses.empty()) {
+            info.id = id;
+            info.name = sim::buffer_name(id);
+            info.plan_local = sim::buffer_is_plan_local(id);
+        }
+        info.flags |= ref.flags;
+        info.accesses.push_back(ref);
+    };
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const sim::KernelLaunch &l = nodes[n].launch;
+        for (std::size_t i = 0; i < l.reads.size(); ++i) {
+            add(l.reads[i],
+                {static_cast<int>(n), Mode::kRead,
+                 parallel_entry<std::uint64_t>(l.read_bytes, i, 0),
+                 parallel_entry<unsigned>(l.read_flags, i, 0)});
+        }
+        for (std::size_t i = 0; i < l.accums.size(); ++i) {
+            add(l.accums[i],
+                {static_cast<int>(n), Mode::kAccum,
+                 parallel_entry<std::uint64_t>(l.accum_bytes, i, 0),
+                 parallel_entry<unsigned>(l.accum_flags, i, 0)});
+        }
+        for (std::size_t i = 0; i < l.writes.size(); ++i) {
+            add(l.writes[i],
+                {static_cast<int>(n), Mode::kWrite,
+                 parallel_entry<std::uint64_t>(l.write_bytes, i, 0),
+                 parallel_entry<unsigned>(l.write_flags, i, 0)});
+        }
+    }
+    std::vector<BufferInfo> buffers;
+    buffers.reserve(by_id.size());
+    for (auto &[id, info] : by_id) {
+        buffers.push_back(std::move(info));
+    }
+    // Name order, not interning order: the interning table is process-
+    // global, so id order depends on what ran earlier in the process.
+    std::sort(buffers.begin(), buffers.end(),
+              [](const BufferInfo &a, const BufferInfo &b) {
+                  return a.name < b.name;
+              });
+    return buffers;
+}
+
+// ---- Rendering ----------------------------------------------------------
+
+std::string
+node_str(const std::vector<LaunchGraphNode> &nodes, int i)
+{
+    std::ostringstream os;
+    const LaunchGraphNode &node = nodes[static_cast<std::size_t>(i)];
+    os << "#" << i << " " << node.launch.name << " @s" << node.stream;
+    return os.str();
+}
+
+std::string
+chain_str(const std::vector<LaunchGraphNode> &nodes,
+          const std::vector<int> &chain)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (i > 0) {
+            os << " -> ";
+        }
+        os << node_str(nodes, chain[i]);
+    }
+    return os.str();
+}
+
+std::string
+human_bytes(std::uint64_t bytes)
+{
+    std::ostringstream os;
+    if (bytes >= 1024ULL * 1024) {
+        os << (bytes / (1024ULL * 1024)) << " MiB";
+    } else if (bytes >= 1024) {
+        os << (bytes / 1024) << " KiB";
+    } else {
+        os << bytes << " B";
+    }
+    return os.str();
+}
+
+// ---- The definedness lattice --------------------------------------------
+
+/// True iff some write access of `info` other than `at` is ordered
+/// before node `at` — i.e. the buffer is in the `defined` lattice state
+/// when node `at` runs, under every legal schedule. A same-node write
+/// does not define a same-node read (the read observes the old
+/// contents: the in-place softmax reads scores the SDDMM wrote, not its
+/// own output).
+bool
+defined_at(const BufferInfo &info, const HappensBefore &hb, int at)
+{
+    for (const AccessRef &a : info.accesses) {
+        if (a.mode == Mode::kWrite && a.node != at &&
+            hb.ordered(a.node, at)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// True iff some read (or, for plain writes, accumulate) access is
+/// ordered after node `at` — the store transitions to `consumed`.
+bool
+consumed_after(const BufferInfo &info, const HappensBefore &hb, int at,
+               Mode store_mode)
+{
+    for (const AccessRef &a : info.accesses) {
+        if (a.node == at) {
+            continue;
+        }
+        const bool consumer =
+            a.mode == Mode::kRead ||
+            (store_mode == Mode::kWrite && a.mode == Mode::kAccum);
+        if (consumer && hb.ordered(at, a.node)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+// ---- Public surface -----------------------------------------------------
+
+const char *
+to_string(CheckKind kind)
+{
+    switch (kind) {
+      case CheckKind::kUseBeforeDef: return "use-before-def";
+      case CheckKind::kUninitAccum: return "uninit-accum";
+      case CheckKind::kArenaAlias: return "arena-alias";
+      case CheckKind::kSizeMismatch: return "size-mismatch";
+      case CheckKind::kDeadStore: return "dead-store";
+      case CheckKind::kLeakedTemp: return "leaked-temp";
+    }
+    return "?";
+}
+
+const char *
+to_string(CheckSeverity severity)
+{
+    switch (severity) {
+      case CheckSeverity::kWarning: return "warning";
+      case CheckSeverity::kError: return "error";
+    }
+    return "?";
+}
+
+CheckSeverity
+severity_of(CheckKind kind)
+{
+    switch (kind) {
+      case CheckKind::kDeadStore:
+      case CheckKind::kLeakedTemp:
+        return CheckSeverity::kWarning;
+      default:
+        return CheckSeverity::kError;
+    }
+}
+
+std::size_t
+CheckReport::count(CheckSeverity severity) const
+{
+    std::size_t n = 0;
+    for (const CheckFinding &f : findings) {
+        if (f.severity == severity) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t
+CheckReport::errors() const
+{
+    return count(CheckSeverity::kError);
+}
+
+std::string
+CheckReport::summary() const
+{
+    std::ostringstream os;
+    os << count(CheckSeverity::kError) << " error(s), "
+       << count(CheckSeverity::kWarning) << " warning(s)";
+    return os.str();
+}
+
+CheckReport
+check_graph(const LaunchGraph &graph, const CheckOptions &options)
+{
+    graph.validate();
+    const std::vector<LaunchGraphNode> &nodes = graph.nodes();
+
+    const HappensBefore hb(nodes);
+    const std::vector<BufferInfo> buffers = collect_buffers(nodes);
+
+    CheckReport report;
+    report.num_nodes = nodes.size();
+    report.num_buffers = buffers.size();
+
+    const auto emit = [&](CheckKind kind, int node_a, int node_b,
+                          const std::string &buffer,
+                          const std::string &detail) {
+        CheckFinding f;
+        f.kind = kind;
+        f.severity = severity_of(kind);
+        f.node_a = node_a;
+        f.node_b = node_b;
+        f.buffer = buffer;
+        if (node_a >= 0) {
+            f.witness_a = dependency_witness(nodes, node_a);
+        }
+        if (node_b >= 0) {
+            f.witness_b = dependency_witness(nodes, node_b);
+        }
+        std::ostringstream os;
+        os << to_string(kind) << " on buffer " << buffer << ": " << detail;
+        if (!f.witness_a.empty()) {
+            os << ". Witness: [" << chain_str(nodes, f.witness_a) << "]";
+            if (!f.witness_b.empty()) {
+                os << " runs unordered against ["
+                   << chain_str(nodes, f.witness_b) << "]";
+            }
+        }
+        f.message = os.str();
+        report.findings.push_back(std::move(f));
+    };
+
+    for (const BufferInfo &info : buffers) {
+        // ---- use-before-def: a plan-local read of contents nothing
+        // ordered-before wrote. Shared (unprefixed) tensors are defined
+        // by the embedding interface convention; plan-local buffers that
+        // legitimately flow in (stashed activations, setup-time masks)
+        // must say so via kBufInput / kBufZeroInit.
+        if (info.plan_local &&
+            !info.declared(sim::kBufInput | sim::kBufZeroInit)) {
+            for (const AccessRef &a : info.accesses) {
+                if (a.mode != Mode::kRead) {
+                    continue;
+                }
+                if (!defined_at(info, hb, a.node)) {
+                    emit(CheckKind::kUseBeforeDef, a.node, -1, info.name,
+                         node_str(nodes, a.node) +
+                             " reads it, but no ordered predecessor ever"
+                             " writes it and it is not declared an input"
+                             " or zero-initialized — the value read is"
+                             " undefined");
+                    break;  // One finding per buffer: the first reader.
+                }
+            }
+        }
+
+        // ---- uninit-accum: commutative RMW onto undefined contents.
+        // Applies to shared tensors too ("o", dq/dk/dv): an accumulator
+        // needs a zero-filled (or written) start everywhere.
+        if (!info.declared(sim::kBufInput | sim::kBufZeroInit)) {
+            for (const AccessRef &a : info.accesses) {
+                if (a.mode != Mode::kAccum) {
+                    continue;
+                }
+                if (!defined_at(info, hb, a.node)) {
+                    emit(CheckKind::kUninitAccum, a.node, -1, info.name,
+                         node_str(nodes, a.node) +
+                             " accumulates into it, but no ordered"
+                             " predecessor initializes it and it is not"
+                             " declared zero-initialized — the"
+                             " accumulation folds into garbage");
+                    break;
+                }
+            }
+        }
+
+        // ---- dead-store / leaked-temp: a store nothing ever drains.
+        if (options.liveness_lints && !info.declared(sim::kBufOutput)) {
+            for (const AccessRef &a : info.accesses) {
+                if (a.mode == Mode::kRead) {
+                    continue;
+                }
+                if (!consumed_after(info, hb, a.node, a.mode)) {
+                    emit(info.plan_local ? CheckKind::kLeakedTemp
+                                         : CheckKind::kDeadStore,
+                         a.node, -1, info.name,
+                         node_str(nodes, a.node) +
+                             " stores it, but no ordered successor ever"
+                             " reads it and it is not declared a graph"
+                             " output — the store is dead");
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- size-consistency: the annotated SizedBuffer footprint a
+    // kernel claims vs the memory traffic its TbWork model generates.
+    if (options.size_check) {
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            const sim::KernelLaunch &l = nodes[n].launch;
+            std::uint64_t annotated = 0;
+            std::uint64_t largest = 0;
+            sim::BufferId largest_id = sim::kNoBuffer;
+            const auto account = [&](const std::vector<sim::BufferId> &ids,
+                                     const std::vector<std::uint64_t> &bs) {
+                for (std::size_t i = 0; i < ids.size(); ++i) {
+                    const std::uint64_t b =
+                        parallel_entry<std::uint64_t>(bs, i, 0);
+                    annotated += b;
+                    if (b > largest) {
+                        largest = b;
+                        largest_id = ids[i];
+                    }
+                }
+            };
+            account(l.reads, l.read_bytes);
+            account(l.accums, l.accum_bytes);
+            account(l.writes, l.write_bytes);
+            const double modeled = l.total_work().mem_bytes();
+            if (annotated == 0 || modeled <= 0) {
+                continue;  // Unannotated/unsized or empty kernel.
+            }
+            const double ratio = static_cast<double>(annotated) / modeled;
+            if (report.min_size_ratio == 0 ||
+                ratio < report.min_size_ratio) {
+                report.min_size_ratio = ratio;
+            }
+            if (ratio > report.max_size_ratio) {
+                report.max_size_ratio = ratio;
+            }
+            if (ratio <= options.size_tol_over &&
+                ratio >= 1.0 / options.size_tol_under) {
+                continue;
+            }
+            std::ostringstream os;
+            os << node_str(nodes, static_cast<int>(n)) << " annotates "
+               << human_bytes(annotated) << " of buffers but models "
+               << human_bytes(static_cast<std::uint64_t>(modeled))
+               << " of memory traffic (ratio " << ratio
+               << ", tolerance [" << 1.0 / options.size_tol_under << ", "
+               << options.size_tol_over
+               << "]) — the annotated sizes no longer describe the"
+                  " kernel";
+            emit(CheckKind::kSizeMismatch, static_cast<int>(n), -1,
+                 largest_id == sim::kNoBuffer
+                     ? std::string("?")
+                     : sim::buffer_name(largest_id),
+                 os.str());
+        }
+    }
+
+    // ---- Arena-aliasing soundness proof: every pair of pooled buffers
+    // whose arena intervals overlap must be strictly ordered. Uses are
+    // re-derived here from the graph (not taken from the plan), so a
+    // planner bug in live-range derivation is caught too.
+    if (options.memplan != nullptr) {
+        const MemPlan &plan = *options.memplan;
+        if (plan.num_nodes != nodes.size()) {
+            emit(CheckKind::kArenaAlias, -1, -1, "?",
+                 "memplan describes " + std::to_string(plan.num_nodes) +
+                     " nodes but the graph has " +
+                     std::to_string(nodes.size()) +
+                     " — the plan does not belong to this graph");
+        } else {
+            std::map<sim::BufferId, const BufferInfo *> by_id;
+            for (const BufferInfo &info : buffers) {
+                by_id[info.id] = &info;
+            }
+            // All accesses of `a` strictly before all accesses of `b`
+            // (or vice versa) — the aliasing licence.
+            const auto strictly_ordered = [&](const BufferInfo &a,
+                                              const BufferInfo &b,
+                                              int *bad_a, int *bad_b) {
+                const auto before = [&](const BufferInfo &x,
+                                        const BufferInfo &y) {
+                    for (const AccessRef &u : x.accesses) {
+                        for (const AccessRef &v : y.accesses) {
+                            if (!hb.ordered(u.node, v.node)) {
+                                *bad_a = u.node;
+                                *bad_b = v.node;
+                                return false;
+                            }
+                        }
+                    }
+                    return true;
+                };
+                return before(a, b) || before(b, a);
+            };
+            for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+                const MemPlanBuffer &a = plan.buffers[i];
+                if (a.cls != BufferClass::kPooled || a.bytes == 0) {
+                    continue;
+                }
+                for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
+                    const MemPlanBuffer &b = plan.buffers[j];
+                    if (b.cls != BufferClass::kPooled || b.bytes == 0) {
+                        continue;
+                    }
+                    if (a.offset + a.bytes <= b.offset ||
+                        b.offset + b.bytes <= a.offset) {
+                        continue;  // Disjoint arena intervals.
+                    }
+                    const auto ia = by_id.find(a.id);
+                    const auto ib = by_id.find(b.id);
+                    if (ia == by_id.end() || ib == by_id.end()) {
+                        emit(CheckKind::kArenaAlias, -1, -1,
+                             ia == by_id.end() ? a.name : b.name,
+                             "memplan pools a buffer the graph never"
+                             " accesses");
+                        continue;
+                    }
+                    int bad_a = -1;
+                    int bad_b = -1;
+                    if (strictly_ordered(*ia->second, *ib->second, &bad_a,
+                                         &bad_b)) {
+                        continue;
+                    }
+                    std::ostringstream os;
+                    os << a.name << " and " << b.name
+                       << " share arena bytes [" << b.offset << ", "
+                       << b.offset + b.bytes << ") overlapping ["
+                       << a.offset << ", " << a.offset + a.bytes
+                       << "), but " << node_str(nodes, bad_a)
+                       << " touching " << a.name << " is unordered"
+                       << " against " << node_str(nodes, bad_b)
+                       << " touching " << b.name
+                       << " — replay can corrupt the slot";
+                    emit(CheckKind::kArenaAlias, bad_a, bad_b, b.name,
+                         os.str());
+                }
+            }
+        }
+    }
+
+    // Errors first, preserving discovery order within a tier.
+    std::stable_sort(report.findings.begin(), report.findings.end(),
+                     [](const CheckFinding &a, const CheckFinding &b) {
+                         return static_cast<int>(a.severity) >
+                                static_cast<int>(b.severity);
+                     });
+    return report;
+}
+
+bool
+capture_check_enabled()
+{
+    if (const char *env = std::getenv("MULTIGRAIN_CHECK");
+        env != nullptr && *env != '\0') {
+        return !(env[0] == '0' && env[1] == '\0');
+    }
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+void
+enforce_capture_check(const LaunchGraph &graph, const MemPlan *memplan,
+                      const std::string &what)
+{
+    if (!capture_check_enabled()) {
+        return;
+    }
+    CheckOptions options;
+    options.memplan = memplan;
+    options.size_check = false;      // Tolerance heuristic; advisory.
+    options.liveness_lints = false;  // Warnings never block capture.
+    const CheckReport report = check_graph(graph, options);
+    if (report.errors() == 0) {
+        return;
+    }
+    std::ostringstream os;
+    os << what << ": captured plan is ill-defined (" << report.errors()
+       << " definedness error(s)) and cannot be cached:";
+    for (const CheckFinding &f : report.findings) {
+        if (f.severity == CheckSeverity::kError) {
+            os << "\n  " << f.message;
+        }
+    }
+    throw PlanCheckError(os.str());
+}
+
+}  // namespace multigrain

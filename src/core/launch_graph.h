@@ -139,6 +139,14 @@ class LaunchGraph final : public LaunchSink {
     /// validate() tests to build the malformed graphs (skipped or
     /// duplicated node indices) that capture itself can never produce.
     void set_ops_for_test(std::vector<int> ops) { ops_ = std::move(ops); }
+    /// Mutable access to a node's launch, bypassing capture. Used by the
+    /// mgcheck seeded-defect hooks (and its tests) to corrupt a copied
+    /// graph's annotations — dropping an init write, shrinking a
+    /// SizedBuffer — and prove the analyzer catches it.
+    sim::KernelLaunch &launch_for_test(int node)
+    {
+        return nodes_[static_cast<std::size_t>(node)].launch;
+    }
 
   private:
     // Capture state, mirroring GpuSim's stream bookkeeping so the edges

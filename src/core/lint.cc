@@ -122,22 +122,6 @@ access_str(Access mode)
     return "?";
 }
 
-/// Dependency chain from a root to `n`, oldest-first, following each
-/// node's newest dep. Because the endpoints of a hazard are unordered,
-/// the chain to one endpoint can never pass through the other.
-std::vector<int>
-witness_chain(const std::vector<LaunchGraphNode> &nodes, int n)
-{
-    std::vector<int> chain{n};
-    int cur = n;
-    while (!nodes[static_cast<std::size_t>(cur)].deps.empty()) {
-        cur = nodes[static_cast<std::size_t>(cur)].deps.back();
-        chain.push_back(cur);
-    }
-    std::reverse(chain.begin(), chain.end());
-    return chain;
-}
-
 // ---- Phase-name convention ----------------------------------------------
 
 /// Mirrors the carving convention in profiler/metrics.cc split_name():
@@ -263,6 +247,19 @@ reconstruct_joins(const LaunchGraph &graph)
 }  // namespace
 
 // ---- Public surface -----------------------------------------------------
+
+std::vector<int>
+dependency_witness(const std::vector<LaunchGraphNode> &nodes, int n)
+{
+    std::vector<int> chain{n};
+    int cur = n;
+    while (!nodes[static_cast<std::size_t>(cur)].deps.empty()) {
+        cur = nodes[static_cast<std::size_t>(cur)].deps.back();
+        chain.push_back(cur);
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
 
 const char *
 to_string(LintKind kind)
@@ -403,8 +400,8 @@ lint_graph(const LaunchGraph &graph, const LintOptions &options)
                 f.node_a = i;
                 f.node_b = j;
                 f.buffer = sim::buffer_name(id);
-                f.witness_a = witness_chain(nodes, i);
-                f.witness_b = witness_chain(nodes, j);
+                f.witness_a = dependency_witness(nodes, i);
+                f.witness_b = dependency_witness(nodes, j);
                 std::ostringstream os;
                 os << to_string(f.kind) << " on buffer " << f.buffer
                    << ": " << node_str(graph, i) << " "

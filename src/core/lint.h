@@ -67,6 +67,14 @@ class HappensBefore {
     std::vector<std::uint64_t> bits_;
 };
 
+/// Dependency chain from a root to `n`, oldest-first, following each
+/// node's newest dep. Used for hazard witnesses here and for the
+/// definedness witnesses in core/check.h: because the endpoints of an
+/// unordered pair are unordered, the chain to one endpoint can never pass
+/// through the other.
+std::vector<int> dependency_witness(const std::vector<LaunchGraphNode> &nodes,
+                                    int n);
+
 enum class LintSeverity { kInfo, kWarning, kError };
 
 enum class LintKind {

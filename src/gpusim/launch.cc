@@ -104,14 +104,17 @@ annotate(KernelLaunch launch, std::initializer_list<SizedBuffer> reads,
     for (const SizedBuffer &buf : reads) {
         launch.reads.push_back(intern_buffer(buf.name));
         launch.read_bytes.push_back(scale_bytes(buf.bytes));
+        launch.read_flags.push_back(buf.flags);
     }
     for (const SizedBuffer &buf : writes) {
         launch.writes.push_back(intern_buffer(buf.name));
         launch.write_bytes.push_back(scale_bytes(buf.bytes));
+        launch.write_flags.push_back(buf.flags);
     }
     for (const SizedBuffer &buf : accums) {
         launch.accums.push_back(intern_buffer(buf.name));
         launch.accum_bytes.push_back(scale_bytes(buf.bytes));
+        launch.accum_flags.push_back(buf.flags);
     }
     return launch;
 }

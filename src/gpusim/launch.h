@@ -82,19 +82,37 @@ std::string buffer_name(BufferId id);
 /// True for '%'-prefixed (plan-local) buffer names.
 bool buffer_is_plan_local(BufferId id);
 
+// Definedness declarations a plan site can attach to an annotated buffer
+// reference. They state dataflow facts the graph itself cannot express —
+// mgcheck (src/core/check.h) consumes them; lint and the memory planner
+// ignore them.
+
+/// The buffer is defined before the graph starts (an inbound tensor: a
+/// stashed forward activation read by the backward graph, a mask built at
+/// setup time). Reads need no in-graph dominating write.
+inline constexpr unsigned kBufInput = 1U << 0;
+/// The buffer is zero-filled at graph entry; accumulating into it without
+/// a prior in-graph write is sound.
+inline constexpr unsigned kBufZeroInit = 1U << 1;
+/// The buffer escapes the graph (a result or a stash consumed by a later
+/// graph); a final write with no in-graph reader is not a dead store.
+inline constexpr unsigned kBufOutput = 1U << 2;
+
 /// One annotated buffer reference: a name plus the byte size of the
 /// region the kernel touches through it. Implicitly convertible from a
 /// bare name so legacy `{"q", "k"}` annotation lists keep compiling;
 /// bytes == 0 means "unsized" (the memory planner accounts the buffer
-/// at zero width but still tracks its live range).
+/// at zero width but still tracks its live range). `flags` is an OR of
+/// kBufInput/kBufZeroInit/kBufOutput definedness declarations.
 struct SizedBuffer {
     // NOLINTNEXTLINE(google-explicit-constructor)
-    constexpr SizedBuffer(const char *n, std::uint64_t b = 0)
-        : name(n), bytes(b)
+    constexpr SizedBuffer(const char *n, std::uint64_t b = 0, unsigned f = 0)
+        : name(n), bytes(b), flags(f)
     {
     }
     const char *name;
     std::uint64_t bytes;
+    unsigned flags;
 };
 
 struct KernelLaunch {
@@ -120,6 +138,14 @@ struct KernelLaunch {
     std::vector<std::uint64_t> read_bytes;
     std::vector<std::uint64_t> write_bytes;
     std::vector<std::uint64_t> accum_bytes;
+
+    /// Definedness declarations (OR of kBufInput/kBufZeroInit/kBufOutput),
+    /// parallel to reads/writes/accums like the byte vectors. They ride
+    /// along unchanged through append()'s re-namespacing, which rewrites
+    /// only the BufferId vectors.
+    std::vector<unsigned> read_flags;
+    std::vector<unsigned> write_flags;
+    std::vector<unsigned> accum_flags;
 
     index_t num_tbs() const;
     TbWork total_work() const;

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "core/check.h"
 #include "core/lint.h"
 #include "core/plan_cache.h"
 #include "kernels/dense.h"
@@ -155,6 +156,15 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
                 device, seq, ffn, d, batch_, "gemm.ffn1" + suffix);
             sim::KernelLaunch ffn2 = kernels::plan_dense_gemm(
                 device, seq, d, ffn, batch_, "gemm.ffn2" + suffix);
+            // Definedness declarations (core/check.h): the training
+            // layer is one slice of a surrounding step, so activations
+            // and gradients cross the graph boundary both ways. Reads
+            // of stashes the graph itself never writes (%x1/%h1 in the
+            // dW pass, the inbound %d.h2 gradient, %d.h1 read by the
+            // dX FFN1 before the dX FFN2 re-derives it) are declared
+            // kBufInput; stores nothing in-graph drains (the weight
+            // gradients, the re-stashed activations, the %d.* pieces
+            // the next layer down consumes) are declared kBufOutput.
             if (suffix.empty()) {
                 qkv = sim::annotate(std::move(qkv),
                                     {{"x", act_d}, {"w.qkv", w_qkv}},
@@ -164,11 +174,12 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
                                          {{"o", act_d}, {"w.out", w_out}},
                                          {{"%proj", act_d}});
                 ffn1 = sim::annotate(std::move(ffn1),
-                                     {{"%x1", act_d}, {"w.ffn1", w_ffn}},
+                                     {{"%x1", act_d, sim::kBufInput},
+                                      {"w.ffn1", w_ffn}},
                                      {{"%h1", act_ffn}});
                 ffn2 = sim::annotate(std::move(ffn2),
                                      {{"%h1", act_ffn}, {"w.ffn2", w_ffn}},
-                                     {{"%h2", act_d}});
+                                     {{"%h2", act_d, sim::kBufOutput}});
             } else if (suffix == ".dx") {
                 qkv = sim::annotate(std::move(qkv),
                                     {{"dq", act_d}, {"dk", act_d},
@@ -177,28 +188,37 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
                 attn_out = sim::annotate(std::move(attn_out),
                                          {{"d.ln1", act_d},
                                           {"w.out", w_out}},
-                                         {{"%d.o", act_d}});
+                                         {{"%d.o", act_d,
+                                           sim::kBufOutput}});
                 ffn1 = sim::annotate(std::move(ffn1),
-                                     {{"%d.h1", act_ffn},
+                                     {{"%d.h1", act_ffn, sim::kBufInput},
                                       {"w.ffn1", w_ffn}},
-                                     {{"%d.x1", act_d}});
+                                     {{"%d.x1", act_d,
+                                       sim::kBufOutput}});
                 ffn2 = sim::annotate(std::move(ffn2),
-                                     {{"%d.h2", act_d}, {"w.ffn2", w_ffn}},
+                                     {{"%d.h2", act_d, sim::kBufInput},
+                                      {"w.ffn2", w_ffn}},
                                      {{"%d.h1", act_ffn}});
             } else {
                 qkv = sim::annotate(std::move(qkv),
                                     {{"dq", act_d}, {"dk", act_d},
                                      {"dv", act_d}, {"x", act_d}},
-                                    {{"dw.qkv", w_qkv}});
+                                    {{"dw.qkv", w_qkv,
+                                      sim::kBufOutput}});
                 attn_out = sim::annotate(std::move(attn_out),
                                          {{"d.ln1", act_d}, {"o", act_d}},
-                                         {{"dw.out", w_out}});
+                                         {{"dw.out", w_out,
+                                           sim::kBufOutput}});
                 ffn1 = sim::annotate(std::move(ffn1),
-                                     {{"%d.h1", act_ffn}, {"%x1", act_d}},
-                                     {{"dw.ffn1", w_ffn}});
+                                     {{"%d.h1", act_ffn},
+                                      {"%x1", act_d, sim::kBufInput}},
+                                     {{"dw.ffn1", w_ffn,
+                                       sim::kBufOutput}});
                 ffn2 = sim::annotate(std::move(ffn2),
-                                     {{"%d.h2", act_d}, {"%h1", act_ffn}},
-                                     {{"dw.ffn2", w_ffn}});
+                                     {{"%d.h2", act_d},
+                                      {"%h1", act_ffn, sim::kBufInput}},
+                                     {{"dw.ffn2", w_ffn,
+                                       sim::kBufOutput}});
             }
             graph.launch(0, std::move(qkv));
             graph.launch(0, std::move(attn_out));
@@ -209,23 +229,26 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
             graph.launch(0, sim::annotate(
                                 kernels::plan_elementwise(device, elems, 2,
                                                           8.0, "ew.ln"),
-                                {{"d.x", act_d}}, {{"d.x", act_d}}));
+                                {{"d.x", act_d}},
+                                {{"d.x", act_d, sim::kBufOutput}}));
             graph.launch(0, sim::annotate(
                                 kernels::plan_elementwise(
                                     device, seq * ffn * batch_, 1, 12.0,
                                     "ew.gelu"),
-                                {{"%d.h1", act_ffn}}, {{"%d.h1", act_ffn}}));
+                                {{"%d.h1", act_ffn}},
+                                {{"%d.h1", act_ffn, sim::kBufOutput}}));
         } else {
             graph.launch(0, sim::annotate(
                                 kernels::plan_elementwise(device, elems, 2,
                                                           8.0, "ew.ln"),
                                 {{"x", act_d}, {"%proj", act_d}},
-                                {{"%x1", act_d}}));
+                                {{"%x1", act_d, sim::kBufOutput}}));
             graph.launch(0, sim::annotate(
                                 kernels::plan_elementwise(
                                     device, seq * ffn * batch_, 1, 12.0,
                                     "ew.gelu"),
-                                {{"%h1", act_ffn}}, {{"%h1", act_ffn}}));
+                                {{"%h1", act_ffn}},
+                                {{"%h1", act_ffn, sim::kBufOutput}}));
         }
     };
 
@@ -274,7 +297,7 @@ TransformerRunner::build_layer_graph(const sim::DeviceSpec &device,
                             kernels::plan_elementwise(device, elems, 2, 8.0,
                                                       "ew.ln2"),
                             {{"%x1", act_d}, {"%h2", act_d}},
-                            {{"x.out", act_d}}));
+                            {{"x.out", act_d, sim::kBufOutput}}));
         graph.join_streams();
         break;
 
@@ -332,7 +355,9 @@ TransformerRunner::layer_graph(const sim::DeviceSpec &device,
         // Throwing here keeps a racy composed plan out of the cache.
         enforce_capture_lint(*graph, device, key);
         // Plan (and alias-validate) the footprint beside the graph.
-        memplan_for(key, *graph);
+        const auto memplan = memplan_for(key, *graph);
+        // Definedness + arena-aliasing proof (core/check.h).
+        enforce_capture_check(*graph, memplan.get(), key);
         return graph;
     });
 }

@@ -1,0 +1,645 @@
+// mgcheck — plan-level definedness and soundness proofs over the
+// LaunchGraph IR.
+//
+// Runs the abstract interpreter (core/check.h) over every captured
+// execution plan of the preset matrix (models x devices x modes x
+// composition units) together with each plan's static memory plan:
+// use-before-def, uninitialized accumulation, dead stores / leaked
+// temporaries, per-kernel size consistency, and the arena-aliasing
+// soundness proof that every pair of buffers sharing an arena slot is
+// strictly ordered. Findings carry the same witness chains mglint
+// hazards carry.
+//
+// The --defect hooks are the gate's self-test: each seeds one concrete
+// corruption into a copy of every applicable plan — dropping an init
+// write, shrinking a kernel's SizedBuffer annotations, shifting an
+// arena offset onto a live slot-mate — and the run must exit 2 with a
+// finding naming the corrupted buffer, proving the analyzer would catch
+// the real bug class.
+//
+// Exit status: 0 = all plans clean, 2 = any error finding (or warnings
+// under --strict), 1 = usage/internal error (including a defect hook
+// that failed to fire anywhere).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "plan_units.h"
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "core/check.h"
+#include "core/launch_graph.h"
+#include "core/lint.h"
+#include "core/memplan.h"
+#include "gpusim/launch.h"
+#include "profiler/history.h"
+
+namespace {
+
+using namespace multigrain;
+
+enum class Defect { kNone, kDropInit, kShrinkSize, kShiftOffset };
+
+struct Options {
+    std::vector<std::string> models = {"longformer", "qds", "bigbird",
+                                       "poolingformer", "tiny"};
+    std::vector<std::string> devices = {"a100", "rtx3090"};
+    std::vector<std::string> modes = {"multigrain", "coarse-only",
+                                      "fine-only", "dense"};
+    unsigned seed = 2022;
+    std::string out_dir = ".";
+    std::string report_path;  ///< Relative paths resolve under out_dir.
+    Defect defect = Defect::kNone;
+    bool strict = false;
+    bool quiet = false;
+    bool verbose = false;
+};
+
+/// One checked unit: where it came from, its report, and (under
+/// --defect) what was corrupted.
+struct UnitResult {
+    std::string model;
+    std::string device;
+    std::string mode;
+    std::string unit;
+    CheckReport report;
+    std::string corrupted;  ///< Buffer the defect hook corrupted, if any.
+    bool defect_fired = false;
+};
+
+const char *
+defect_name(Defect d)
+{
+    switch (d) {
+      case Defect::kNone: return "none";
+      case Defect::kDropInit: return "drop-init";
+      case Defect::kShrinkSize: return "shrink-size";
+      case Defect::kShiftOffset: return "shift-offset";
+    }
+    return "?";
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: mgcheck [options]\n"
+          "\n"
+          "Abstractly interprets every captured execution plan across\n"
+          "the preset matrix (plus each plan's memory plan): definedness\n"
+          "(use-before-def, uninitialized accumulation), liveness (dead\n"
+          "stores, leaked temporaries), per-kernel size consistency, and\n"
+          "the arena-aliasing soundness proof. Findings carry witness\n"
+          "dependency chains.\n"
+          "\n"
+          "  --models M1,M2    comma-separated subset of: longformer |"
+          " qds | bigbird |\n"
+          "                    poolingformer | tiny (default: all)\n"
+          "  --devices D1,D2   subset of: a100 | rtx3090 (default: both)\n"
+          "  --modes P1,P2     subset of: multigrain | coarse-only |"
+          " fine-only | dense\n"
+          "                    (default: all)\n"
+          "  --seed S          workload sampling seed (default 2022)\n"
+          "  --out-dir DIR     directory for artifacts (default .)\n"
+          "  --report PATH     write the mgcheck.report JSON document\n"
+          "                    (relative paths land under --out-dir)\n"
+          "  --defect KIND     seed one corruption into a copy of every\n"
+          "                    applicable plan and require the analyzer\n"
+          "                    to catch it: drop-init | shrink-size |\n"
+          "                    shift-offset\n"
+          "  --strict          warnings also fail the gate\n"
+          "  --quiet           only print the final summary line\n"
+          "  --verbose         also print per-plan stats and size ratios\n"
+          "  --help            this text\n";
+}
+
+Options
+parse_args(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            MG_CHECK(i + 1 < argc) << arg << " needs a value";
+            return argv[++i];
+        };
+        if (arg == "--models") {
+            opt.models = bench::split_csv(next());
+        } else if (arg == "--devices") {
+            opt.devices = bench::split_csv(next());
+        } else if (arg == "--modes") {
+            opt.modes = bench::split_csv(next());
+        } else if (arg == "--seed") {
+            opt.seed = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--out-dir") {
+            opt.out_dir = next();
+            MG_CHECK(!opt.out_dir.empty()) << "--out-dir must be non-empty";
+        } else if (arg == "--report") {
+            opt.report_path = next();
+        } else if (arg == "--defect") {
+            const std::string kind = next();
+            if (kind == "drop-init") {
+                opt.defect = Defect::kDropInit;
+            } else if (kind == "shrink-size") {
+                opt.defect = Defect::kShrinkSize;
+            } else if (kind == "shift-offset") {
+                opt.defect = Defect::kShiftOffset;
+            } else {
+                throw Error("unknown --defect \"" + kind +
+                            "\" (drop-init | shrink-size | shift-offset)");
+            }
+        } else if (arg == "--strict") {
+            opt.strict = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+            set_log_level(LogLevel::kInfo);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else {
+            usage(std::cerr);
+            throw Error("unknown argument \"" + arg + "\"");
+        }
+    }
+    return opt;
+}
+
+// ---- Seeded-defect corruption hooks ---------------------------------------
+
+/// drop-init: finds a (writer, reader) pair on a plan-local undeclared
+/// buffer where the writer is the *only* write ordered before the
+/// reader, and removes that write from the writer's annotation — the
+/// exact bug of a phase builder forgetting to record its store. Returns
+/// the corrupted buffer's name, or "" when the unit has no candidate.
+std::string
+seed_drop_init(LaunchGraph &graph)
+{
+    const std::vector<LaunchGraphNode> &nodes = graph.nodes();
+    const HappensBefore hb(nodes);
+
+    struct Uses {
+        std::vector<int> writers;
+        std::vector<int> readers;
+        unsigned flags = 0;
+    };
+    std::map<std::string, std::pair<sim::BufferId, Uses>> uses;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const sim::KernelLaunch &l = nodes[n].launch;
+        for (std::size_t i = 0; i < l.writes.size(); ++i) {
+            const sim::BufferId id = l.writes[i];
+            if (!sim::buffer_is_plan_local(id)) {
+                continue;
+            }
+            auto &u = uses[sim::buffer_name(id)];
+            u.first = id;
+            u.second.writers.push_back(static_cast<int>(n));
+            if (i < l.write_flags.size()) {
+                u.second.flags |= l.write_flags[i];
+            }
+        }
+        for (std::size_t i = 0; i < l.reads.size(); ++i) {
+            const sim::BufferId id = l.reads[i];
+            if (!sim::buffer_is_plan_local(id)) {
+                continue;
+            }
+            auto &u = uses[sim::buffer_name(id)];
+            u.first = id;
+            u.second.readers.push_back(static_cast<int>(n));
+            if (i < l.read_flags.size()) {
+                u.second.flags |= l.read_flags[i];
+            }
+        }
+    }
+    for (const auto &[name, entry] : uses) {
+        const auto &[id, u] = entry;
+        if ((u.flags & (sim::kBufInput | sim::kBufZeroInit)) != 0) {
+            continue;  // Declared inbound: dropping a write is legal.
+        }
+        for (const int w : u.writers) {
+            for (const int r : u.readers) {
+                if (r == w || !hb.ordered(w, r)) {
+                    continue;
+                }
+                bool sole_definer = true;
+                for (const int w2 : u.writers) {
+                    if (w2 != w && w2 != r && hb.ordered(w2, r)) {
+                        sole_definer = false;
+                        break;
+                    }
+                }
+                if (!sole_definer) {
+                    continue;
+                }
+                // Drop the id (and its parallel entries) from w's writes.
+                sim::KernelLaunch &launch = graph.launch_for_test(w);
+                for (std::size_t i = 0; i < launch.writes.size(); ++i) {
+                    if (launch.writes[i] != id) {
+                        continue;
+                    }
+                    launch.writes.erase(launch.writes.begin() +
+                                        static_cast<std::ptrdiff_t>(i));
+                    if (i < launch.write_bytes.size()) {
+                        launch.write_bytes.erase(
+                            launch.write_bytes.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                    }
+                    if (i < launch.write_flags.size()) {
+                        launch.write_flags.erase(
+                            launch.write_flags.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                    }
+                    break;
+                }
+                return name;
+            }
+        }
+    }
+    return "";
+}
+
+/// shrink-size: collapses every SizedBuffer annotation on the kernel
+/// with the largest annotated footprint to a single byte — the exact
+/// bug of a plan site sizing a buffer with the wrong dimensions.
+/// Returns the name of the kernel's largest buffer, or "".
+std::string
+seed_shrink_size(LaunchGraph &graph)
+{
+    const std::vector<LaunchGraphNode> &nodes = graph.nodes();
+    int victim = -1;
+    std::uint64_t best = 0;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const sim::KernelLaunch &l = nodes[n].launch;
+        std::uint64_t sum = 0;
+        for (const std::uint64_t b : l.read_bytes) {
+            sum += b;
+        }
+        for (const std::uint64_t b : l.accum_bytes) {
+            sum += b;
+        }
+        for (const std::uint64_t b : l.write_bytes) {
+            sum += b;
+        }
+        if (sum > best && l.total_work().mem_bytes() > 0) {
+            best = sum;
+            victim = static_cast<int>(n);
+        }
+    }
+    if (victim < 0) {
+        return "";
+    }
+    sim::KernelLaunch &l = graph.launch_for_test(victim);
+    const auto shrink = [](std::vector<std::uint64_t> &bytes) {
+        for (std::uint64_t &b : bytes) {
+            if (b > 0) {
+                b = 1;
+            }
+        }
+    };
+    shrink(l.read_bytes);
+    shrink(l.accum_bytes);
+    shrink(l.write_bytes);
+    // Post-shrink every sized entry is 1 byte, so the finding will name
+    // the kernel's *first* sized buffer in reads/accums/writes order —
+    // predict exactly that one so the self-check stays a name match.
+    sim::BufferId named = sim::kNoBuffer;
+    const auto first_sized = [&](const std::vector<sim::BufferId> &ids,
+                                 const std::vector<std::uint64_t> &bytes) {
+        for (std::size_t i = 0;
+             named == sim::kNoBuffer && i < ids.size() && i < bytes.size();
+             ++i) {
+            if (bytes[i] > 0) {
+                named = ids[i];
+            }
+        }
+    };
+    first_sized(l.reads, l.read_bytes);
+    first_sized(l.accums, l.accum_bytes);
+    first_sized(l.writes, l.write_bytes);
+    return named == sim::kNoBuffer ? "" : sim::buffer_name(named);
+}
+
+/// shift-offset: moves one pooled buffer's arena offset onto a live
+/// slot-mate's — two buffers that interfere (some accesses unordered)
+/// made to share bytes, the exact bug of an off-by-one in the planner's
+/// first-fit walk. Mutates `plan`; returns the shifted buffer's name,
+/// or "" when every pooled pair is strictly ordered (single-stream
+/// plans).
+std::string
+seed_shift_offset(const LaunchGraph &graph, MemPlan &plan)
+{
+    const HappensBefore hb(graph.nodes());
+    const auto interferes = [&](const MemPlanBuffer &a,
+                                const MemPlanBuffer &b) {
+        for (const int u : a.uses) {
+            for (const int v : b.uses) {
+                if (u != v && !hb.ordered(u, v) && !hb.ordered(v, u)) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+    for (std::size_t i = 0; i < plan.buffers.size(); ++i) {
+        const MemPlanBuffer &a = plan.buffers[i];
+        if (a.cls != BufferClass::kPooled || a.bytes == 0) {
+            continue;
+        }
+        for (std::size_t j = i + 1; j < plan.buffers.size(); ++j) {
+            MemPlanBuffer &b = plan.buffers[j];
+            if (b.cls != BufferClass::kPooled || b.bytes == 0) {
+                continue;
+            }
+            const bool disjoint = a.offset + a.bytes <= b.offset ||
+                                  b.offset + b.bytes <= a.offset;
+            if (!disjoint || !interferes(a, b)) {
+                continue;
+            }
+            b.offset = a.offset;
+            return b.name;
+        }
+    }
+    return "";
+}
+
+// ---- Checking -------------------------------------------------------------
+
+void
+check_unit(std::vector<UnitResult> &results, const Options &opt,
+           const std::string &model, const std::string &device,
+           const std::string &mode, const std::string &unit,
+           const LaunchGraph &graph)
+{
+    UnitResult r;
+    r.model = model;
+    r.device = device;
+    r.mode = mode;
+    r.unit = unit;
+
+    LaunchGraph corrupted;
+    const LaunchGraph *subject = &graph;
+    MemPlan plan;
+    if (opt.defect == Defect::kDropInit ||
+        opt.defect == Defect::kShrinkSize) {
+        corrupted = graph;
+        r.corrupted = opt.defect == Defect::kDropInit
+                          ? seed_drop_init(corrupted)
+                          : seed_shrink_size(corrupted);
+        subject = &corrupted;
+        plan = plan_memory(*subject);
+    } else {
+        plan = plan_memory(graph);
+        if (opt.defect == Defect::kShiftOffset) {
+            r.corrupted = seed_shift_offset(graph, plan);
+        }
+    }
+
+    CheckOptions copt;
+    copt.memplan = &plan;
+    r.report = check_graph(*subject, copt);
+
+    if (!r.corrupted.empty()) {
+        for (const CheckFinding &f : r.report.findings) {
+            if (f.severity == CheckSeverity::kError &&
+                f.buffer == r.corrupted) {
+                r.defect_fired = true;
+                break;
+            }
+        }
+    }
+    results.push_back(std::move(r));
+}
+
+void
+print_unit(const UnitResult &r, const Options &opt)
+{
+    const bool noisy = !r.report.clean() || !r.corrupted.empty() ||
+                       opt.verbose;
+    if (opt.quiet || !noisy) {
+        return;
+    }
+    std::printf("%s | %s | %s | %s: %zu nodes, %zu buffers — %s",
+                r.model.c_str(), r.device.c_str(), r.mode.c_str(),
+                r.unit.c_str(), r.report.num_nodes, r.report.num_buffers,
+                r.report.summary().c_str());
+    if (opt.verbose && r.report.max_size_ratio > 0) {
+        std::printf(" (size ratio %.3g..%.3g)", r.report.min_size_ratio,
+                    r.report.max_size_ratio);
+    }
+    if (!r.corrupted.empty()) {
+        std::printf(" [corrupted %s: %s]", r.corrupted.c_str(),
+                    r.defect_fired ? "caught" : "MISSED");
+    }
+    std::printf("\n");
+    for (const CheckFinding &f : r.report.findings) {
+        std::printf("    [%s] %s\n", to_string(f.severity),
+                    f.message.c_str());
+    }
+}
+
+void
+write_report(const std::string &path, const Options &opt,
+             const std::vector<UnitResult> &all)
+{
+    std::ofstream file(path);
+    MG_CHECK(file.good()) << "cannot open " << path << " for writing";
+    JsonWriter w(file);
+    w.begin_object();
+    w.field("schema", "mgcheck.report");
+    w.field("version", 1);
+    w.key("manifest");
+    prof::write_manifest(w, prof::RunManifest::collect());
+    w.field("defect", defect_name(opt.defect));
+    w.key("plans");
+    w.begin_array();
+    std::size_t errors = 0, warnings = 0, corrupted = 0, caught = 0;
+    for (const UnitResult &r : all) {
+        errors += r.report.errors();
+        warnings += r.report.count(CheckSeverity::kWarning);
+        if (!r.corrupted.empty()) {
+            ++corrupted;
+            caught += r.defect_fired ? 1 : 0;
+        }
+        w.begin_object();
+        w.field("model", r.model);
+        w.field("device", r.device);
+        w.field("mode", r.mode);
+        w.field("unit", r.unit);
+        w.field("nodes", static_cast<std::int64_t>(r.report.num_nodes));
+        w.field("buffers",
+                static_cast<std::int64_t>(r.report.num_buffers));
+        w.field("errors", static_cast<std::int64_t>(r.report.errors()));
+        w.field("warnings", static_cast<std::int64_t>(
+                                r.report.count(CheckSeverity::kWarning)));
+        if (r.report.max_size_ratio > 0) {
+            w.field("min_size_ratio", r.report.min_size_ratio);
+            w.field("max_size_ratio", r.report.max_size_ratio);
+        }
+        if (!r.corrupted.empty()) {
+            w.field("corrupted", r.corrupted);
+            w.field("defect_fired", r.defect_fired);
+        }
+        w.key("findings");
+        w.begin_array();
+        for (const CheckFinding &f : r.report.findings) {
+            w.begin_object();
+            w.field("kind", to_string(f.kind));
+            w.field("severity", to_string(f.severity));
+            w.field("node_a", f.node_a);
+            w.field("node_b", f.node_b);
+            w.field("buffer", f.buffer);
+            w.key("witness_a");
+            w.begin_array();
+            for (const int n : f.witness_a) {
+                w.value(n);
+            }
+            w.end_array();
+            w.key("witness_b");
+            w.begin_array();
+            for (const int n : f.witness_b) {
+                w.value(n);
+            }
+            w.end_array();
+            w.field("message", f.message);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("summary");
+    w.begin_object();
+    w.field("plans", static_cast<std::int64_t>(all.size()));
+    w.field("errors", static_cast<std::int64_t>(errors));
+    w.field("warnings", static_cast<std::int64_t>(warnings));
+    w.field("corrupted", static_cast<std::int64_t>(corrupted));
+    w.field("caught", static_cast<std::int64_t>(caught));
+    w.end_object();
+    w.end_object();
+}
+
+/// Reads `path` back and parses it, so a truncated or malformed report
+/// fails the run instead of silently passing CI.
+void
+validate_report(const std::string &path)
+{
+    std::ifstream file(path);
+    MG_CHECK(file.good()) << "cannot reopen " << path;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const JsonValue doc = json_parse(buffer.str());
+    MG_CHECK(doc.is_object()) << path << ": top level is not an object";
+    MG_CHECK(doc.at("schema").as_string() == "mgcheck.report")
+        << path << ": schema is not \"mgcheck.report\"";
+    MG_CHECK(doc.at("manifest").is_object())
+        << path << ": manifest is not an object";
+    MG_CHECK(doc.at("plans").is_array())
+        << path << ": plans is not an array";
+}
+
+int
+run(const Options &opt)
+{
+    // Capture-time enforcement would reject the very plans a defect run
+    // needs to build (and, in debug builds, abort the clean matrix on
+    // the first hypothetical regression instead of reporting it all);
+    // this tool's job is to report, so capture everything.
+    setenv("MULTIGRAIN_LINT", "0", 1);
+    setenv("MULTIGRAIN_CHECK", "0", 1);
+
+    std::vector<UnitResult> all;
+    bench::for_each_combo(
+        opt.models, opt.devices, opt.modes,
+        [&](const std::string &model, const std::string &device,
+            const std::string &mode) {
+            tools::for_each_plan_unit(
+                opt.seed, model, device, mode,
+                [&](const std::string &unit, const LaunchGraph &graph) {
+                    check_unit(all, opt, model, device, mode, unit,
+                               graph);
+                    print_unit(all.back(), opt);
+                });
+        });
+
+    std::size_t errors = 0, warnings = 0, corrupted = 0, missed = 0;
+    double min_ratio = 0, max_ratio = 0;
+    for (const UnitResult &r : all) {
+        errors += r.report.errors();
+        warnings += r.report.count(CheckSeverity::kWarning);
+        if (!r.corrupted.empty()) {
+            ++corrupted;
+            missed += r.defect_fired ? 0 : 1;
+        }
+        if (r.report.max_size_ratio > 0) {
+            if (min_ratio == 0 || r.report.min_size_ratio < min_ratio) {
+                min_ratio = r.report.min_size_ratio;
+            }
+            if (r.report.max_size_ratio > max_ratio) {
+                max_ratio = r.report.max_size_ratio;
+            }
+        }
+    }
+    std::printf("mgcheck: %zu plan%s — %zu error(s), %zu warning(s)",
+                all.size(), all.size() == 1 ? "" : "s", errors, warnings);
+    if (opt.defect != Defect::kNone) {
+        std::printf(", defect %s seeded into %zu (%zu missed)",
+                    defect_name(opt.defect), corrupted,
+                    missed);
+    }
+    if (opt.verbose && max_ratio > 0) {
+        std::printf(", size ratios %.3g..%.3g", min_ratio, max_ratio);
+    }
+    std::printf("\n");
+
+    if (!opt.report_path.empty()) {
+        const std::string path =
+            bench::resolve_out_path(opt.out_dir, opt.report_path);
+        write_report(path, opt, all);
+        validate_report(path);
+        if (!opt.quiet) {
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
+
+    if (opt.defect != Defect::kNone) {
+        // The self-test must both corrupt something and catch every
+        // corruption it seeded; a hook that never applied, or a seeded
+        // bug the analyzer missed, is an internal error — not a finding.
+        if (corrupted == 0 || missed > 0) {
+            std::fprintf(stderr,
+                         "mgcheck: defect self-test failed: %zu seeded,"
+                         " %zu missed\n",
+                         corrupted, missed);
+            return 1;
+        }
+    }
+    if (errors > 0 || (opt.strict && warnings > 0)) {
+        return 2;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parse_args(argc, argv));
+    } catch (const ValidationError &e) {
+        std::fprintf(stderr, "mgcheck: validation error: %s\n", e.what());
+        return 2;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "mgcheck: error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
+
 #include "common/error.h"
 #include "common/json.h"
 #include "common/logging.h"
@@ -45,7 +47,8 @@ struct Options {
                                       "fine-only", "dense"};
     index_t batch = 1;
     unsigned seed = 2022;
-    std::string report_path;
+    std::string out_dir = ".";
+    std::string report_path;  ///< Relative paths resolve under out_dir.
     bool strict = false;
     bool quiet = false;
     bool verbose = false;
@@ -80,31 +83,13 @@ usage(std::ostream &os)
           "                  (default: all)\n"
           "  --batch N       batch size (default 1)\n"
           "  --seed S        workload sampling seed (default 2022)\n"
+          "  --out-dir DIR   directory for artifacts (default .)\n"
           "  --report PATH   write the mglint.report JSON document\n"
+          "                  (relative paths land under --out-dir)\n"
           "  --strict        exit 2 on warnings too, not just hazards\n"
           "  --quiet         only print the final summary line\n"
           "  --verbose       also print info-level findings\n"
           "  --help          this text\n";
-}
-
-std::vector<std::string>
-split_csv(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t pos = 0;
-    while (pos <= s.size()) {
-        const std::size_t comma = s.find(',', pos);
-        const std::string item = comma == std::string::npos
-                                     ? s.substr(pos)
-                                     : s.substr(pos, comma - pos);
-        MG_CHECK(!item.empty()) << "empty item in list \"" << s << "\"";
-        out.push_back(item);
-        if (comma == std::string::npos) {
-            break;
-        }
-        pos = comma + 1;
-    }
-    return out;
 }
 
 Options
@@ -118,15 +103,18 @@ parse_args(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--models") {
-            opt.models = split_csv(next());
+            opt.models = bench::split_csv(next());
         } else if (arg == "--devices") {
-            opt.devices = split_csv(next());
+            opt.devices = bench::split_csv(next());
         } else if (arg == "--modes") {
-            opt.modes = split_csv(next());
+            opt.modes = bench::split_csv(next());
         } else if (arg == "--batch") {
             opt.batch = std::stoll(next());
         } else if (arg == "--seed") {
             opt.seed = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--out-dir") {
+            opt.out_dir = next();
+            MG_CHECK(!opt.out_dir.empty()) << "--out-dir must be non-empty";
         } else if (arg == "--report") {
             opt.report_path = next();
         } else if (arg == "--strict") {
@@ -347,10 +335,12 @@ run(const Options &opt)
                 infos);
 
     if (!opt.report_path.empty()) {
-        write_report(opt.report_path, all);
-        validate_report(opt.report_path);
+        const std::string path =
+            bench::resolve_out_path(opt.out_dir, opt.report_path);
+        write_report(path, all);
+        validate_report(path);
         if (!opt.quiet) {
-            std::printf("wrote %s\n", opt.report_path.c_str());
+            std::printf("wrote %s\n", path.c_str());
         }
     }
 
